@@ -1,0 +1,221 @@
+//! The [`Automaton`] trait: one component of a composed system.
+
+/// One I/O automaton, holding its own state internally.
+///
+/// Compared with the textbook presentation (explicit state sets and a
+/// transition relation), this trait packages an automaton *together with its
+/// current state*: `Clone` snapshots the state (used by the exhaustive
+/// explorer to backtrack), and [`apply`](Automaton::apply) advances it.
+///
+/// The operation signature of the automaton is described by
+/// [`is_operation_of`](Automaton::is_operation_of) (does this component
+/// share the action at all?) and [`is_output_of`](Automaton::is_output_of)
+/// (does this component *control* the action?). An action shared by a
+/// component but not controlled by it is an input of that component, and —
+/// per the paper's Input Condition — must be accepted in every state.
+pub trait Automaton: Send {
+    /// The action alphabet of the system this automaton participates in.
+    type Action;
+
+    /// Human-readable component name (diagnostics).
+    fn name(&self) -> String;
+
+    /// `true` iff `a` is an operation (input or output) of this automaton.
+    fn is_operation_of(&self, a: &Self::Action) -> bool;
+
+    /// `true` iff `a` is an *output* operation of this automaton.
+    ///
+    /// Must imply [`is_operation_of`](Automaton::is_operation_of). At most
+    /// one component of a well-formed composition may return `true` for any
+    /// given action; [`crate::System::new`] checks this dynamically for the
+    /// actions it encounters.
+    fn is_output_of(&self, a: &Self::Action) -> bool;
+
+    /// Append all output actions enabled in the current state to `buf`.
+    ///
+    /// The order is unspecified but must be deterministic given the state,
+    /// so that seeded exploration is reproducible.
+    fn enabled_outputs(&self, buf: &mut Vec<Self::Action>);
+
+    /// `true` iff output action `a` is enabled in the current state.
+    ///
+    /// Only meaningful when [`is_output_of`](Automaton::is_output_of)
+    /// returns `true` for `a`. Used by schedule *replay*: checking whether a
+    /// given sequence is a schedule of the composed system (e.g. whether a
+    /// serializer witness is a serial schedule).
+    fn is_enabled(&self, a: &Self::Action) -> bool;
+
+    /// Perform operation `a`, advancing the internal state.
+    ///
+    /// `a` must be an operation of this automaton. If `a` is an input, the
+    /// automaton must accept it in any state (Input Condition); if it is an
+    /// output, the caller is responsible for having checked enabledness —
+    /// implementations may panic on a disabled output to surface driver
+    /// bugs.
+    fn apply(&mut self, a: &Self::Action);
+
+    /// Snapshot this automaton (state included) as a boxed clone.
+    fn clone_boxed(&self) -> BoxedAutomaton<Self::Action>;
+}
+
+/// An owned, type-erased automaton over action type `A`.
+pub type BoxedAutomaton<A> = Box<dyn Automaton<Action = A>>;
+
+impl<A> Clone for BoxedAutomaton<A> {
+    fn clone(&self) -> Self {
+        self.clone_boxed()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Action alphabet for the test automata: a token ring where `Pass(i)`
+    /// hands the token to process `i`, plus a broadcast `Log` input.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    pub enum RingAction {
+        /// Hand the token to process `to` (output of the current holder).
+        Pass {
+            /// Sender.
+            from: usize,
+            /// Receiver.
+            to: usize,
+        },
+        /// Observed by everyone; output of nobody (environment input).
+        Log,
+    }
+
+    /// One process in a ring of `n`; holds the token iff `has_token`.
+    #[derive(Clone)]
+    pub struct RingProcess {
+        pub id: usize,
+        pub n: usize,
+        pub has_token: bool,
+        pub logs_seen: usize,
+        pub passes: usize,
+    }
+
+    impl RingProcess {
+        pub fn new(id: usize, n: usize) -> Self {
+            RingProcess {
+                id,
+                n,
+                has_token: id == 0,
+                logs_seen: 0,
+                passes: 0,
+            }
+        }
+    }
+
+    impl Automaton for RingProcess {
+        type Action = RingAction;
+
+        fn name(&self) -> String {
+            format!("ring-{}", self.id)
+        }
+
+        fn is_operation_of(&self, a: &RingAction) -> bool {
+            match *a {
+                RingAction::Pass { from, to } => from == self.id || to == self.id,
+                RingAction::Log => true,
+            }
+        }
+
+        fn is_output_of(&self, a: &RingAction) -> bool {
+            matches!(*a, RingAction::Pass { from, .. } if from == self.id)
+        }
+
+        fn enabled_outputs(&self, buf: &mut Vec<RingAction>) {
+            if self.has_token {
+                buf.push(RingAction::Pass {
+                    from: self.id,
+                    to: (self.id + 1) % self.n,
+                });
+            }
+        }
+
+        fn is_enabled(&self, a: &RingAction) -> bool {
+            self.has_token
+                && *a
+                    == RingAction::Pass {
+                        from: self.id,
+                        to: (self.id + 1) % self.n,
+                    }
+        }
+
+        fn apply(&mut self, a: &RingAction) {
+            match *a {
+                RingAction::Pass { from, to } => {
+                    if from == self.id {
+                        assert!(self.has_token, "disabled output applied");
+                        self.has_token = false;
+                        self.passes += 1;
+                    }
+                    if to == self.id {
+                        self.has_token = true;
+                    }
+                }
+                RingAction::Log => self.logs_seen += 1,
+            }
+        }
+
+        fn clone_boxed(&self) -> BoxedAutomaton<RingAction> {
+            Box::new(self.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let p = RingProcess::new(1, 3);
+        assert!(p.is_operation_of(&RingAction::Pass { from: 1, to: 2 }));
+        assert!(p.is_operation_of(&RingAction::Pass { from: 0, to: 1 }));
+        assert!(!p.is_operation_of(&RingAction::Pass { from: 0, to: 2 }));
+        assert!(p.is_output_of(&RingAction::Pass { from: 1, to: 2 }));
+        assert!(!p.is_output_of(&RingAction::Pass { from: 0, to: 1 }));
+        assert!(p.is_operation_of(&RingAction::Log));
+        assert!(!p.is_output_of(&RingAction::Log));
+    }
+
+    #[test]
+    fn enabledness_and_default_is_enabled() {
+        let p0 = RingProcess::new(0, 2);
+        let p1 = RingProcess::new(1, 2);
+        assert!(p0.is_enabled(&RingAction::Pass { from: 0, to: 1 }));
+        assert!(!p1.is_enabled(&RingAction::Pass { from: 1, to: 0 }));
+    }
+
+    #[test]
+    fn apply_moves_token() {
+        let mut p = RingProcess::new(0, 2);
+        p.apply(&RingAction::Pass { from: 0, to: 1 });
+        assert!(!p.has_token);
+        p.apply(&RingAction::Pass { from: 1, to: 0 });
+        assert!(p.has_token);
+    }
+
+    #[test]
+    fn inputs_always_accepted() {
+        let mut p = RingProcess::new(1, 2);
+        for _ in 0..5 {
+            p.apply(&RingAction::Log);
+        }
+        assert_eq!(p.logs_seen, 5);
+    }
+
+    #[test]
+    fn boxed_clone_snapshots_state() {
+        let mut p = RingProcess::new(0, 2);
+        let snap = p.clone_boxed();
+        p.apply(&RingAction::Pass { from: 0, to: 1 });
+        let mut buf = Vec::new();
+        snap.enabled_outputs(&mut buf);
+        assert_eq!(buf.len(), 1, "snapshot still holds the token");
+    }
+}

@@ -1,0 +1,143 @@
+//! Schedules (operation sequences) and projections.
+
+use std::fmt;
+
+/// The schedule of an execution: the sequence of operations performed, in
+/// order. States are deliberately absent — the paper's "operational style of
+/// reasoning" works on schedules, and so do all our checkers.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Schedule<A>(pub Vec<A>);
+
+impl<A> Schedule<A> {
+    /// The empty schedule.
+    pub fn new() -> Self {
+        Schedule(Vec::new())
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if no events have occurred.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, a: A) {
+        self.0.push(a);
+    }
+
+    /// Iterate the events in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, A> {
+        self.0.iter()
+    }
+
+    /// Borrow the events as a slice.
+    pub fn as_slice(&self) -> &[A] {
+        &self.0
+    }
+
+    /// The projection `α|P` for the predicate `P`: the subsequence of events
+    /// satisfying `keep`.
+    pub fn project(&self, keep: impl FnMut(&A) -> bool) -> Schedule<A>
+    where
+        A: Clone,
+    {
+        Schedule(project(&self.0, keep))
+    }
+}
+
+impl<A> Default for Schedule<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A> From<Vec<A>> for Schedule<A> {
+    fn from(v: Vec<A>) -> Self {
+        Schedule(v)
+    }
+}
+
+impl<A> IntoIterator for Schedule<A> {
+    type Item = A;
+    type IntoIter = std::vec::IntoIter<A>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a, A> IntoIterator for &'a Schedule<A> {
+    type Item = &'a A;
+    type IntoIter = std::slice::Iter<'a, A>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl<A: fmt::Debug> fmt::Debug for Schedule<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Schedule[{} events]", self.0.len())?;
+        for (i, a) in self.0.iter().enumerate() {
+            writeln!(f, "  {i:4}: {a:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Free-standing projection over a slice: the subsequence whose elements
+/// satisfy `keep`, preserving order.
+pub fn project<A: Clone>(events: &[A], mut keep: impl FnMut(&A) -> bool) -> Vec<A> {
+    events.iter().filter(|a| keep(a)).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut s = Schedule::new();
+        assert!(s.is_empty());
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn projection_preserves_order() {
+        let s: Schedule<i32> = vec![5, 1, 4, 2, 3].into();
+        let p = s.project(|&x| x % 2 == 1);
+        assert_eq!(p.as_slice(), &[5, 1, 3]);
+    }
+
+    #[test]
+    fn projection_of_projection_composes() {
+        let s: Schedule<i32> = (0..20).collect::<Vec<_>>().into();
+        let a = s.project(|&x| x % 2 == 0).project(|&x| x % 3 == 0);
+        let b = s.project(|&x| x % 6 == 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iteration() {
+        let s: Schedule<char> = vec!['a', 'b'].into();
+        let collected: String = s.iter().collect();
+        assert_eq!(collected, "ab");
+        let owned: Vec<char> = s.into_iter().collect();
+        assert_eq!(owned, vec!['a', 'b']);
+    }
+
+    #[test]
+    fn debug_format_lists_events() {
+        let s: Schedule<i32> = vec![7].into();
+        let d = format!("{s:?}");
+        assert!(d.contains("1 events"));
+        assert!(d.contains('7'));
+    }
+}

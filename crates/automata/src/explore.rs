@@ -1,0 +1,261 @@
+//! Drivers that resolve scheduler nondeterminism.
+//!
+//! A composed [`System`] usually has many enabled outputs; which one fires
+//! next is the source of all nondeterminism in the model (every automaton is
+//! deterministic per action). This module provides the two resolution
+//! strategies the experiment suite needs:
+//!
+//! * [`random_walk`] — seeded pseudo-random executions, for statistical
+//!   checking over large systems (experiment E1);
+//! * [`explore_all`] — bounded exhaustive DFS over *all* executions of a
+//!   small system, for small-scope verification (experiment E2).
+//!
+//! To keep this crate dependency-free, randomness is injected as a
+//! `FnMut(usize) -> usize` chooser; `ntx-sim` supplies `rand`-backed
+//! choosers and weighted policies.
+
+use crate::execution::Schedule;
+use crate::system::System;
+
+/// Outcome of a bounded exhaustive exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExploreStats {
+    /// Number of maximal (quiescent or depth-capped) schedules visited.
+    pub schedules: usize,
+    /// Number of schedules that hit the depth cap before quiescence.
+    pub truncated: usize,
+    /// Total steps performed across all branches.
+    pub steps: usize,
+    /// `true` if the exploration stopped early because the schedule budget
+    /// was exhausted.
+    pub budget_exhausted: bool,
+}
+
+/// Configuration for [`explore_all`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Maximum schedule length per branch; branches reaching the cap are
+    /// reported as truncated maximal schedules.
+    pub max_depth: usize,
+    /// Maximum number of maximal schedules to visit before giving up.
+    pub max_schedules: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_depth: 64,
+            max_schedules: 1_000_000,
+        }
+    }
+}
+
+/// Run `sys` until quiescence or `max_steps`, choosing uniformly among
+/// enabled outputs via the caller-supplied `choose` function. Returns the
+/// resulting schedule.
+pub fn random_walk<A: Clone + PartialEq + std::fmt::Debug>(
+    mut sys: System<A>,
+    max_steps: usize,
+    choose: impl FnMut(usize) -> usize,
+) -> Schedule<A> {
+    sys.run_with(max_steps, choose);
+    sys.into_schedule()
+}
+
+/// Exhaustively enumerate every execution of `sys` (up to the bounds in
+/// `cfg`), invoking `visit` with each *maximal* schedule: one that is
+/// quiescent (no enabled output) or has reached `cfg.max_depth`.
+///
+/// `visit` receives the schedule and whether it was truncated by the depth
+/// cap, and returns `true` to continue exploring or `false` to abort the
+/// whole exploration early (e.g. on the first counterexample).
+///
+/// Exploration clones the system at each branch point; this is exponential
+/// and intended for small-scope checking only.
+pub fn explore_all<A: Clone + PartialEq + std::fmt::Debug>(
+    sys: &System<A>,
+    cfg: ExploreConfig,
+    mut visit: impl FnMut(&Schedule<A>, bool) -> bool,
+) -> ExploreStats {
+    let mut stats = ExploreStats::default();
+    let mut aborted = false;
+    dfs(sys, cfg, &mut stats, &mut visit, &mut aborted);
+    stats
+}
+
+fn dfs<A: Clone + PartialEq + std::fmt::Debug>(
+    sys: &System<A>,
+    cfg: ExploreConfig,
+    stats: &mut ExploreStats,
+    visit: &mut impl FnMut(&Schedule<A>, bool) -> bool,
+    aborted: &mut bool,
+) {
+    if *aborted {
+        return;
+    }
+    if stats.schedules >= cfg.max_schedules {
+        stats.budget_exhausted = true;
+        *aborted = true;
+        return;
+    }
+    let enabled = sys.enabled_outputs();
+    let at_cap = sys.schedule().len() >= cfg.max_depth;
+    if enabled.is_empty() || at_cap {
+        stats.schedules += 1;
+        if at_cap && !enabled.is_empty() {
+            stats.truncated += 1;
+        }
+        if !visit(sys.schedule(), at_cap && !enabled.is_empty()) {
+            *aborted = true;
+        }
+        return;
+    }
+    for a in &enabled {
+        let mut branch = sys.clone();
+        branch.perform(a);
+        stats.steps += 1;
+        dfs(&branch, cfg, stats, visit, aborted);
+        if *aborted {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{Automaton, BoxedAutomaton};
+
+    // `Automaton` is implemented below for the test `Chooser`.
+
+    /// A counter that may either increment or stop; `2^k`-ish branching.
+    #[derive(Clone)]
+    struct Chooser {
+        id: usize,
+        fired: bool,
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    enum Pick {
+        A(usize),
+        B(usize),
+    }
+
+    impl Automaton for Chooser {
+        type Action = Pick;
+
+        fn name(&self) -> String {
+            format!("chooser-{}", self.id)
+        }
+
+        fn is_operation_of(&self, a: &Pick) -> bool {
+            match *a {
+                Pick::A(i) | Pick::B(i) => i == self.id,
+            }
+        }
+
+        fn is_output_of(&self, a: &Pick) -> bool {
+            self.is_operation_of(a)
+        }
+
+        fn enabled_outputs(&self, buf: &mut Vec<Pick>) {
+            if !self.fired {
+                buf.push(Pick::A(self.id));
+                buf.push(Pick::B(self.id));
+            }
+        }
+
+        fn is_enabled(&self, a: &Pick) -> bool {
+            !self.fired && self.is_operation_of(a)
+        }
+
+        fn apply(&mut self, _a: &Pick) {
+            assert!(!self.fired);
+            self.fired = true;
+        }
+
+        fn clone_boxed(&self) -> BoxedAutomaton<Pick> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn choosers(n: usize) -> System<Pick> {
+        System::new(
+            (0..n)
+                .map(|id| Box::new(Chooser { id, fired: false }) as _)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn explore_counts_all_interleavings() {
+        // Each of 3 choosers picks A or B once; orders matter too:
+        // schedules = 3! * 2^3 = 48.
+        let stats = explore_all(&choosers(3), ExploreConfig::default(), |_, _| true);
+        assert_eq!(stats.schedules, 48);
+        assert_eq!(stats.truncated, 0);
+        assert!(!stats.budget_exhausted);
+    }
+
+    #[test]
+    fn explore_respects_depth_cap() {
+        let cfg = ExploreConfig {
+            max_depth: 1,
+            max_schedules: 1_000_000,
+        };
+        let stats = explore_all(&choosers(2), cfg, |s, truncated| {
+            assert_eq!(s.len(), 1);
+            assert!(truncated);
+            true
+        });
+        // 4 first moves, each truncated.
+        assert_eq!(stats.schedules, 4);
+        assert_eq!(stats.truncated, 4);
+    }
+
+    #[test]
+    fn explore_early_abort() {
+        let mut seen = 0;
+        let stats = explore_all(&choosers(3), ExploreConfig::default(), |_, _| {
+            seen += 1;
+            seen < 5
+        });
+        assert_eq!(seen, 5);
+        assert_eq!(stats.schedules, 5);
+    }
+
+    #[test]
+    fn explore_budget() {
+        let cfg = ExploreConfig {
+            max_depth: 64,
+            max_schedules: 10,
+        };
+        let stats = explore_all(&choosers(3), cfg, |_, _| true);
+        assert!(stats.budget_exhausted);
+        assert_eq!(stats.schedules, 10);
+    }
+
+    #[test]
+    fn random_walk_reaches_quiescence() {
+        // Deterministic chooser: always pick the last enabled action.
+        let sched = random_walk(choosers(4), 100, |n| n - 1);
+        assert_eq!(sched.len(), 4);
+    }
+
+    #[test]
+    fn random_walk_respects_step_cap() {
+        let sched = random_walk(choosers(4), 2, |_| 0);
+        assert_eq!(sched.len(), 2);
+    }
+
+    #[test]
+    fn visited_schedules_are_distinct() {
+        use std::collections::HashSet;
+        let mut seen: HashSet<Vec<Pick>> = HashSet::new();
+        explore_all(&choosers(2), ExploreConfig::default(), |s, _| {
+            assert!(seen.insert(s.as_slice().to_vec()), "duplicate schedule");
+            true
+        });
+        assert_eq!(seen.len(), 8); // 2! * 2^2
+    }
+}

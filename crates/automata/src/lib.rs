@@ -1,0 +1,41 @@
+//! # ntx-automata — an executable I/O automaton framework
+//!
+//! The PODS 1987 paper models every system component — transactions, data
+//! objects and schedulers — as an *I/O automaton* (Lynch–Tuttle): a state
+//! machine whose operations are partitioned into *inputs* (triggered by the
+//! environment, always enabled) and *outputs* (triggered by the automaton
+//! itself, enabled only when the automaton's preconditions hold). Automata
+//! are *composed* by synchronising on shared operations; every operation of
+//! the composition is an output of at most one component, which is said to
+//! control it.
+//!
+//! This crate implements the executable fragment of that model used by the
+//! rest of the workspace:
+//!
+//! * [`Automaton`] — a component with internal state, classification of
+//!   operations, enabling predicates and transitions. The paper permits
+//!   several `(s', π, s)` steps for the same `π`; all the automata the paper
+//!   actually defines are deterministic *per action* (nondeterminism lives in
+//!   the choice of which enabled action fires), so `apply` is a function.
+//! * [`System`] — a composition of boxed automata sharing an action type,
+//!   with enabled-output enumeration and step application, recording the
+//!   execution's [`Schedule`].
+//! * [`explore`] — drivers that resolve the nondeterministic choice of the
+//!   next output: seeded random walks and bounded exhaustive DFS, used for
+//!   randomised and small-scope checking of the paper's Theorem 34.
+//!
+//! The paper's *Input Condition* ("an I/O automaton must be prepared to
+//! receive any input operation at any time") is honoured by making
+//! [`Automaton::apply`] total over inputs: automata absorb any input in any
+//! state. Well-formedness of the resulting schedules is a separate, checked
+//! property (see `ntx-model`'s well-formedness module), exactly as in the
+//! paper.
+
+mod automaton;
+mod execution;
+pub mod explore;
+mod system;
+
+pub use automaton::{Automaton, BoxedAutomaton};
+pub use execution::{project, Schedule};
+pub use system::{ReplayError, System};

@@ -1,0 +1,296 @@
+//! Composition of I/O automata.
+
+use crate::automaton::BoxedAutomaton;
+use crate::execution::Schedule;
+
+/// A composition of I/O automata over a common action alphabet.
+///
+/// Mirrors the paper's composition operator: the state of the composed
+/// automaton is the tuple of component states, its operations are the union
+/// of component operations, and during an operation every component sharing
+/// it takes a step while the others stand still. Every output is controlled
+/// by exactly one component.
+///
+/// The system records the schedule of the execution performed so far.
+pub struct System<A> {
+    components: Vec<BoxedAutomaton<A>>,
+    schedule: Schedule<A>,
+}
+
+impl<A: Clone + PartialEq + std::fmt::Debug> System<A> {
+    /// Compose `components` into a system.
+    pub fn new(components: Vec<BoxedAutomaton<A>>) -> Self {
+        System {
+            components,
+            schedule: Schedule::new(),
+        }
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The schedule of the execution so far.
+    pub fn schedule(&self) -> &Schedule<A> {
+        &self.schedule
+    }
+
+    /// Consume the system, returning the recorded schedule.
+    pub fn into_schedule(self) -> Schedule<A> {
+        self.schedule
+    }
+
+    /// All output actions currently enabled in some component.
+    ///
+    /// Checks dynamically that no action is claimed as an output by two
+    /// components (the composition side-condition "output operations are
+    /// pairwise disjoint").
+    pub fn enabled_outputs(&self) -> Vec<A> {
+        let mut all = Vec::new();
+        let mut buf = Vec::new();
+        for (i, c) in self.components.iter().enumerate() {
+            buf.clear();
+            c.enabled_outputs(&mut buf);
+            for a in &buf {
+                debug_assert!(
+                    c.is_output_of(a),
+                    "component {} enabled an action it does not control: {a:?}",
+                    c.name()
+                );
+                for other in &self.components[i + 1..] {
+                    assert!(
+                        !other.is_output_of(a),
+                        "action {a:?} is an output of both {} and {}",
+                        c.name(),
+                        other.name()
+                    );
+                }
+            }
+            all.extend(buf.iter().cloned());
+        }
+        all
+    }
+
+    /// Perform action `a`: every component sharing `a` takes a step.
+    ///
+    /// `a` must be an enabled output of its controlling component (or a pure
+    /// environment input that no component controls); this is the caller's
+    /// responsibility — drivers obtain `a` from
+    /// [`enabled_outputs`](System::enabled_outputs).
+    pub fn perform(&mut self, a: &A) {
+        for c in &mut self.components {
+            if c.is_operation_of(a) {
+                c.apply(a);
+            }
+        }
+        self.schedule.push(a.clone());
+    }
+
+    /// `true` if no component has an enabled output (the system is
+    /// quiescent; only environment inputs could move it).
+    pub fn is_quiescent(&self) -> bool {
+        let mut buf = Vec::new();
+        for c in &self.components {
+            c.enabled_outputs(&mut buf);
+            if !buf.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Access a component by index (diagnostics, checker replay).
+    pub fn component(&self, i: usize) -> &dyn crate::Automaton<Action = A> {
+        self.components[i].as_ref()
+    }
+
+    /// Replay a pre-recorded sequence of actions against this system,
+    /// checking that it *is* a schedule of the composition: every action
+    /// controlled by some component must be enabled in that component when
+    /// it fires. Actions controlled by no component (pure environment
+    /// inputs) are applied unconditionally.
+    ///
+    /// On failure returns the index of the offending action and the name of
+    /// the component that refused it.
+    pub fn replay(&mut self, events: &[A]) -> Result<(), ReplayError> {
+        for (i, a) in events.iter().enumerate() {
+            for c in &self.components {
+                if c.is_output_of(a) && !c.is_enabled(a) {
+                    return Err(ReplayError {
+                        index: i,
+                        component: c.name(),
+                    });
+                }
+            }
+            self.perform(a);
+        }
+        Ok(())
+    }
+
+    /// Run until quiescent or `max_steps` performed, resolving the
+    /// nondeterministic choice among enabled outputs with `choose`
+    /// (`choose(n)` must return an index `< n`). Returns the number of steps
+    /// taken.
+    pub fn run_with(&mut self, max_steps: usize, mut choose: impl FnMut(usize) -> usize) -> usize {
+        let mut steps = 0;
+        while steps < max_steps {
+            let enabled = self.enabled_outputs();
+            if enabled.is_empty() {
+                break;
+            }
+            let idx = choose(enabled.len());
+            assert!(idx < enabled.len(), "chooser returned out-of-range index");
+            self.perform(&enabled[idx]);
+            steps += 1;
+        }
+        steps
+    }
+}
+
+/// Failure of [`System::replay`]: `events[index]` was an output of
+/// `component` but was not enabled there.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplayError {
+    /// Index of the refused action in the replayed sequence.
+    pub index: usize,
+    /// Name of the component that controls the action but had it disabled.
+    pub component: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event {} not enabled at component {}",
+            self.index, self.component
+        )
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl<A> Clone for System<A>
+where
+    A: Clone,
+{
+    fn clone(&self) -> Self {
+        System {
+            components: self.components.clone(),
+            schedule: self.schedule.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::testutil::{RingAction, RingProcess};
+
+    fn ring(n: usize) -> System<RingAction> {
+        let comps: Vec<BoxedAutomaton<RingAction>> = (0..n)
+            .map(|i| Box::new(RingProcess::new(i, n)) as _)
+            .collect();
+        System::new(comps)
+    }
+
+    #[test]
+    fn single_enabled_output() {
+        let sys = ring(3);
+        let enabled = sys.enabled_outputs();
+        assert_eq!(enabled, vec![RingAction::Pass { from: 0, to: 1 }]);
+        assert!(!sys.is_quiescent());
+    }
+
+    #[test]
+    fn token_circulates_deterministically() {
+        let mut sys = ring(4);
+        let steps = sys.run_with(8, |_| 0);
+        assert_eq!(steps, 8, "token ring never quiesces on its own");
+        // After 8 passes in a 4-ring the token is back at process 0.
+        let enabled = sys.enabled_outputs();
+        assert_eq!(enabled, vec![RingAction::Pass { from: 0, to: 1 }]);
+        assert_eq!(sys.schedule().len(), 8);
+    }
+
+    #[test]
+    fn environment_input_reaches_all_components() {
+        let mut sys = ring(2);
+        sys.perform(&RingAction::Log);
+        sys.perform(&RingAction::Log);
+        assert_eq!(sys.schedule().len(), 2);
+        // Both components saw both logs: outputs unchanged, no panic.
+        assert_eq!(sys.enabled_outputs().len(), 1);
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let mut sys = ring(2);
+        let snap = sys.clone();
+        sys.run_with(3, |_| 0);
+        assert_eq!(snap.schedule().len(), 0);
+        assert_eq!(sys.schedule().len(), 3);
+        assert_eq!(
+            snap.enabled_outputs(),
+            vec![RingAction::Pass { from: 0, to: 1 }]
+        );
+    }
+
+    #[test]
+    fn projection_of_system_schedule() {
+        let mut sys = ring(2);
+        sys.perform(&RingAction::Log);
+        sys.run_with(2, |_| 0);
+        let logs = sys.schedule().project(|a| matches!(a, RingAction::Log));
+        assert_eq!(logs.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "output of both")]
+    fn duplicate_controllers_detected() {
+        // Two copies of process 0 both control Pass{from:0,..}.
+        let comps: Vec<BoxedAutomaton<RingAction>> = vec![
+            Box::new(RingProcess::new(0, 2)) as _,
+            Box::new(RingProcess::new(0, 2)) as _,
+        ];
+        let sys = System::new(comps);
+        let _ = sys.enabled_outputs();
+    }
+
+    #[test]
+    fn replay_accepts_own_schedule() {
+        let mut sys = ring(3);
+        sys.run_with(5, |_| 0);
+        let sched = sys.schedule().clone();
+        let mut fresh = ring(3);
+        fresh.replay(sched.as_slice()).unwrap();
+        assert_eq!(fresh.schedule(), &sched);
+    }
+
+    #[test]
+    fn replay_rejects_disabled_output() {
+        let mut sys = ring(3);
+        // Process 1 does not hold the token initially.
+        let err = sys
+            .replay(&[RingAction::Pass { from: 1, to: 2 }])
+            .unwrap_err();
+        assert_eq!(err.index, 0);
+        assert_eq!(err.component, "ring-1");
+        assert!(err.to_string().contains("ring-1"));
+    }
+
+    #[test]
+    fn replay_applies_environment_inputs() {
+        let mut sys = ring(2);
+        sys.replay(&[RingAction::Log, RingAction::Pass { from: 0, to: 1 }])
+            .unwrap();
+        assert_eq!(sys.schedule().len(), 2);
+    }
+
+    #[test]
+    fn component_access() {
+        let sys = ring(2);
+        assert_eq!(sys.component(1).name(), "ring-1");
+        assert_eq!(sys.component_count(), 2);
+    }
+}

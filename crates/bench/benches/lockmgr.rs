@@ -1,0 +1,92 @@
+//! E6 (Table 3): lock-manager micro-costs.
+//!
+//! Measures the primitive operations of Moss' algorithm in the runtime:
+//! read/write acquisition at varying nesting depth, commit-time lock
+//! inheritance along a chain, and abort-time version restoration.
+//!
+//! Run with: `cargo bench -p ntx-bench --bench lockmgr`
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntx_runtime::{RtConfig, Tx, TxManager};
+
+/// Build a transaction nested `depth` levels under a fresh top-level tx.
+fn nest(mgr: &TxManager, depth: usize) -> Vec<Tx> {
+    let mut chain = vec![mgr.begin()];
+    for _ in 0..depth {
+        let child = chain.last().unwrap().child().unwrap();
+        chain.push(child);
+    }
+    chain
+}
+
+fn bench_acquire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("acquire");
+    for depth in [0usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("read", depth), &depth, |b, &d| {
+            let mgr = TxManager::new(RtConfig::default());
+            let obj = mgr.register("x", 0i64);
+            let chain = nest(&mgr, d);
+            let leaf = chain.last().unwrap();
+            b.iter(|| leaf.read(&obj, |v| *v).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("write", depth), &depth, |b, &d| {
+            let mgr = TxManager::new(RtConfig::default());
+            let obj = mgr.register("x", 0i64);
+            let chain = nest(&mgr, d);
+            let leaf = chain.last().unwrap();
+            b.iter(|| leaf.write(&obj, |v| *v += 1).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_commit_inheritance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit-chain");
+    for depth in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let mgr = TxManager::new(RtConfig::default());
+            let obj = mgr.register("x", 0i64);
+            b.iter(|| {
+                // Write at the bottom of a d-deep chain, then commit the
+                // whole chain upward: d lock inheritances + 1 publish.
+                let chain = nest(&mgr, d);
+                chain.last().unwrap().write(&obj, |v| *v += 1).unwrap();
+                for tx in chain.iter().rev() {
+                    tx.commit().unwrap();
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_abort_restore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abort-restore");
+    for objects in [1usize, 8, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(objects), &objects, |b, &n| {
+            let mgr = TxManager::new(RtConfig::default());
+            let objs: Vec<_> = (0..n)
+                .map(|i| mgr.register(format!("o{i}"), [0u64; 8]))
+                .collect();
+            b.iter(|| {
+                let tx = mgr.begin();
+                let child = tx.child().unwrap();
+                for o in &objs {
+                    child.write(o, |v| v[0] += 1).unwrap();
+                }
+                child.abort(); // discard n versions
+                tx.commit().unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_acquire, bench_commit_inheritance, bench_abort_restore
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Micro-costs of the verification machinery itself: serializer absorption
+//! and full Theorem 34 checking per schedule, as a function of workload
+//! size. Keeps the formal-model tooling honest about scalability.
+//!
+//! Run with: `cargo bench -p ntx-bench --bench serializer`
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntx_model::correctness::check_serial_correctness;
+use ntx_model::serializer::Serializer;
+use ntx_sim::workload::{Workload, WorkloadConfig};
+use ntx_sim::{run_concurrent, DrivePolicy};
+
+fn schedules(top_level: usize) -> (Workload, Vec<ntx_model::Action>) {
+    let cfg = WorkloadConfig {
+        top_level,
+        depth: 1,
+        fanout: 2,
+        ..Default::default()
+    };
+    let w = Workload::generate(&cfg, 3);
+    let out = run_concurrent(&w.spec, 5, &DrivePolicy::default());
+    (w, out.schedule.into_iter().collect())
+}
+
+fn bench_serializer_absorb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serializer-absorb");
+    for top in [2usize, 4, 8] {
+        let (w, events) = schedules(top);
+        g.throughput(Throughput::Elements(events.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(top), &top, |b, _| {
+            b.iter(|| {
+                let mut s = Serializer::new(w.spec.tree.clone());
+                s.absorb_all(&events);
+                s.witness(ntx_tree::TxTree::ROOT).unwrap().len()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem34-check");
+    for top in [2usize, 4, 8] {
+        let (w, events) = schedules(top);
+        g.throughput(Throughput::Elements(events.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(top), &top, |b, _| {
+            b.iter(|| {
+                let report = check_serial_correctness(&w.spec, &events);
+                assert!(report.ok());
+                report.transactions_checked
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_serializer_absorb, bench_full_check
+}
+criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! Traced execution sessions over the runtime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ntx_runtime::{ObjRef, Tx, TxError, TxManager};
+
+/// One recorded runtime event. Object states are `i64` counters and the
+/// only write is `add` — rich enough to exercise every locking path while
+/// keeping observed values replayable against the model's counter
+/// semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A transaction began (`parent == None` for top level).
+    Begin {
+        /// Trace-local transaction id.
+        tx: u64,
+        /// Parent transaction, if nested.
+        parent: Option<u64>,
+    },
+    /// A read access: observed `value` on `obj`.
+    Read {
+        /// Reading transaction.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+        /// The value the runtime returned.
+        value: i64,
+    },
+    /// A write access: added `delta` to `obj`, observing the new `value`.
+    Add {
+        /// Writing transaction.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+        /// Amount added.
+        delta: i64,
+        /// The post-write value the runtime returned.
+        value: i64,
+    },
+    /// The transaction committed.
+    Commit {
+        /// Committing transaction.
+        tx: u64,
+    },
+    /// The transaction (and its subtree) aborted.
+    Abort {
+        /// Aborting transaction.
+        tx: u64,
+    },
+}
+
+/// A linearised record of a runtime execution.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Events in linearisation order.
+    pub events: Vec<TraceEvent>,
+    /// Number of counter objects in the session.
+    pub objects: usize,
+}
+
+/// Handle for a traced transaction.
+pub struct TracedTx {
+    id: u64,
+    tx: Tx,
+}
+
+impl TracedTx {
+    /// Trace-local id of this transaction.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A workload session whose every operation is both executed on a real
+/// [`TxManager`] and recorded for model replay.
+///
+/// The recorder mutex is held across each runtime call, so the recorded
+/// order is a valid linearisation of the execution (operations of
+/// *different* threads interleave freely between events; conflicting data
+/// operations are additionally ordered by the locks themselves).
+pub struct ConformanceSession {
+    mgr: TxManager,
+    objects: Vec<ObjRef<i64>>,
+    log: Arc<Mutex<Vec<TraceEvent>>>,
+    next_id: AtomicU64,
+}
+
+impl ConformanceSession {
+    /// Start a session over `objects` fresh counter objects (initial 0).
+    pub fn new(mgr: TxManager, objects: usize) -> Self {
+        let objects = (0..objects)
+            .map(|i| mgr.register(format!("c{i}"), 0i64))
+            .collect();
+        ConformanceSession {
+            mgr,
+            objects,
+            log: Arc::new(Mutex::new(Vec::new())),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Access the underlying manager.
+    pub fn manager(&self) -> &TxManager {
+        &self.mgr
+    }
+
+    /// Begin a traced top-level transaction.
+    pub fn begin(&self) -> TracedTx {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut log = self.log.lock();
+        let tx = self.mgr.begin();
+        log.push(TraceEvent::Begin {
+            tx: id,
+            parent: None,
+        });
+        TracedTx { id, tx }
+    }
+
+    /// Begin a traced child of `parent`.
+    pub fn child(&self, parent: &TracedTx) -> Result<TracedTx, TxError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut log = self.log.lock();
+        let tx = parent.tx.child()?;
+        log.push(TraceEvent::Begin {
+            tx: id,
+            parent: Some(parent.id),
+        });
+        Ok(TracedTx { id, tx })
+    }
+
+    /// Traced read of counter `obj`.
+    pub fn read(&self, t: &TracedTx, obj: usize) -> Result<i64, TxError> {
+        let mut log = self.log.lock();
+        let value = t.tx.read(&self.objects[obj], |v| *v)?;
+        log.push(TraceEvent::Read {
+            tx: t.id,
+            obj,
+            value,
+        });
+        Ok(value)
+    }
+
+    /// Traced add to counter `obj`; returns the new value.
+    pub fn add(&self, t: &TracedTx, obj: usize, delta: i64) -> Result<i64, TxError> {
+        let mut log = self.log.lock();
+        let value = t.tx.write(&self.objects[obj], |v| {
+            *v += delta;
+            *v
+        })?;
+        log.push(TraceEvent::Add {
+            tx: t.id,
+            obj,
+            delta,
+            value,
+        });
+        Ok(value)
+    }
+
+    /// Traced commit.
+    pub fn commit(&self, t: &TracedTx) -> Result<(), TxError> {
+        let mut log = self.log.lock();
+        t.tx.commit()?;
+        log.push(TraceEvent::Commit { tx: t.id });
+        Ok(())
+    }
+
+    /// Traced abort (aborts the whole subtree, as the runtime does).
+    pub fn abort(&self, t: &TracedTx) {
+        let mut log = self.log.lock();
+        t.tx.abort();
+        log.push(TraceEvent::Abort { tx: t.id });
+    }
+
+    /// Finish the session, returning the trace.
+    pub fn finish(self) -> Trace {
+        let events = std::mem::take(&mut *self.log.lock());
+        Trace {
+            events,
+            objects: self.objects.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntx_runtime::RtConfig;
+
+    #[test]
+    fn session_records_events_in_order() {
+        let s = ConformanceSession::new(TxManager::new(RtConfig::default()), 2);
+        let t = s.begin();
+        s.add(&t, 0, 3).unwrap();
+        let c = s.child(&t).unwrap();
+        assert_eq!(s.read(&c, 0).unwrap(), 3);
+        s.commit(&c).unwrap();
+        s.commit(&t).unwrap();
+        let trace = s.finish();
+        assert_eq!(trace.objects, 2);
+        assert_eq!(trace.events.len(), 6);
+        assert!(matches!(
+            trace.events[0],
+            TraceEvent::Begin { parent: None, .. }
+        ));
+        assert!(matches!(
+            trace.events[1],
+            TraceEvent::Add {
+                value: 3,
+                delta: 3,
+                ..
+            }
+        ));
+        assert!(matches!(
+            trace.events[2],
+            TraceEvent::Begin {
+                parent: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(trace.events[3], TraceEvent::Read { value: 3, .. }));
+        assert!(matches!(trace.events[5], TraceEvent::Commit { .. }));
+    }
+
+    #[test]
+    fn aborted_subtree_recorded_once() {
+        let s = ConformanceSession::new(TxManager::new(RtConfig::default()), 1);
+        let t = s.begin();
+        let c = s.child(&t).unwrap();
+        s.add(&c, 0, 1).unwrap();
+        s.abort(&c);
+        s.commit(&t).unwrap();
+        let trace = s.finish();
+        let aborts = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Abort { .. }))
+            .count();
+        assert_eq!(aborts, 1);
+    }
+}

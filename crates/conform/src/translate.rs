@@ -1,0 +1,334 @@
+//! Trace → model translation and the conformance check itself.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ntx_model::correctness::check_serial_correctness;
+use ntx_model::{Action, StdSemantics, SystemSpec, Value};
+use ntx_tree::{AccessKind, ObjectId, TxId, TxTree, TxTreeBuilder};
+
+use crate::session::{Trace, TraceEvent};
+
+/// Options for [`trace_to_model`] / [`check_trace`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TranslateOptions {
+    /// Treat reads as writes in the model's lock objects — set when the
+    /// traced runtime ran in `LockMode::Exclusive`.
+    pub exclusive: bool,
+    /// Enable the footnote-8 optimisation in the model's lock objects —
+    /// set when the traced runtime ran with
+    /// `drop_read_lock_when_write_held`.
+    pub footnote8: bool,
+}
+
+/// Rebuild the paper's world from a trace: the system type whose access
+/// leaves are the observed operations, and the operation sequence that the
+/// runtime's execution corresponds to.
+///
+/// Mapping: each traced transaction is an internal node; each observed
+/// read/add is an access leaf under its transaction that is created,
+/// responds with the *observed* value, commits and is informed at its
+/// object immediately (the runtime grants locks directly to transactions,
+/// which is `M(X)` after the access's inform). Transaction commits/aborts
+/// become `COMMIT`/`ABORT` plus the corresponding informs.
+pub fn trace_to_model(
+    trace: &Trace,
+    options: TranslateOptions,
+) -> (SystemSpec<StdSemantics>, Vec<Action>) {
+    // Pass 1: the tree.
+    let mut b = TxTreeBuilder::new();
+    let objects: Vec<ObjectId> = (0..trace.objects)
+        .map(|i| b.object(format!("c{i}")))
+        .collect();
+    let mut node_of: HashMap<u64, TxId> = HashMap::new();
+    let mut leaf_of_event: Vec<Option<TxId>> = Vec::with_capacity(trace.events.len());
+    for (i, ev) in trace.events.iter().enumerate() {
+        match *ev {
+            TraceEvent::Begin { tx, parent } => {
+                let p = parent.map_or(TxTree::ROOT, |p| node_of[&p]);
+                let node = b.internal(p, format!("tx{tx}"));
+                node_of.insert(tx, node);
+                leaf_of_event.push(None);
+            }
+            TraceEvent::Read { tx, obj, .. } => {
+                let leaf = b.access(
+                    node_of[&tx],
+                    format!("r{i}"),
+                    objects[obj],
+                    AccessKind::Read,
+                    0,
+                    0,
+                );
+                leaf_of_event.push(Some(leaf));
+            }
+            TraceEvent::Add { tx, obj, delta, .. } => {
+                let leaf = b.access(
+                    node_of[&tx],
+                    format!("w{i}"),
+                    objects[obj],
+                    AccessKind::Write,
+                    0,
+                    delta,
+                );
+                leaf_of_event.push(Some(leaf));
+            }
+            _ => leaf_of_event.push(None),
+        }
+    }
+    let tree = Arc::new(b.build());
+
+    // Pass 2: the operation sequence.
+    let mut actions = vec![Action::Create(TxTree::ROOT)];
+    for (i, ev) in trace.events.iter().enumerate() {
+        match *ev {
+            TraceEvent::Begin { tx, .. } => {
+                let node = node_of[&tx];
+                actions.push(Action::RequestCreate(node));
+                actions.push(Action::Create(node));
+            }
+            TraceEvent::Read { obj, value, .. } | TraceEvent::Add { obj, value, .. } => {
+                let leaf = leaf_of_event[i].expect("access events have leaves");
+                let x = objects[obj];
+                actions.push(Action::RequestCreate(leaf));
+                actions.push(Action::Create(leaf));
+                actions.push(Action::RequestCommit(leaf, Value(value)));
+                actions.push(Action::Commit(leaf));
+                actions.push(Action::InformCommit(x, leaf));
+                actions.push(Action::ReportCommit(leaf, Value(value)));
+            }
+            TraceEvent::Commit { tx } => {
+                let node = node_of[&tx];
+                actions.push(Action::RequestCommit(node, Value(0)));
+                actions.push(Action::Commit(node));
+                for &x in &objects {
+                    actions.push(Action::InformCommit(x, node));
+                }
+                actions.push(Action::ReportCommit(node, Value(0)));
+            }
+            TraceEvent::Abort { tx } => {
+                let node = node_of[&tx];
+                actions.push(Action::Abort(node));
+                for &x in &objects {
+                    actions.push(Action::InformAbort(x, node));
+                }
+                actions.push(Action::ReportAbort(node));
+            }
+        }
+    }
+
+    let semantics = vec![StdSemantics::counter(0); trace.objects];
+    let mut spec = SystemSpec::new(tree, semantics).with_blackbox_transactions();
+    spec.lock_config.treat_reads_as_writes = options.exclusive;
+    spec.lock_config.drop_read_lock_when_write_held = options.footnote8;
+    (spec, actions)
+}
+
+/// The conformance verdict for one trace.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// Translated operation count.
+    pub actions: usize,
+    /// `None` = the trace replays as a schedule of the R/W Locking system;
+    /// `Some(msg)` = the replay was refused (lock discipline or value
+    /// mismatch between runtime and model).
+    pub schedule_error: Option<String>,
+    /// Theorem 34 violations found on the translated schedule.
+    pub correctness_violations: Vec<String>,
+}
+
+impl ConformanceReport {
+    /// `true` when the trace fully conforms.
+    pub fn ok(&self) -> bool {
+        self.schedule_error.is_none() && self.correctness_violations.is_empty()
+    }
+}
+
+/// Check a runtime trace against the formal model (see crate docs).
+pub fn check_trace(trace: &Trace, options: TranslateOptions) -> ConformanceReport {
+    let (spec, actions) = trace_to_model(trace, options);
+    let schedule_error = spec
+        .is_concurrent_schedule(&actions)
+        .err()
+        .map(|e| format!("{e} — action {:?}", actions.get(e.index)));
+    let report = check_serial_correctness(&spec, &actions);
+    ConformanceReport {
+        actions: actions.len(),
+        schedule_error,
+        correctness_violations: report.violations.iter().map(|v| v.to_string()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ConformanceSession;
+    use ntx_runtime::{RtConfig, TxManager};
+    use std::time::Duration;
+
+    fn session(objects: usize) -> ConformanceSession {
+        let mgr = TxManager::new(RtConfig {
+            wait_timeout: Duration::from_millis(20),
+            ..Default::default()
+        });
+        ConformanceSession::new(mgr, objects)
+    }
+
+    #[test]
+    fn simple_nested_trace_conforms() {
+        let s = session(2);
+        let t = s.begin();
+        s.add(&t, 0, 5).unwrap();
+        let c = s.child(&t).unwrap();
+        assert_eq!(s.read(&c, 0).unwrap(), 5);
+        s.add(&c, 1, 2).unwrap();
+        s.commit(&c).unwrap();
+        s.commit(&t).unwrap();
+        let report = check_trace(&s.finish(), Default::default());
+        assert!(report.ok(), "{report:?}");
+    }
+
+    #[test]
+    fn interleaved_top_level_trace_conforms() {
+        let s = session(2);
+        let t1 = s.begin();
+        let t2 = s.begin();
+        s.add(&t1, 0, 1).unwrap();
+        s.add(&t2, 1, 10).unwrap();
+        assert_eq!(s.read(&t1, 0).unwrap(), 1);
+        s.commit(&t1).unwrap();
+        // Now t2 can touch object 0 (t1 published).
+        assert_eq!(s.add(&t2, 0, 1).unwrap(), 2);
+        s.commit(&t2).unwrap();
+        let report = check_trace(&s.finish(), Default::default());
+        assert!(report.ok(), "{report:?}");
+    }
+
+    #[test]
+    fn aborted_subtree_trace_conforms() {
+        let s = session(1);
+        let t = s.begin();
+        s.add(&t, 0, 3).unwrap();
+        let c = s.child(&t).unwrap();
+        s.add(&c, 0, 100).unwrap();
+        s.abort(&c);
+        // The parent sees its own value again.
+        assert_eq!(s.read(&t, 0).unwrap(), 3);
+        s.commit(&t).unwrap();
+        let report = check_trace(&s.finish(), Default::default());
+        assert!(report.ok(), "{report:?}");
+    }
+
+    #[test]
+    fn forged_value_is_rejected() {
+        // Hand-build a trace whose read observed a value the locking
+        // discipline cannot produce: the conformance check must refuse it.
+        let trace = Trace {
+            objects: 1,
+            events: vec![
+                TraceEvent::Begin {
+                    tx: 1,
+                    parent: None,
+                },
+                TraceEvent::Read {
+                    tx: 1,
+                    obj: 0,
+                    value: 42,
+                }, // counter is 0!
+                TraceEvent::Commit { tx: 1 },
+            ],
+        };
+        let report = check_trace(&trace, Default::default());
+        assert!(!report.ok());
+        assert!(report.schedule_error.is_some());
+    }
+
+    #[test]
+    fn forged_lock_violation_is_rejected() {
+        // A trace where a second top-level transaction reads a value that
+        // was never committed to the top: violates Moss' grant rule.
+        let trace = Trace {
+            objects: 1,
+            events: vec![
+                TraceEvent::Begin {
+                    tx: 1,
+                    parent: None,
+                },
+                TraceEvent::Add {
+                    tx: 1,
+                    obj: 0,
+                    delta: 7,
+                    value: 7,
+                },
+                TraceEvent::Begin {
+                    tx: 2,
+                    parent: None,
+                },
+                // t1 still holds the write lock: the model must refuse.
+                TraceEvent::Read {
+                    tx: 2,
+                    obj: 0,
+                    value: 7,
+                },
+                TraceEvent::Commit { tx: 1 },
+                TraceEvent::Commit { tx: 2 },
+            ],
+        };
+        let report = check_trace(&trace, Default::default());
+        assert!(!report.ok(), "dirty read accepted: {report:?}");
+    }
+
+    #[test]
+    fn footnote8_trace_conforms_with_flag() {
+        let mgr = TxManager::new(RtConfig {
+            drop_read_lock_when_write_held: true,
+            wait_timeout: Duration::from_millis(20),
+            ..Default::default()
+        });
+        let s = ConformanceSession::new(mgr, 1);
+        let t = s.begin();
+        let c = s.child(&t).unwrap();
+        assert_eq!(s.read(&c, 0).unwrap(), 0);
+        s.commit(&c).unwrap(); // read lock inherited by t ...
+        let c2 = s.child(&t).unwrap();
+        s.add(&c2, 0, 4).unwrap();
+        s.commit(&c2).unwrap(); // ... write lock inherited: read lock dropped
+        s.commit(&t).unwrap();
+        let report = check_trace(
+            &s.finish(),
+            TranslateOptions {
+                exclusive: false,
+                footnote8: true,
+            },
+        );
+        assert!(report.ok(), "{report:?}");
+    }
+
+    #[test]
+    fn exclusive_mode_trace_conforms_with_flag() {
+        let mgr = TxManager::new(RtConfig {
+            mode: ntx_runtime::LockMode::Exclusive,
+            wait_timeout: Duration::from_millis(20),
+            ..Default::default()
+        });
+        let s = ConformanceSession::new(mgr, 1);
+        let t1 = s.begin();
+        assert_eq!(s.read(&t1, 0).unwrap(), 0);
+        // A second reader must NOT get through in exclusive mode.
+        let t2 = s.begin();
+        assert!(
+            s.read(&t2, 0).is_err(),
+            "exclusive read should block/timeout"
+        );
+        s.commit(&t1).unwrap();
+        assert_eq!(s.read(&t2, 0).unwrap(), 0);
+        s.commit(&t2).unwrap();
+        let report = check_trace(
+            &s.finish(),
+            TranslateOptions {
+                exclusive: true,
+                footnote8: false,
+            },
+        );
+        assert!(report.ok(), "{report:?}");
+    }
+}

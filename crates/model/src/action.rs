@@ -1,0 +1,269 @@
+//! The operation alphabet of nested-transaction systems.
+
+use std::fmt;
+
+use ntx_tree::{ObjectId, TxId, TxTree};
+
+/// A return value of a transaction or access (the paper's designated value
+/// set `V`).
+///
+/// An integer is rich enough for every object semantics and aggregation
+/// function the reproduction uses while keeping actions `Copy`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(pub i64);
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value(v)
+    }
+}
+
+/// One operation of a nested-transaction system.
+///
+/// The first seven variants are the *serial operations* of §3; the two
+/// `Inform…` variants exist only in R/W Locking systems (§5), where the
+/// generic scheduler tells each lock-managing object `M(X)` about the fate
+/// of transactions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// `REQUEST_CREATE(T)` — output of `parent(T)`, input to the scheduler:
+    /// the parent asks for child `T` to be run.
+    RequestCreate(TxId),
+    /// `CREATE(T)` — output of the scheduler, input to `T` (or to the object
+    /// automaton, when `T` is an access): wakes the transaction up.
+    Create(TxId),
+    /// `REQUEST_COMMIT(T, v)` — output of `T` (or of the object automaton
+    /// for an access `T`): announces that `T` finished with result `v`.
+    RequestCommit(TxId, Value),
+    /// `COMMIT(T)` — internal to the scheduler: the decision on `T`'s fate
+    /// becomes irrevocable. A *return* operation for `T`.
+    Commit(TxId),
+    /// `ABORT(T)` — internal to the scheduler; the other return operation.
+    Abort(TxId),
+    /// `REPORT_COMMIT(T, v)` — output of the scheduler, input to
+    /// `parent(T)`: delivers `T`'s successful result.
+    ReportCommit(TxId, Value),
+    /// `REPORT_ABORT(T)` — output of the scheduler, input to `parent(T)`.
+    ReportAbort(TxId),
+    /// `INFORM_COMMIT_AT(X) OF(T)` — output of the generic scheduler, input
+    /// to `M(X)`: lets the lock table pass `T`'s locks/versions to its
+    /// parent.
+    InformCommit(ObjectId, TxId),
+    /// `INFORM_ABORT_AT(X) OF(T)` — output of the generic scheduler, input
+    /// to `M(X)`: lets the lock table discard everything `T`'s descendants
+    /// held.
+    InformAbort(ObjectId, TxId),
+}
+
+impl Action {
+    /// The transaction the event happened *at*, the paper's
+    /// `transaction(π)`: `CREATE(T)` and `REQUEST_COMMIT(T,·)` happen at
+    /// `T`; `REQUEST_CREATE(T')`, the return operations and the report
+    /// operations happen at `parent(T')`. `INFORM` events happen at no
+    /// transaction (`None`).
+    pub fn transaction(&self, tree: &TxTree) -> Option<TxId> {
+        match *self {
+            Action::Create(t) | Action::RequestCommit(t, _) => Some(t),
+            Action::RequestCreate(t)
+            | Action::Commit(t)
+            | Action::Abort(t)
+            | Action::ReportCommit(t, _)
+            | Action::ReportAbort(t) => tree.parent(t).or(Some(t)),
+            Action::InformCommit(..) | Action::InformAbort(..) => None,
+        }
+    }
+
+    /// The transaction named in the event, if any (the `T` of the variant).
+    pub fn subject(&self) -> Option<TxId> {
+        match *self {
+            Action::RequestCreate(t)
+            | Action::Create(t)
+            | Action::RequestCommit(t, _)
+            | Action::Commit(t)
+            | Action::Abort(t)
+            | Action::ReportCommit(t, _)
+            | Action::ReportAbort(t)
+            | Action::InformCommit(_, t)
+            | Action::InformAbort(_, t) => Some(t),
+        }
+    }
+
+    /// `true` for the *serial operations* of §3 (everything except the
+    /// `INFORM` variants).
+    pub fn is_serial(&self) -> bool {
+        !matches!(self, Action::InformCommit(..) | Action::InformAbort(..))
+    }
+
+    /// `true` for `COMMIT(T)`/`ABORT(T)` — the paper's *return operations*.
+    pub fn is_return(&self) -> bool {
+        matches!(self, Action::Commit(_) | Action::Abort(_))
+    }
+
+    /// `true` for `REPORT_COMMIT`/`REPORT_ABORT` — the paper's *report
+    /// operations*.
+    pub fn is_report(&self) -> bool {
+        matches!(self, Action::ReportCommit(..) | Action::ReportAbort(_))
+    }
+
+    /// `true` iff this is an operation of the (basic or lock-managing)
+    /// object automaton for `x`: a `CREATE`/`REQUEST_COMMIT` of an access to
+    /// `x`, or an `INFORM` at `x`.
+    pub fn is_operation_of_object(&self, x: ObjectId, tree: &TxTree) -> bool {
+        match *self {
+            Action::Create(t) | Action::RequestCommit(t, _) => {
+                tree.access(t).is_some_and(|a| a.object == x)
+            }
+            Action::InformCommit(ox, _) | Action::InformAbort(ox, _) => ox == x,
+            _ => false,
+        }
+    }
+
+    /// `true` iff this is an operation of the *basic* object automaton for
+    /// `x` (excludes `INFORM` events, which only `M(X)` has).
+    pub fn is_operation_of_basic_object(&self, x: ObjectId, tree: &TxTree) -> bool {
+        self.is_serial() && self.is_operation_of_object(x, tree)
+    }
+
+    /// `true` iff this is an operation of the *non-access transaction
+    /// automaton* for `t` (§3.1's operation list).
+    pub fn is_operation_of_tx(&self, t: TxId, tree: &TxTree) -> bool {
+        match *self {
+            Action::Create(u) | Action::RequestCommit(u, _) => u == t && !tree.is_access(t),
+            Action::RequestCreate(u) | Action::ReportCommit(u, _) | Action::ReportAbort(u) => {
+                tree.parent(u) == Some(t)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Action::RequestCreate(t) => write!(f, "REQUEST_CREATE({t})"),
+            Action::Create(t) => write!(f, "CREATE({t})"),
+            Action::RequestCommit(t, v) => write!(f, "REQUEST_COMMIT({t},{v})"),
+            Action::Commit(t) => write!(f, "COMMIT({t})"),
+            Action::Abort(t) => write!(f, "ABORT({t})"),
+            Action::ReportCommit(t, v) => write!(f, "REPORT_COMMIT({t},{v})"),
+            Action::ReportAbort(t) => write!(f, "REPORT_ABORT({t})"),
+            Action::InformCommit(x, t) => write!(f, "INFORM_COMMIT_AT({x})OF({t})"),
+            Action::InformAbort(x, t) => write!(f, "INFORM_ABORT_AT({x})OF({t})"),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntx_tree::{AccessKind, TxTreeBuilder};
+
+    fn tiny() -> (TxTree, TxId, TxId, ObjectId) {
+        let mut b = TxTreeBuilder::new();
+        let x = b.object("x");
+        let t1 = b.internal(TxTree::ROOT, "t1");
+        let a = b.access(t1, "a", x, AccessKind::Write, 0, 1);
+        (b.build(), t1, a, x)
+    }
+
+    #[test]
+    fn transaction_of_events() {
+        let (tree, t1, a, _) = tiny();
+        assert_eq!(Action::Create(t1).transaction(&tree), Some(t1));
+        assert_eq!(
+            Action::RequestCommit(a, Value(0)).transaction(&tree),
+            Some(a)
+        );
+        assert_eq!(Action::RequestCreate(a).transaction(&tree), Some(t1));
+        assert_eq!(Action::Commit(t1).transaction(&tree), Some(TxTree::ROOT));
+        assert_eq!(
+            Action::ReportAbort(t1).transaction(&tree),
+            Some(TxTree::ROOT)
+        );
+        // Root return operations happen "at" the root itself (no parent).
+        assert_eq!(
+            Action::Commit(TxTree::ROOT).transaction(&tree),
+            Some(TxTree::ROOT)
+        );
+        let (_, _, _, x) = tiny();
+        assert_eq!(Action::InformCommit(x, t1).transaction(&tree), None);
+    }
+
+    #[test]
+    fn classification_predicates() {
+        let (_, t1, _, x) = tiny();
+        assert!(Action::Commit(t1).is_return());
+        assert!(Action::Abort(t1).is_return());
+        assert!(!Action::Create(t1).is_return());
+        assert!(Action::ReportCommit(t1, Value(1)).is_report());
+        assert!(Action::ReportAbort(t1).is_report());
+        assert!(Action::Create(t1).is_serial());
+        assert!(!Action::InformAbort(x, t1).is_serial());
+    }
+
+    #[test]
+    fn object_operation_membership() {
+        let (tree, t1, a, x) = tiny();
+        assert!(Action::Create(a).is_operation_of_object(x, &tree));
+        assert!(Action::RequestCommit(a, Value(3)).is_operation_of_object(x, &tree));
+        assert!(!Action::Create(t1).is_operation_of_object(x, &tree));
+        assert!(Action::InformAbort(x, t1).is_operation_of_object(x, &tree));
+        assert!(!Action::InformAbort(x, t1).is_operation_of_basic_object(x, &tree));
+        assert!(Action::Create(a).is_operation_of_basic_object(x, &tree));
+    }
+
+    #[test]
+    fn tx_operation_membership() {
+        let (tree, t1, a, x) = tiny();
+        assert!(Action::Create(t1).is_operation_of_tx(t1, &tree));
+        assert!(Action::RequestCreate(a).is_operation_of_tx(t1, &tree));
+        assert!(Action::ReportCommit(a, Value(0)).is_operation_of_tx(t1, &tree));
+        assert!(Action::ReportAbort(a).is_operation_of_tx(t1, &tree));
+        assert!(Action::RequestCommit(t1, Value(0)).is_operation_of_tx(t1, &tree));
+        // Access REQUEST_COMMITs belong to the object, not a tx automaton.
+        assert!(!Action::RequestCommit(a, Value(0)).is_operation_of_tx(a, &tree));
+        // CREATE of an access is an input of the object automaton, but the
+        // membership test for "transaction t1" must not claim it.
+        assert!(!Action::Create(a).is_operation_of_tx(t1, &tree));
+        assert!(!Action::InformCommit(x, t1).is_operation_of_tx(t1, &tree));
+    }
+
+    #[test]
+    fn subject_extraction() {
+        let (_, t1, a, x) = tiny();
+        assert_eq!(Action::RequestCreate(a).subject(), Some(a));
+        assert_eq!(Action::InformCommit(x, t1).subject(), Some(t1));
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let (_, t1, _, x) = tiny();
+        assert_eq!(format!("{:?}", Action::Commit(t1)), "COMMIT(T1)");
+        assert_eq!(
+            format!("{:?}", Action::InformAbort(x, t1)),
+            "INFORM_ABORT_AT(X0)OF(T1)"
+        );
+        assert_eq!(
+            format!("{}", Action::RequestCommit(t1, Value(7))),
+            "REQUEST_COMMIT(T1,7)"
+        );
+    }
+}

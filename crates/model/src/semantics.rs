@@ -1,0 +1,436 @@
+//! Abstract data types backing basic objects.
+//!
+//! §4.3 of the paper describes the canonical basic object: a set of pending
+//! accesses plus "an instance of an abstract data type"; executing a pending
+//! access applies the corresponding function to the instance and returns a
+//! value. The semantic conditions require read accesses to be *transparent*
+//! — as far as later operations can detect, they leave the instance
+//! unchanged. We make that structural: an [`ObjectSemantics`] implementation
+//! must not change the state on accesses declared [`AccessKind::Read`], and
+//! the basic-object automaton enforces it with a debug assertion (there is
+//! also a property-test helper, [`check_read_transparency`]).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use ntx_tree::{AccessInfo, AccessKind};
+
+use crate::action::Value;
+
+/// The abstract data type of a basic object.
+///
+/// `opcode`/`param` of the [`AccessInfo`] select and parameterise the
+/// operation; implementations define their own opcode tables.
+pub trait ObjectSemantics: Clone + fmt::Debug + Send + 'static {
+    /// State of one instance of the data type.
+    type State: Clone + Eq + std::hash::Hash + fmt::Debug + Send;
+
+    /// The initial instance.
+    fn initial(&self) -> Self::State;
+
+    /// Apply one access operation, returning the next state and the return
+    /// value. **Must** return a state equal to `st` when
+    /// `access.kind == AccessKind::Read`.
+    fn apply(&self, st: &Self::State, access: &AccessInfo) -> (Self::State, Value);
+}
+
+/// Check (for tests) that `sem` treats every read access in `accesses` as
+/// transparent along the given access sequence: applying the reads leaves
+/// the state reached by the writes alone unchanged at every prefix.
+pub fn check_read_transparency<S: ObjectSemantics>(sem: &S, accesses: &[AccessInfo]) -> bool {
+    let mut with_reads = sem.initial();
+    let mut writes_only = sem.initial();
+    for a in accesses {
+        let (next, _) = sem.apply(&with_reads, a);
+        if a.kind == AccessKind::Read && next != with_reads {
+            return false;
+        }
+        with_reads = next;
+        if a.kind == AccessKind::Write {
+            writes_only = sem.apply(&writes_only, a).0;
+        }
+        if with_reads != writes_only {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exhaustively validate the §4.3 semantic conditions for a user-supplied
+/// semantics over a finite access universe: along **every** access sequence
+/// of length ≤ `max_len`,
+///
+/// * read accesses must be transparent (condition 3: the state after a
+///   read equals the state before it), and
+/// * `apply` must be a pure function (the basic object's atomic step
+///   requires the response to be determined by the state).
+///
+/// Conditions 1 and 2 (transparency and reorderability of `CREATE`) hold
+/// structurally for [`crate::object::BasicObject`], which implements the
+/// paper's example object: `CREATE` only touches the pending set.
+///
+/// Cost is `|universe|^max_len`; intended for registering custom semantics
+/// in tests.
+pub fn validate_semantics<S: ObjectSemantics>(
+    sem: &S,
+    universe: &[AccessInfo],
+    max_len: usize,
+) -> Result<(), String> {
+    fn go<S: ObjectSemantics>(
+        sem: &S,
+        st: &S::State,
+        universe: &[AccessInfo],
+        depth: usize,
+    ) -> Result<(), String> {
+        if depth == 0 {
+            return Ok(());
+        }
+        for (i, a) in universe.iter().enumerate() {
+            let (next, v) = sem.apply(st, a);
+            let (next2, v2) = sem.apply(st, a);
+            if next != next2 || v != v2 {
+                return Err(format!(
+                    "apply is not a pure function at access #{i} ({a:?})"
+                ));
+            }
+            if a.kind == AccessKind::Read && next != *st {
+                return Err(format!(
+                    "condition 3 violated: read access #{i} ({a:?}) changed the state"
+                ));
+            }
+            go(sem, &next, universe, depth - 1)?;
+        }
+        Ok(())
+    }
+    go(sem, &sem.initial(), universe, max_len)
+}
+
+/// A ready-made family of object semantics covering the workloads in the
+/// experiment suite. All states are small and hashable so the exhaustive
+/// explorer can use them.
+#[derive(Clone, Debug)]
+pub enum StdSemantics {
+    /// An integer register. Read opcodes: 0 = read. Write opcodes:
+    /// 0 = write `param`.
+    Register {
+        /// Initial register contents.
+        init: i64,
+    },
+    /// A counter. Read opcodes: 0 = read. Write opcodes: 0 = add `param`.
+    Counter {
+        /// Initial count.
+        init: i64,
+    },
+    /// A bank account that refuses overdrafts. Read opcodes: 0 = balance.
+    /// Write opcodes: 0 = deposit `param`; 1 = withdraw `param` (returns 1
+    /// on success, 0 — leaving the balance alone — when funds are
+    /// insufficient).
+    Account {
+        /// Opening balance.
+        init: i64,
+    },
+    /// A set of integers. Read opcodes: 0 = contains `param` (0/1),
+    /// 1 = size. Write opcodes: 0 = insert `param` (returns 1 if newly
+    /// inserted), 1 = remove `param` (returns 1 if present).
+    IntSet,
+    /// An append-only log. Read opcodes: 0 = length, 1 = last entry (or
+    /// -1 when empty). Write opcodes: 0 = append `param` (returns new
+    /// length).
+    Log,
+    /// A FIFO queue. Read opcodes: 0 = length, 1 = front (or -1 when
+    /// empty). Write opcodes: 0 = enqueue `param` (returns new length),
+    /// 1 = dequeue (returns dequeued element or -1 when empty).
+    Queue,
+}
+
+/// State of a [`StdSemantics`] instance.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum StdState {
+    /// Register or counter or account contents.
+    Int(i64),
+    /// Set contents.
+    Set(BTreeSet<i64>),
+    /// Log contents.
+    Log(Vec<i64>),
+    /// Queue contents, front first.
+    Queue(Vec<i64>),
+}
+
+impl StdSemantics {
+    /// A register initialised to `init`.
+    pub fn register(init: i64) -> Self {
+        StdSemantics::Register { init }
+    }
+
+    /// A counter initialised to `init`.
+    pub fn counter(init: i64) -> Self {
+        StdSemantics::Counter { init }
+    }
+
+    /// An account with opening balance `init`.
+    pub fn account(init: i64) -> Self {
+        StdSemantics::Account { init }
+    }
+}
+
+impl ObjectSemantics for StdSemantics {
+    type State = StdState;
+
+    fn initial(&self) -> StdState {
+        match *self {
+            StdSemantics::Register { init }
+            | StdSemantics::Counter { init }
+            | StdSemantics::Account { init } => StdState::Int(init),
+            StdSemantics::IntSet => StdState::Set(BTreeSet::new()),
+            StdSemantics::Log => StdState::Log(Vec::new()),
+            StdSemantics::Queue => StdState::Queue(Vec::new()),
+        }
+    }
+
+    fn apply(&self, st: &StdState, access: &AccessInfo) -> (StdState, Value) {
+        match (self, st) {
+            (StdSemantics::Register { .. }, StdState::Int(v)) => match access.kind {
+                AccessKind::Read => (st.clone(), Value(*v)),
+                AccessKind::Write => (StdState::Int(access.param), Value(access.param)),
+            },
+            (StdSemantics::Counter { .. }, StdState::Int(v)) => match access.kind {
+                AccessKind::Read => (st.clone(), Value(*v)),
+                AccessKind::Write => {
+                    let next = v.wrapping_add(access.param);
+                    (StdState::Int(next), Value(next))
+                }
+            },
+            (StdSemantics::Account { .. }, StdState::Int(v)) => {
+                match (access.kind, access.opcode) {
+                    (AccessKind::Read, _) => (st.clone(), Value(*v)),
+                    (AccessKind::Write, 0) => (
+                        StdState::Int(v.wrapping_add(access.param)),
+                        Value(v + access.param),
+                    ),
+                    (AccessKind::Write, _) => {
+                        if *v >= access.param {
+                            (StdState::Int(v - access.param), Value(1))
+                        } else {
+                            (st.clone(), Value(0))
+                        }
+                    }
+                }
+            }
+            (StdSemantics::IntSet, StdState::Set(s)) => match (access.kind, access.opcode) {
+                (AccessKind::Read, 0) => (st.clone(), Value(s.contains(&access.param) as i64)),
+                (AccessKind::Read, _) => (st.clone(), Value(s.len() as i64)),
+                (AccessKind::Write, 0) => {
+                    let mut s = s.clone();
+                    let fresh = s.insert(access.param);
+                    (StdState::Set(s), Value(fresh as i64))
+                }
+                (AccessKind::Write, _) => {
+                    let mut s = s.clone();
+                    let present = s.remove(&access.param);
+                    (StdState::Set(s), Value(present as i64))
+                }
+            },
+            (StdSemantics::Log, StdState::Log(l)) => match (access.kind, access.opcode) {
+                (AccessKind::Read, 0) => (st.clone(), Value(l.len() as i64)),
+                (AccessKind::Read, _) => (st.clone(), Value(l.last().copied().unwrap_or(-1))),
+                (AccessKind::Write, _) => {
+                    let mut l = l.clone();
+                    l.push(access.param);
+                    let len = l.len() as i64;
+                    (StdState::Log(l), Value(len))
+                }
+            },
+            (StdSemantics::Queue, StdState::Queue(q)) => match (access.kind, access.opcode) {
+                (AccessKind::Read, 0) => (st.clone(), Value(q.len() as i64)),
+                (AccessKind::Read, _) => (st.clone(), Value(q.first().copied().unwrap_or(-1))),
+                (AccessKind::Write, 0) => {
+                    let mut q = q.clone();
+                    q.push(access.param);
+                    let len = q.len() as i64;
+                    (StdState::Queue(q), Value(len))
+                }
+                (AccessKind::Write, _) => {
+                    if q.is_empty() {
+                        (st.clone(), Value(-1))
+                    } else {
+                        let mut q = q.clone();
+                        let front = q.remove(0);
+                        (StdState::Queue(q), Value(front))
+                    }
+                }
+            },
+            (sem, st) => unreachable!("state {st:?} does not belong to semantics {sem:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntx_tree::ObjectId;
+
+    fn acc(kind: AccessKind, opcode: u16, param: i64) -> AccessInfo {
+        AccessInfo {
+            object: ObjectId::from_index(0),
+            kind,
+            opcode,
+            param,
+        }
+    }
+
+    #[test]
+    fn register_semantics() {
+        let sem = StdSemantics::register(5);
+        let s0 = sem.initial();
+        let (s1, v) = sem.apply(&s0, &acc(AccessKind::Read, 0, 0));
+        assert_eq!(v, Value(5));
+        assert_eq!(s1, s0);
+        let (s2, v) = sem.apply(&s1, &acc(AccessKind::Write, 0, 9));
+        assert_eq!(v, Value(9));
+        let (_, v) = sem.apply(&s2, &acc(AccessKind::Read, 0, 0));
+        assert_eq!(v, Value(9));
+    }
+
+    #[test]
+    fn counter_semantics() {
+        let sem = StdSemantics::counter(0);
+        let s = sem.initial();
+        let (s, v1) = sem.apply(&s, &acc(AccessKind::Write, 0, 3));
+        let (s, v2) = sem.apply(&s, &acc(AccessKind::Write, 0, -1));
+        assert_eq!((v1, v2), (Value(3), Value(2)));
+        let (_, v) = sem.apply(&s, &acc(AccessKind::Read, 0, 0));
+        assert_eq!(v, Value(2));
+    }
+
+    #[test]
+    fn account_blocks_overdraft() {
+        let sem = StdSemantics::account(10);
+        let s = sem.initial();
+        let (s, ok) = sem.apply(&s, &acc(AccessKind::Write, 1, 4)); // withdraw 4
+        assert_eq!(ok, Value(1));
+        let (s, ok) = sem.apply(&s, &acc(AccessKind::Write, 1, 100)); // too much
+        assert_eq!(ok, Value(0));
+        let (_, bal) = sem.apply(&s, &acc(AccessKind::Read, 0, 0));
+        assert_eq!(bal, Value(6));
+    }
+
+    #[test]
+    fn set_semantics() {
+        let sem = StdSemantics::IntSet;
+        let s = sem.initial();
+        let (s, fresh) = sem.apply(&s, &acc(AccessKind::Write, 0, 7));
+        assert_eq!(fresh, Value(1));
+        let (s, fresh) = sem.apply(&s, &acc(AccessKind::Write, 0, 7));
+        assert_eq!(fresh, Value(0));
+        let (s, has) = sem.apply(&s, &acc(AccessKind::Read, 0, 7));
+        assert_eq!(has, Value(1));
+        let (s, n) = sem.apply(&s, &acc(AccessKind::Read, 1, 0));
+        assert_eq!(n, Value(1));
+        let (s, removed) = sem.apply(&s, &acc(AccessKind::Write, 1, 7));
+        assert_eq!(removed, Value(1));
+        let (_, has) = sem.apply(&s, &acc(AccessKind::Read, 0, 7));
+        assert_eq!(has, Value(0));
+    }
+
+    #[test]
+    fn log_semantics() {
+        let sem = StdSemantics::Log;
+        let s = sem.initial();
+        let (s, last) = sem.apply(&s, &acc(AccessKind::Read, 1, 0));
+        assert_eq!(last, Value(-1));
+        let (s, len) = sem.apply(&s, &acc(AccessKind::Write, 0, 42));
+        assert_eq!(len, Value(1));
+        let (s, last) = sem.apply(&s, &acc(AccessKind::Read, 1, 0));
+        assert_eq!(last, Value(42));
+        let (_, len) = sem.apply(&s, &acc(AccessKind::Read, 0, 0));
+        assert_eq!(len, Value(1));
+    }
+
+    #[test]
+    fn queue_semantics() {
+        let sem = StdSemantics::Queue;
+        let s = sem.initial();
+        let (s, front) = sem.apply(&s, &acc(AccessKind::Write, 1, 0)); // dequeue empty
+        assert_eq!(front, Value(-1));
+        let (s, len) = sem.apply(&s, &acc(AccessKind::Write, 0, 5)); // enqueue 5
+        assert_eq!(len, Value(1));
+        let (s, len) = sem.apply(&s, &acc(AccessKind::Write, 0, 7)); // enqueue 7
+        assert_eq!(len, Value(2));
+        let (s, front) = sem.apply(&s, &acc(AccessKind::Read, 1, 0));
+        assert_eq!(front, Value(5));
+        let (s, deq) = sem.apply(&s, &acc(AccessKind::Write, 1, 0));
+        assert_eq!(deq, Value(5));
+        let (_, len) = sem.apply(&s, &acc(AccessKind::Read, 0, 0));
+        assert_eq!(len, Value(1));
+    }
+
+    #[test]
+    fn validator_accepts_all_std_semantics() {
+        let universe = [
+            acc(AccessKind::Read, 0, 2),
+            acc(AccessKind::Read, 1, 0),
+            acc(AccessKind::Write, 0, 2),
+            acc(AccessKind::Write, 1, 1),
+        ];
+        for sem in [
+            StdSemantics::register(0),
+            StdSemantics::counter(0),
+            StdSemantics::account(3),
+            StdSemantics::IntSet,
+            StdSemantics::Log,
+            StdSemantics::Queue,
+        ] {
+            validate_semantics(&sem, &universe, 4).unwrap_or_else(|e| panic!("{sem:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_mutating_read() {
+        /// Deliberately broken: its "read" pops the log.
+        #[derive(Clone, Debug)]
+        struct BadSemantics;
+        impl ObjectSemantics for BadSemantics {
+            type State = Vec<i64>;
+            fn initial(&self) -> Vec<i64> {
+                vec![1]
+            }
+            fn apply(&self, st: &Vec<i64>, access: &AccessInfo) -> (Vec<i64>, Value) {
+                let mut st = st.clone();
+                match access.kind {
+                    AccessKind::Read => (st.split_off(st.len().saturating_sub(1)), Value(0)),
+                    AccessKind::Write => {
+                        st.push(access.param);
+                        (st, Value(0))
+                    }
+                }
+            }
+        }
+        let universe = [acc(AccessKind::Write, 0, 1), acc(AccessKind::Read, 0, 0)];
+        let err = validate_semantics(&BadSemantics, &universe, 3).unwrap_err();
+        assert!(err.contains("condition 3"), "{err}");
+    }
+
+    #[test]
+    fn reads_are_transparent_for_all_std_semantics() {
+        let mixes = vec![
+            acc(AccessKind::Write, 0, 3),
+            acc(AccessKind::Read, 0, 3),
+            acc(AccessKind::Write, 1, 2),
+            acc(AccessKind::Read, 1, 0),
+            acc(AccessKind::Write, 0, -5),
+            acc(AccessKind::Read, 0, 0),
+        ];
+        for sem in [
+            StdSemantics::register(1),
+            StdSemantics::counter(0),
+            StdSemantics::account(4),
+            StdSemantics::IntSet,
+            StdSemantics::Log,
+        ] {
+            assert!(
+                check_read_transparency(&sem, &mixes),
+                "{sem:?} reads not transparent"
+            );
+        }
+    }
+}

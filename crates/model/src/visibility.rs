@@ -1,0 +1,357 @@
+//! Visibility, commitment, orphans (§3.4) and their at-`X` variants (§5.1).
+//!
+//! These notions are defined for arbitrary operation sequences and drive
+//! both the serializer and the correctness checker:
+//!
+//! * `T` is **committed to** an ancestor `T'` in `α` when `COMMIT(U)` occurs
+//!   for every `U` on the chain from `T` up to (but excluding) `T'`.
+//! * `T` is **visible to** `T'` when `T` is committed to `lca(T, T')` — all
+//!   the work `T` did has been committed far enough up the tree for `T'` to
+//!   legitimately observe it.
+//! * `visible(α, T)` is the subsequence of events whose
+//!   [`transaction`](crate::action::Action::transaction) is visible to `T`.
+//! * `T` is an **orphan** when some ancestor aborted, and **live** when
+//!   created but not yet returned.
+//!
+//! The at-`X` variants use the `INFORM_COMMIT_AT(X)` events a lock object
+//! received instead of the global `COMMIT`s: they describe what `M(X)`
+//! *knows* about fates, which may lag behind the truth.
+
+use std::collections::{HashMap, HashSet};
+
+use ntx_tree::{ObjectId, TxId, TxTree};
+
+use crate::action::Action;
+
+/// Precomputed fate information for one operation sequence.
+///
+/// Build once with [`Fates::scan`]; all queries are then cheap. For
+/// event-by-event use (the serializer), see [`Fates::new`] + [`Fates::absorb`].
+#[derive(Clone, Debug, Default)]
+pub struct Fates {
+    committed: HashSet<TxId>,
+    aborted: HashSet<TxId>,
+    created: HashSet<TxId>,
+    returned: HashSet<TxId>,
+    /// Occurrence indices of `INFORM_COMMIT_AT(X)OF(T)`, in order.
+    inform_commits: HashMap<(ObjectId, TxId), Vec<usize>>,
+    len: usize,
+}
+
+impl Fates {
+    /// Empty fate map (no events absorbed yet).
+    pub fn new() -> Self {
+        Fates::default()
+    }
+
+    /// Scan a whole sequence.
+    pub fn scan(events: &[Action]) -> Self {
+        let mut f = Fates::new();
+        for a in events {
+            f.absorb(a);
+        }
+        f
+    }
+
+    /// Absorb the next event of the sequence.
+    pub fn absorb(&mut self, a: &Action) {
+        let i = self.len;
+        self.len += 1;
+        match *a {
+            Action::Create(t) => {
+                self.created.insert(t);
+            }
+            Action::Commit(t) => {
+                self.committed.insert(t);
+                self.returned.insert(t);
+            }
+            Action::Abort(t) => {
+                self.aborted.insert(t);
+                self.returned.insert(t);
+            }
+            Action::InformCommit(x, t) => {
+                self.inform_commits.entry((x, t)).or_default().push(i);
+            }
+            _ => {}
+        }
+    }
+
+    /// `COMMIT(t)` occurred.
+    pub fn is_committed(&self, t: TxId) -> bool {
+        self.committed.contains(&t)
+    }
+
+    /// `ABORT(t)` occurred.
+    pub fn is_aborted(&self, t: TxId) -> bool {
+        self.aborted.contains(&t)
+    }
+
+    /// `CREATE(t)` occurred.
+    pub fn is_created(&self, t: TxId) -> bool {
+        self.created.contains(&t)
+    }
+
+    /// `t` is live: created but no return event yet.
+    pub fn is_live(&self, t: TxId) -> bool {
+        self.created.contains(&t) && !self.returned.contains(&t)
+    }
+
+    /// Some ancestor of `t` (possibly `t` itself) aborted.
+    pub fn is_orphan(&self, t: TxId, tree: &TxTree) -> bool {
+        tree.ancestors(t).any(|u| self.aborted.contains(&u))
+    }
+
+    /// `t` is committed to its ancestor `anc`: every transaction on the
+    /// chain strictly between `t` (inclusive) and `anc` (exclusive) has
+    /// committed. Returns `false` if `anc` is not an ancestor of `t`.
+    pub fn is_committed_to(&self, t: TxId, anc: TxId, tree: &TxTree) -> bool {
+        match tree.chain_below(t, anc) {
+            None => false,
+            Some(chain) => chain.iter().all(|u| self.committed.contains(u)),
+        }
+    }
+
+    /// `t` is visible to `t2`: committed to `lca(t, t2)`.
+    pub fn is_visible_to(&self, t: TxId, t2: TxId, tree: &TxTree) -> bool {
+        self.is_committed_to(t, tree.lca(t, t2), tree)
+    }
+
+    /// At-`X` variant of commitment (§5.1): `t` (an access to `x`) is
+    /// committed at `x` to `anc` when the sequence contains
+    /// `INFORM_COMMIT_AT(x)` events for the whole chain *in ascending
+    /// order* (the inform for `U` before the one for `parent(U)`).
+    pub fn is_committed_at_to(&self, x: ObjectId, t: TxId, anc: TxId, tree: &TxTree) -> bool {
+        let Some(chain) = tree.chain_below(t, anc) else {
+            return false;
+        };
+        // Greedily match one occurrence per chain element, ascending.
+        let mut after: i64 = -1;
+        for u in chain {
+            let Some(occ) = self.inform_commits.get(&(x, u)) else {
+                return false;
+            };
+            match occ.iter().find(|&&i| (i as i64) > after) {
+                Some(&i) => after = i as i64,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// `t` is visible at `x` to `t2`: committed at `x` to `lca(t, t2)`.
+    pub fn is_visible_at_to(&self, x: ObjectId, t: TxId, t2: TxId, tree: &TxTree) -> bool {
+        self.is_committed_at_to(x, t, tree.lca(t, t2), tree)
+    }
+}
+
+/// Indices of the events of `visible(α, T)` — the subsequence of `events`
+/// whose `transaction(π)` is visible to `t`.
+pub fn visible_indices(events: &[Action], tree: &TxTree, t: TxId) -> Vec<usize> {
+    let fates = Fates::scan(events);
+    events
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| {
+            a.transaction(tree)
+                .is_some_and(|u| fates.is_visible_to(u, t, tree))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// `visible(α, T)` itself.
+pub fn visible(events: &[Action], tree: &TxTree, t: TxId) -> Vec<Action> {
+    visible_indices(events, tree, t)
+        .into_iter()
+        .map(|i| events[i])
+        .collect()
+}
+
+/// `visible_X(α, T)` (§5.1): the subsequence of `M(X)`-operations whose
+/// transactions are visible *at `X`* to `t`. Defined on schedules of a lock
+/// object; access events qualify when the access is visible at `X`.
+pub fn visible_at_x(events: &[Action], tree: &TxTree, x: ObjectId, t: TxId) -> Vec<Action> {
+    let fates = Fates::scan(events);
+    events
+        .iter()
+        .filter(|a| match **a {
+            Action::Create(u) | Action::RequestCommit(u, _) => {
+                tree.access(u).is_some_and(|i| i.object == x)
+                    && fates.is_visible_at_to(x, u, t, tree)
+            }
+            _ => false,
+        })
+        .copied()
+        .collect()
+}
+
+/// Events *at* transaction `t`: the subsequence with `transaction(π) == t`
+/// (used by the write-equivalence definition and serial correctness).
+pub fn events_at(events: &[Action], tree: &TxTree, t: TxId) -> Vec<Action> {
+    events
+        .iter()
+        .filter(|a| a.transaction(tree) == Some(t))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Value;
+    use ntx_tree::{AccessKind, TxTreeBuilder};
+
+    /// T0 ── p ── {a (write), c ── b (write)}
+    ///    └─ q
+    fn fix() -> (TxTree, TxId, TxId, TxId, TxId, TxId, ObjectId) {
+        let mut b = TxTreeBuilder::new();
+        let x = b.object("x");
+        let p = b.internal(TxTree::ROOT, "p");
+        let a = b.access(p, "a", x, AccessKind::Write, 0, 1);
+        let c = b.internal(p, "c");
+        let bb = b.access(c, "b", x, AccessKind::Write, 0, 2);
+        let q = b.internal(TxTree::ROOT, "q");
+        (b.build(), p, a, c, bb, q, x)
+    }
+
+    #[test]
+    fn committed_to_walks_the_chain() {
+        let (tree, p, _, c, bb, ..) = fix();
+        let events = vec![Action::Commit(bb), Action::Commit(c)];
+        let f = Fates::scan(&events);
+        assert!(f.is_committed_to(bb, p, &tree));
+        assert!(
+            !f.is_committed_to(bb, TxTree::ROOT, &tree),
+            "p itself not committed"
+        );
+        assert!(f.is_committed_to(bb, c, &tree));
+        // Reflexive chain: committed to itself vacuously.
+        assert!(f.is_committed_to(p, p, &tree));
+        // Not an ancestor.
+        assert!(!f.is_committed_to(p, bb, &tree));
+    }
+
+    #[test]
+    fn visibility_through_lca() {
+        let (tree, p, a, c, bb, q, _) = fix();
+        let events = vec![Action::Commit(bb), Action::Commit(c)];
+        let f = Fates::scan(&events);
+        // bb committed to p = lca(bb, a): visible to a.
+        assert!(f.is_visible_to(bb, a, &tree));
+        // but not to q (lca = T0; p hasn't committed).
+        assert!(!f.is_visible_to(bb, q, &tree));
+        // Ancestors are always visible to descendants (empty chain).
+        assert!(f.is_visible_to(p, bb, &tree));
+        assert!(f.is_visible_to(TxTree::ROOT, q, &tree));
+    }
+
+    #[test]
+    fn orphan_and_live() {
+        let (tree, p, a, ..) = fix();
+        let events = vec![Action::Create(p), Action::Abort(p)];
+        let f = Fates::scan(&events);
+        assert!(f.is_orphan(p, &tree));
+        assert!(f.is_orphan(a, &tree), "descendant of aborted p");
+        assert!(!f.is_orphan(TxTree::ROOT, &tree));
+        assert!(!f.is_live(p), "returned");
+        let f2 = Fates::scan(&[Action::Create(p)]);
+        assert!(f2.is_live(p));
+        assert!(!f2.is_live(a), "never created");
+    }
+
+    #[test]
+    fn visible_projection() {
+        let (tree, p, a, _, _, q, _) = fix();
+        // p requests a, a runs and commits; q is created but uncommitted.
+        let events = vec![
+            Action::Create(TxTree::ROOT),
+            Action::RequestCreate(p),
+            Action::Create(p),
+            Action::RequestCreate(a),
+            Action::Create(a),
+            Action::RequestCommit(a, Value(1)),
+            Action::Commit(a),
+            Action::RequestCreate(q),
+            Action::Create(q),
+        ];
+        // Everything except q's CREATE is visible to p (q not committed;
+        // REQUEST_CREATE(q) happens at T0 which is visible).
+        let vis = visible(&events, &tree, p);
+        assert_eq!(vis.len(), events.len() - 1);
+        assert!(!vis.contains(&Action::Create(q)));
+        // To q, a's operations are invisible: a is committed only to p.
+        let vis_q = visible(&events, &tree, q);
+        assert!(!vis_q.contains(&Action::Create(a)));
+        assert!(!vis_q.contains(&Action::RequestCommit(a, Value(1))));
+        assert!(vis_q.contains(&Action::RequestCreate(p)));
+    }
+
+    #[test]
+    fn visible_indices_are_sorted_positions() {
+        let (tree, p, ..) = fix();
+        let events = vec![Action::Create(TxTree::ROOT), Action::RequestCreate(p)];
+        assert_eq!(visible_indices(&events, &tree, TxTree::ROOT), vec![0, 1]);
+    }
+
+    #[test]
+    fn committed_at_requires_ascending_informs() {
+        let (tree, p, _, c, bb, _, x) = fix();
+        // Ascending: inform(bb) then inform(c).
+        let good = vec![Action::InformCommit(x, bb), Action::InformCommit(x, c)];
+        let f = Fates::scan(&good);
+        assert!(f.is_committed_at_to(x, bb, p, &tree));
+        // Descending order does not certify commitment at X.
+        let bad = vec![Action::InformCommit(x, c), Action::InformCommit(x, bb)];
+        let f = Fates::scan(&bad);
+        assert!(!f.is_committed_at_to(x, bb, p, &tree));
+        // But repeated informs can fix the order later.
+        let fixed = vec![
+            Action::InformCommit(x, c),
+            Action::InformCommit(x, bb),
+            Action::InformCommit(x, c),
+        ];
+        let f = Fates::scan(&fixed);
+        assert!(f.is_committed_at_to(x, bb, p, &tree));
+    }
+
+    #[test]
+    fn visible_at_x_projection() {
+        let (tree, _, a, _, bb, _, x) = fix();
+        let events = vec![
+            Action::Create(bb),
+            Action::RequestCommit(bb, Value(2)),
+            Action::InformCommit(x, bb),
+            Action::Create(a),
+        ];
+        // bb committed at X to c... visible at X to a requires commit up to
+        // lca(bb, a) = p: inform for c missing.
+        let vis = visible_at_x(&events, &tree, x, a);
+        assert!(!vis.contains(&Action::RequestCommit(bb, Value(2))));
+        // a itself is trivially visible at X to a (empty chain).
+        assert!(vis.contains(&Action::Create(a)));
+    }
+
+    #[test]
+    fn events_at_transaction() {
+        let (tree, p, a, ..) = fix();
+        let events = vec![
+            Action::Create(p),
+            Action::RequestCreate(a),
+            Action::Create(a),
+            Action::Commit(a),
+            Action::ReportCommit(a, Value(1)),
+        ];
+        let at_p = events_at(&events, &tree, p);
+        assert_eq!(
+            at_p,
+            vec![
+                Action::Create(p),
+                Action::RequestCreate(a),
+                Action::Commit(a),
+                Action::ReportCommit(a, Value(1)),
+            ]
+        );
+        let at_a = events_at(&events, &tree, a);
+        assert_eq!(at_a, vec![Action::Create(a)]);
+    }
+}

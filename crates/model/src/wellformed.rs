@@ -1,0 +1,514 @@
+//! Well-formedness of component schedules (§3.1, §3.2, §5.1).
+//!
+//! The paper constrains transactions and objects only *syntactically*: their
+//! schedules must be well-formed. Each definition is recursive — a sequence
+//! `α'π` is well-formed iff `α'` is and `π` passes a handful of checks
+//! against `α'`. We implement each definition as an incremental checker that
+//! consumes one event at a time, which doubles as a test oracle everywhere
+//! in the workspace: every automaton is required to *preserve*
+//! well-formedness, and every system schedule is checked to be well-formed
+//! at every projection (Lemma 5 / Lemma 26).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ntx_tree::{ObjectId, TxId, TxTree};
+
+use crate::action::{Action, Value};
+
+/// Why a sequence failed to be well-formed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WfViolation {
+    /// A second `CREATE(T)` for the same `T`.
+    DuplicateCreate(TxId),
+    /// A report for a child whose creation was never requested.
+    ReportWithoutRequestCreate(TxId),
+    /// Both `REPORT_COMMIT` and `REPORT_ABORT` (or two different
+    /// `REPORT_COMMIT` values) for one child.
+    ConflictingReports(TxId),
+    /// A second `REQUEST_CREATE(T')` for the same child.
+    DuplicateRequestCreate(TxId),
+    /// An output of `T` after `T`'s `REQUEST_COMMIT`.
+    OutputAfterRequestCommit(TxId),
+    /// An output of `T` before `CREATE(T)`.
+    OutputBeforeCreate(TxId),
+    /// A second `REQUEST_COMMIT` for the same transaction/access.
+    DuplicateRequestCommit(TxId),
+    /// A `REQUEST_COMMIT` for an access that was never created.
+    RequestCommitBeforeCreate(TxId),
+    /// `INFORM_COMMIT` after `INFORM_ABORT` for the same transaction.
+    InformCommitAfterInformAbort(TxId),
+    /// `INFORM_ABORT` after `INFORM_COMMIT` for the same transaction.
+    InformAbortAfterInformCommit(TxId),
+    /// `INFORM_COMMIT` of an access that never responded.
+    InformCommitBeforeRequestCommit(TxId),
+    /// An event was fed to a checker for a component it does not belong to.
+    ForeignEvent,
+}
+
+impl fmt::Display for WfViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Incremental well-formedness checker for the schedule of one non-access
+/// transaction automaton `T` (§3.1).
+#[derive(Clone, Debug)]
+pub struct TxWellFormed {
+    t: TxId,
+    created: bool,
+    commit_requested: bool,
+    requested_children: BTreeMap<TxId, ()>,
+    /// `Some(Some(v))` = REPORT_COMMIT(v) seen; `Some(None)` = REPORT_ABORT.
+    reports: BTreeMap<TxId, Option<Value>>,
+}
+
+impl TxWellFormed {
+    /// Checker for transaction `t`.
+    pub fn new(t: TxId) -> Self {
+        TxWellFormed {
+            t,
+            created: false,
+            commit_requested: false,
+            requested_children: BTreeMap::new(),
+            reports: BTreeMap::new(),
+        }
+    }
+
+    /// Consume the next event of `T`'s schedule.
+    pub fn check(&mut self, a: &Action, tree: &TxTree) -> Result<(), WfViolation> {
+        if !a.is_operation_of_tx(self.t, tree) {
+            return Err(WfViolation::ForeignEvent);
+        }
+        match *a {
+            Action::Create(_) => {
+                if self.created {
+                    return Err(WfViolation::DuplicateCreate(self.t));
+                }
+                self.created = true;
+            }
+            Action::ReportCommit(c, v) => {
+                if !self.requested_children.contains_key(&c) {
+                    return Err(WfViolation::ReportWithoutRequestCreate(c));
+                }
+                match self.reports.get(&c) {
+                    Some(None) => return Err(WfViolation::ConflictingReports(c)),
+                    Some(Some(v0)) if *v0 != v => return Err(WfViolation::ConflictingReports(c)),
+                    // Repeated instances of a single report are allowed
+                    // (remark after Lemma 2).
+                    _ => {}
+                }
+                self.reports.insert(c, Some(v));
+            }
+            Action::ReportAbort(c) => {
+                if !self.requested_children.contains_key(&c) {
+                    return Err(WfViolation::ReportWithoutRequestCreate(c));
+                }
+                if matches!(self.reports.get(&c), Some(Some(_))) {
+                    return Err(WfViolation::ConflictingReports(c));
+                }
+                self.reports.insert(c, None);
+            }
+            Action::RequestCreate(c) => {
+                if self.requested_children.contains_key(&c) {
+                    return Err(WfViolation::DuplicateRequestCreate(c));
+                }
+                if self.commit_requested {
+                    return Err(WfViolation::OutputAfterRequestCommit(self.t));
+                }
+                if !self.created {
+                    return Err(WfViolation::OutputBeforeCreate(self.t));
+                }
+                self.requested_children.insert(c, ());
+            }
+            Action::RequestCommit(_, _) => {
+                if self.commit_requested {
+                    return Err(WfViolation::DuplicateRequestCommit(self.t));
+                }
+                if !self.created {
+                    return Err(WfViolation::OutputBeforeCreate(self.t));
+                }
+                self.commit_requested = true;
+            }
+            _ => return Err(WfViolation::ForeignEvent),
+        }
+        Ok(())
+    }
+}
+
+/// Incremental well-formedness checker for a basic object `X` (§3.2): its
+/// operations are `CREATE(T)` / `REQUEST_COMMIT(T,v)` for accesses `T` to
+/// `X`.
+#[derive(Clone, Debug)]
+pub struct ObjectWellFormed {
+    x: ObjectId,
+    created: BTreeMap<TxId, ()>,
+    responded: BTreeMap<TxId, ()>,
+}
+
+impl ObjectWellFormed {
+    /// Checker for object `x`.
+    pub fn new(x: ObjectId) -> Self {
+        ObjectWellFormed {
+            x,
+            created: BTreeMap::new(),
+            responded: BTreeMap::new(),
+        }
+    }
+
+    /// Consume the next event of `X`'s schedule.
+    pub fn check(&mut self, a: &Action, tree: &TxTree) -> Result<(), WfViolation> {
+        if !a.is_operation_of_basic_object(self.x, tree) {
+            return Err(WfViolation::ForeignEvent);
+        }
+        match *a {
+            Action::Create(t) => {
+                if self.created.contains_key(&t) {
+                    return Err(WfViolation::DuplicateCreate(t));
+                }
+                self.created.insert(t, ());
+            }
+            Action::RequestCommit(t, _) => {
+                if self.responded.contains_key(&t) {
+                    return Err(WfViolation::DuplicateRequestCommit(t));
+                }
+                if !self.created.contains_key(&t) {
+                    return Err(WfViolation::RequestCommitBeforeCreate(t));
+                }
+                self.responded.insert(t, ());
+            }
+            _ => return Err(WfViolation::ForeignEvent),
+        }
+        Ok(())
+    }
+
+    /// The accesses created but not yet responded to — "pending in α"
+    /// (§3.2).
+    pub fn pending(&self) -> impl Iterator<Item = TxId> + '_ {
+        self.created
+            .keys()
+            .filter(|t| !self.responded.contains_key(t))
+            .copied()
+    }
+}
+
+/// Incremental well-formedness checker for a R/W Locking object `M(X)`
+/// (§5.1): the basic-object rules plus the `INFORM` rules.
+#[derive(Clone, Debug)]
+pub struct LockObjectWellFormed {
+    x: ObjectId,
+    inner: ObjectWellFormed,
+    informed_commit: BTreeMap<TxId, ()>,
+    informed_abort: BTreeMap<TxId, ()>,
+}
+
+impl LockObjectWellFormed {
+    /// Checker for lock object `M(x)`.
+    pub fn new(x: ObjectId) -> Self {
+        LockObjectWellFormed {
+            x,
+            inner: ObjectWellFormed::new(x),
+            informed_commit: BTreeMap::new(),
+            informed_abort: BTreeMap::new(),
+        }
+    }
+
+    /// Consume the next event of `M(X)`'s schedule.
+    pub fn check(&mut self, a: &Action, tree: &TxTree) -> Result<(), WfViolation> {
+        match *a {
+            Action::InformCommit(x, t) if x == self.x => {
+                if self.informed_abort.contains_key(&t) {
+                    return Err(WfViolation::InformCommitAfterInformAbort(t));
+                }
+                if tree.access(t).is_some_and(|i| i.object == self.x)
+                    && !self.inner.responded.contains_key(&t)
+                {
+                    return Err(WfViolation::InformCommitBeforeRequestCommit(t));
+                }
+                self.informed_commit.insert(t, ());
+                Ok(())
+            }
+            Action::InformAbort(x, t) if x == self.x => {
+                if self.informed_commit.contains_key(&t) {
+                    return Err(WfViolation::InformAbortAfterInformCommit(t));
+                }
+                self.informed_abort.insert(t, ());
+                Ok(())
+            }
+            _ => self.inner.check(a, tree),
+        }
+    }
+}
+
+/// Check that a whole sequence of *serial* operations is well-formed: its
+/// projection at every non-access transaction and every basic object is
+/// well-formed (§3.4). Returns the index and violation of the first failure.
+pub fn check_serial_sequence(events: &[Action], tree: &TxTree) -> Result<(), (usize, WfViolation)> {
+    let mut txs: BTreeMap<TxId, TxWellFormed> = BTreeMap::new();
+    let mut objs: Vec<ObjectWellFormed> = tree.all_objects().map(ObjectWellFormed::new).collect();
+    check_each(events, tree, &mut txs, |a, tree, objs_idx| {
+        objs[objs_idx].check(a, tree)
+    })
+}
+
+/// Check that a whole sequence of *concurrent* operations is well-formed:
+/// its projection at every non-access transaction and every R/W Locking
+/// object is well-formed (§5.3).
+pub fn check_concurrent_sequence(
+    events: &[Action],
+    tree: &TxTree,
+) -> Result<(), (usize, WfViolation)> {
+    let mut txs: BTreeMap<TxId, TxWellFormed> = BTreeMap::new();
+    let mut objs: Vec<LockObjectWellFormed> =
+        tree.all_objects().map(LockObjectWellFormed::new).collect();
+    check_each(events, tree, &mut txs, |a, tree, objs_idx| {
+        objs[objs_idx].check(a, tree)
+    })
+}
+
+fn check_each(
+    events: &[Action],
+    tree: &TxTree,
+    txs: &mut BTreeMap<TxId, TxWellFormed>,
+    mut check_obj: impl FnMut(&Action, &TxTree, usize) -> Result<(), WfViolation>,
+) -> Result<(), (usize, WfViolation)> {
+    for (i, a) in events.iter().enumerate() {
+        // Route to the object automaton, if the event belongs to one.
+        let object = match *a {
+            Action::Create(t) | Action::RequestCommit(t, _) => {
+                tree.access(t).map(|info| info.object)
+            }
+            Action::InformCommit(x, _) | Action::InformAbort(x, _) => Some(x),
+            _ => None,
+        };
+        if let Some(x) = object {
+            check_obj(a, tree, x.index()).map_err(|v| (i, v))?;
+        }
+        // Route to the transaction automaton, if the event belongs to one.
+        let tx_owner = match *a {
+            Action::Create(t) | Action::RequestCommit(t, _) if !tree.is_access(t) => Some(t),
+            Action::RequestCreate(t) | Action::ReportCommit(t, _) | Action::ReportAbort(t) => {
+                tree.parent(t)
+            }
+            _ => None,
+        };
+        if let Some(t) = tx_owner {
+            txs.entry(t)
+                .or_insert_with(|| TxWellFormed::new(t))
+                .check(a, tree)
+                .map_err(|v| (i, v))?;
+        }
+        // COMMIT/ABORT are internal to the scheduler: no component schedule
+        // constraint beyond the scheduler's own preconditions.
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntx_tree::{AccessKind, TxTreeBuilder};
+
+    fn tree() -> (TxTree, TxId, TxId, TxId, ObjectId) {
+        let mut b = TxTreeBuilder::new();
+        let x = b.object("x");
+        let t1 = b.internal(TxTree::ROOT, "t1");
+        let a1 = b.access(t1, "a1", x, AccessKind::Write, 0, 1);
+        let a2 = b.access(t1, "a2", x, AccessKind::Read, 0, 0);
+        (b.build(), t1, a1, a2, x)
+    }
+
+    #[test]
+    fn tx_happy_path() {
+        let (tree, t1, a1, a2, _) = tree();
+        let mut wf = TxWellFormed::new(t1);
+        for ev in [
+            Action::Create(t1),
+            Action::RequestCreate(a1),
+            Action::ReportCommit(a1, Value(1)),
+            Action::RequestCreate(a2),
+            Action::ReportAbort(a2),
+            Action::RequestCommit(t1, Value(9)),
+        ] {
+            wf.check(&ev, &tree).unwrap();
+        }
+    }
+
+    #[test]
+    fn tx_rejects_double_create() {
+        let (tree, t1, ..) = tree();
+        let mut wf = TxWellFormed::new(t1);
+        wf.check(&Action::Create(t1), &tree).unwrap();
+        assert_eq!(
+            wf.check(&Action::Create(t1), &tree),
+            Err(WfViolation::DuplicateCreate(t1))
+        );
+    }
+
+    #[test]
+    fn tx_rejects_output_before_create() {
+        let (tree, t1, a1, ..) = tree();
+        let mut wf = TxWellFormed::new(t1);
+        assert_eq!(
+            wf.check(&Action::RequestCreate(a1), &tree),
+            Err(WfViolation::OutputBeforeCreate(t1))
+        );
+        assert_eq!(
+            wf.check(&Action::RequestCommit(t1, Value(0)), &tree),
+            Err(WfViolation::OutputBeforeCreate(t1))
+        );
+    }
+
+    #[test]
+    fn tx_rejects_output_after_request_commit() {
+        let (tree, t1, a1, ..) = tree();
+        let mut wf = TxWellFormed::new(t1);
+        wf.check(&Action::Create(t1), &tree).unwrap();
+        wf.check(&Action::RequestCommit(t1, Value(0)), &tree)
+            .unwrap();
+        assert_eq!(
+            wf.check(&Action::RequestCreate(a1), &tree),
+            Err(WfViolation::OutputAfterRequestCommit(t1))
+        );
+        assert_eq!(
+            wf.check(&Action::RequestCommit(t1, Value(0)), &tree),
+            Err(WfViolation::DuplicateRequestCommit(t1))
+        );
+    }
+
+    #[test]
+    fn tx_rejects_conflicting_reports() {
+        let (tree, t1, a1, ..) = tree();
+        let mut wf = TxWellFormed::new(t1);
+        wf.check(&Action::Create(t1), &tree).unwrap();
+        wf.check(&Action::RequestCreate(a1), &tree).unwrap();
+        wf.check(&Action::ReportCommit(a1, Value(1)), &tree)
+            .unwrap();
+        // Identical repeat is fine.
+        wf.check(&Action::ReportCommit(a1, Value(1)), &tree)
+            .unwrap();
+        assert_eq!(
+            wf.check(&Action::ReportCommit(a1, Value(2)), &tree),
+            Err(WfViolation::ConflictingReports(a1))
+        );
+        assert_eq!(
+            wf.check(&Action::ReportAbort(a1), &tree),
+            Err(WfViolation::ConflictingReports(a1))
+        );
+    }
+
+    #[test]
+    fn tx_rejects_report_without_request() {
+        let (tree, t1, a1, ..) = tree();
+        let mut wf = TxWellFormed::new(t1);
+        wf.check(&Action::Create(t1), &tree).unwrap();
+        assert_eq!(
+            wf.check(&Action::ReportAbort(a1), &tree),
+            Err(WfViolation::ReportWithoutRequestCreate(a1))
+        );
+    }
+
+    #[test]
+    fn tx_rejects_duplicate_request_create() {
+        let (tree, t1, a1, ..) = tree();
+        let mut wf = TxWellFormed::new(t1);
+        wf.check(&Action::Create(t1), &tree).unwrap();
+        wf.check(&Action::RequestCreate(a1), &tree).unwrap();
+        assert_eq!(
+            wf.check(&Action::RequestCreate(a1), &tree),
+            Err(WfViolation::DuplicateRequestCreate(a1))
+        );
+    }
+
+    #[test]
+    fn object_happy_path_and_pending() {
+        let (tree, _, a1, a2, x) = tree();
+        let mut wf = ObjectWellFormed::new(x);
+        wf.check(&Action::Create(a1), &tree).unwrap();
+        wf.check(&Action::Create(a2), &tree).unwrap();
+        assert_eq!(wf.pending().collect::<Vec<_>>(), vec![a1, a2]);
+        wf.check(&Action::RequestCommit(a1, Value(1)), &tree)
+            .unwrap();
+        assert_eq!(wf.pending().collect::<Vec<_>>(), vec![a2]);
+    }
+
+    #[test]
+    fn object_rejects_response_without_create() {
+        let (tree, _, a1, _, x) = tree();
+        let mut wf = ObjectWellFormed::new(x);
+        assert_eq!(
+            wf.check(&Action::RequestCommit(a1, Value(1)), &tree),
+            Err(WfViolation::RequestCommitBeforeCreate(a1))
+        );
+    }
+
+    #[test]
+    fn object_rejects_double_response() {
+        let (tree, _, a1, _, x) = tree();
+        let mut wf = ObjectWellFormed::new(x);
+        wf.check(&Action::Create(a1), &tree).unwrap();
+        wf.check(&Action::RequestCommit(a1, Value(1)), &tree)
+            .unwrap();
+        assert_eq!(
+            wf.check(&Action::RequestCommit(a1, Value(1)), &tree),
+            Err(WfViolation::DuplicateRequestCommit(a1))
+        );
+    }
+
+    #[test]
+    fn lock_object_inform_rules() {
+        let (tree, t1, a1, _, x) = tree();
+        let mut wf = LockObjectWellFormed::new(x);
+        // INFORM_COMMIT of an access requires a prior response.
+        assert_eq!(
+            wf.check(&Action::InformCommit(x, a1), &tree),
+            Err(WfViolation::InformCommitBeforeRequestCommit(a1))
+        );
+        // Internal transactions need no response.
+        wf.check(&Action::InformCommit(x, t1), &tree).unwrap();
+        assert_eq!(
+            wf.check(&Action::InformAbort(x, t1), &tree),
+            Err(WfViolation::InformAbortAfterInformCommit(t1))
+        );
+        let (tree2, t1b, ..) = self::tree();
+        let mut wf2 = LockObjectWellFormed::new(ObjectId::from_index(0));
+        wf2.check(&Action::InformAbort(ObjectId::from_index(0), t1b), &tree2)
+            .unwrap();
+        assert_eq!(
+            wf2.check(&Action::InformCommit(ObjectId::from_index(0), t1b), &tree2),
+            Err(WfViolation::InformCommitAfterInformAbort(t1b))
+        );
+    }
+
+    #[test]
+    fn sequence_checkers() {
+        let (tree, t1, a1, _, x) = tree();
+        let good = [
+            Action::Create(t1),
+            Action::RequestCreate(a1),
+            Action::Create(a1),
+            Action::RequestCommit(a1, Value(1)),
+            Action::Commit(a1),
+            Action::InformCommit(x, a1),
+            Action::ReportCommit(a1, Value(1)),
+            Action::RequestCommit(t1, Value(1)),
+        ];
+        check_concurrent_sequence(&good, &tree).unwrap();
+        // Serial sequences may not contain INFORM events at all — the
+        // serial checker flags them as foreign to the basic object.
+        let serial_good: Vec<Action> = good.iter().copied().filter(|a| a.is_serial()).collect();
+        check_serial_sequence(&serial_good, &tree).unwrap();
+
+        let bad = [Action::Create(t1), Action::Create(t1)];
+        let err = check_serial_sequence(&bad, &tree).unwrap_err();
+        assert_eq!(err, (1, WfViolation::DuplicateCreate(t1)));
+    }
+
+    #[test]
+    fn serial_checker_rejects_inform() {
+        let (tree, t1, _, _, x) = tree();
+        let seq = [Action::InformCommit(x, t1)];
+        assert!(check_serial_sequence(&seq, &tree).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+/// Locking discipline (see crate docs for the three-way comparison).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LockMode {
+    /// Moss' nested read/write locking — the paper's algorithm.
+    #[default]
+    MossRW,
+    /// Nested *exclusive* locking: reads take write locks. This is the
+    /// Lynch–Merritt algorithm; per the paper's §4.3 remark, Moss'
+    /// algorithm degenerates into it when all accesses are declared writes.
+    Exclusive,
+    /// Classical flat two-phase locking: locks are owned by the *top-level*
+    /// ancestor, children provide no isolation from each other, and a
+    /// failure anywhere dooms the whole top-level transaction.
+    Flat2PL,
+}
+
+/// What to do when granting a lock would deadlock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DeadlockPolicy {
+    /// Detect cycles in the wait-for graph; the requester that would close
+    /// a cycle fails immediately with [`crate::TxError::Deadlock`].
+    #[default]
+    DieOnCycle,
+    /// No detection; rely on `wait_timeout` to break deadlocks (requests
+    /// fail with [`crate::TxError::Timeout`] instead).
+    TimeoutOnly,
+    /// Wound–wait (Rosenkrantz–Stearns–Lewis): an *older* requester
+    /// (smaller top-level id) wounds — aborts — younger lock holders
+    /// instead of waiting on them; a younger requester waits for older
+    /// holders. Deadlock-free by construction: waits only ever go from
+    /// younger to older, so the wait-for graph is acyclic.
+    WoundWait,
+}
+
+/// Configuration for a [`crate::TxManager`].
+#[derive(Clone, Debug)]
+pub struct RtConfig {
+    /// Locking discipline.
+    pub mode: LockMode,
+    /// Deadlock handling.
+    pub deadlock: DeadlockPolicy,
+    /// Maximum total time a single lock request may wait before failing
+    /// with [`crate::TxError::Timeout`]. Also bounds missed-wakeup windows.
+    pub wait_timeout: Duration,
+    /// Moss' footnote-8 optimisation: drop a transaction's read lock on an
+    /// object once it holds a write lock there.
+    pub drop_read_lock_when_write_held: bool,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            mode: LockMode::MossRW,
+            deadlock: DeadlockPolicy::DieOnCycle,
+            wait_timeout: Duration::from_secs(10),
+            drop_read_lock_when_write_held: false,
+        }
+    }
+}
+
+impl RtConfig {
+    /// Convenience: default config with the given mode.
+    pub fn with_mode(mode: LockMode) -> Self {
+        RtConfig {
+            mode,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = RtConfig::default();
+        assert_eq!(c.mode, LockMode::MossRW);
+        assert_eq!(c.deadlock, DeadlockPolicy::DieOnCycle);
+        assert!(!c.drop_read_lock_when_write_held);
+    }
+
+    #[test]
+    fn with_mode() {
+        assert_eq!(
+            RtConfig::with_mode(LockMode::Flat2PL).mode,
+            LockMode::Flat2PL
+        );
+    }
+}

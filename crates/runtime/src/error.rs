@@ -1,0 +1,56 @@
+//! Runtime errors.
+
+use std::fmt;
+
+/// Errors surfaced by transaction operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TxError {
+    /// The transaction (or an ancestor) has been aborted; no further
+    /// operations are possible. Operations on descendants of an aborted
+    /// transaction fail with this error too.
+    Doomed,
+    /// Granting the lock would close a cycle in the wait-for graph; the
+    /// requester was chosen to die. Abort (or drop) the transaction and
+    /// retry from an appropriate level.
+    Deadlock,
+    /// The lock request exceeded the configured wait budget.
+    Timeout,
+    /// `commit` was called while child transactions are still live.
+    LiveChildren,
+    /// The transaction already returned (committed or aborted).
+    AlreadyFinished,
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Doomed => write!(f, "transaction aborted (self or ancestor)"),
+            TxError::Deadlock => write!(f, "deadlock detected; requester chosen as victim"),
+            TxError::Timeout => write!(f, "lock wait timed out"),
+            TxError::LiveChildren => write!(f, "cannot commit with live children"),
+            TxError::AlreadyFinished => write!(f, "transaction already committed or aborted"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TxError::Doomed.to_string().contains("aborted"));
+        assert!(TxError::Deadlock.to_string().contains("deadlock"));
+        assert!(TxError::Timeout.to_string().contains("timed out"));
+        assert!(TxError::LiveChildren.to_string().contains("live children"));
+        assert!(TxError::AlreadyFinished.to_string().contains("already"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TxError::Doomed);
+    }
+}

@@ -1,0 +1,71 @@
+//! # ntx-runtime — a practical nested-transaction manager
+//!
+//! Moss' read/write locking algorithm — the one whose correctness the PODS
+//! 1987 paper proves, and the data-management core of MIT's Argus system —
+//! packaged as a thread-safe, embeddable Rust library. Where `ntx-model` is
+//! the paper's automaton rendered executable for verification, this crate is
+//! the system a downstream user would actually run: real threads block on
+//! real locks, versions are cloned for recovery, and deadlocks are detected
+//! and broken.
+//!
+//! ## Semantics
+//!
+//! * Transactions nest arbitrarily ([`Tx::child`]). Siblings may run
+//!   concurrently in different threads.
+//! * Reads take **read locks**, writes take **write locks**. A lock is
+//!   grantable when every conflicting holder is an *ancestor* of the
+//!   requester (Moss' rule) — so a parent's data is freely available to its
+//!   descendants but protected from everyone else.
+//! * On **commit**, a transaction's locks and versions are inherited by its
+//!   parent; only a top-level commit publishes to the committed store.
+//! * On **abort**, the entire subtree's locks are discarded and every
+//!   object it wrote reverts to the version preceding the subtree — aborts
+//!   are cheap and *local*, the capability that motivates nested
+//!   transactions.
+//! * Deadlocks are detected by cycle search on the wait-for graph; the
+//!   requester that would close a cycle receives [`TxError::Deadlock`]
+//!   (die-on-cycle).
+//!
+//! ## Baselines
+//!
+//! [`LockMode`] selects the locking discipline, enabling the comparisons in
+//! the experiment suite: [`LockMode::MossRW`] (the paper's algorithm),
+//! [`LockMode::Exclusive`] (reads lock like writes — the Lynch–Merritt
+//! algorithm the paper generalises, per §4.3's degeneracy remark), and
+//! [`LockMode::Flat2PL`] (classical single-level two-phase locking: children
+//! share the top-level transaction's locks and any subtree failure dooms the
+//! whole transaction — no partial rollback).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ntx_runtime::{RtConfig, TxManager};
+//!
+//! let mgr = TxManager::new(RtConfig::default());
+//! let acct = mgr.register("account", 100i64);
+//!
+//! let tx = mgr.begin();
+//! let child = tx.child().unwrap();
+//! child.write(&acct, |b| *b -= 30).unwrap();
+//! child.commit().unwrap();              // parent inherits the lock
+//! assert_eq!(mgr.read_committed(&acct, |b| *b), 100); // not yet published
+//! tx.commit().unwrap();                 // top-level commit publishes
+//! assert_eq!(mgr.read_committed(&acct, |b| *b), 70);
+//! ```
+
+mod config;
+mod deadlock;
+mod error;
+mod manager;
+mod node;
+mod object;
+mod savepoint;
+mod stats;
+mod tx;
+
+pub use config::{DeadlockPolicy, LockMode, RtConfig};
+pub use error::TxError;
+pub use manager::{ObjRef, TxManager};
+pub use savepoint::SavepointScope;
+pub use stats::StatsSnapshot;
+pub use tx::Tx;

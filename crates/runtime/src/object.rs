@@ -1,0 +1,381 @@
+//! Per-object lock tables and version chains.
+//!
+//! This is the runtime counterpart of the model's `M(X)`: each object keeps
+//! a *base* (top-level committed) state, a *chain* of uncommitted versions —
+//! one per write-lock holder, deepest last, `chain.last()` being the current
+//! state — and a set of read-lock holders. The grant rule, inheritance at
+//! commit and discard-at-abort follow Moss exactly; the difference from the
+//! model is operational: requests that cannot be granted *block* on a
+//! condition variable instead of staying pending in an automaton.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::node::TxNode;
+
+/// Type-erased clonable state (object versions).
+pub(crate) trait AnyState: Any + Send {
+    fn clone_box(&self) -> Box<dyn AnyState>;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any + Clone + Send> AnyState for T {
+    fn clone_box(&self) -> Box<dyn AnyState> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One uncommitted version: the state as of `owner`'s writes.
+pub(crate) struct ChainEntry {
+    pub owner: Arc<TxNode>,
+    pub state: Box<dyn AnyState>,
+}
+
+/// Lock table + versions of one object (guarded by [`ObjectSlot::inner`]).
+pub(crate) struct ObjectInner {
+    /// Top-level committed state.
+    pub base: Box<dyn AnyState>,
+    /// Uncommitted versions, shallowest owner first. Owners form an
+    /// ancestor chain (the Lemma 21 invariant).
+    pub chain: Vec<ChainEntry>,
+    /// Read-lock holders.
+    pub readers: Vec<Arc<TxNode>>,
+}
+
+impl ObjectInner {
+    /// The current state: the deepest version, or the base.
+    pub fn current(&self) -> &dyn AnyState {
+        match self.chain.last() {
+            Some(e) => e.state.as_ref(),
+            None => self.base.as_ref(),
+        }
+    }
+
+    /// Transactions (other than ancestors of `tx`) holding conflicting
+    /// locks: any write holder always conflicts; readers conflict only for
+    /// write requests.
+    pub fn blockers(&self, tx: &TxNode, write: bool) -> Vec<Arc<TxNode>> {
+        let mut out: Vec<Arc<TxNode>> = self
+            .chain
+            .iter()
+            .filter(|e| !e.owner.is_ancestor_of(tx))
+            .map(|e| e.owner.clone())
+            .collect();
+        if write {
+            for r in &self.readers {
+                if !r.is_ancestor_of(tx) && !out.iter().any(|b| b.id == r.id) {
+                    out.push(r.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Moss' grant rule.
+    pub fn grantable(&self, tx: &TxNode, write: bool) -> bool {
+        let writes_ok = self.chain.iter().all(|e| e.owner.is_ancestor_of(tx));
+        if !write {
+            return writes_ok;
+        }
+        writes_ok && self.readers.iter().all(|r| r.is_ancestor_of(tx))
+    }
+
+    /// Record a read lock for `owner`.
+    pub fn add_reader(&mut self, owner: &Arc<TxNode>, skip_if_writing: bool) {
+        if skip_if_writing && self.chain.iter().any(|e| e.owner.id == owner.id) {
+            return; // footnote-8: write lock subsumes the read lock
+        }
+        if !self.readers.iter().any(|r| r.id == owner.id) {
+            self.readers.push(owner.clone());
+        }
+    }
+
+    /// Ensure the top of the chain is a version owned by `owner`, cloning
+    /// the current state if needed, and return a mutable handle to it.
+    pub fn writable_state(&mut self, owner: &Arc<TxNode>) -> &mut Box<dyn AnyState> {
+        let owns_top = matches!(self.chain.last(), Some(e) if e.owner.id == owner.id);
+        if !owns_top {
+            let snapshot = self.current().clone_box();
+            debug_assert!(
+                self.chain.iter().all(|e| e.owner.is_ancestor_of(owner)),
+                "write version pushed while non-ancestors hold locks"
+            );
+            self.chain.push(ChainEntry {
+                owner: owner.clone(),
+                state: snapshot,
+            });
+        }
+        &mut self.chain.last_mut().expect("just ensured").state
+    }
+
+    /// Commit-time inheritance: hand `tx`'s locks and version to `heir`
+    /// (`None` = publish to the base — top-level commit).
+    pub fn inherit(&mut self, tx: &TxNode, heir: Option<&Arc<TxNode>>, drop_read_on_write: bool) {
+        if let Some(pos) = self.chain.iter().position(|e| e.owner.id == tx.id) {
+            debug_assert_eq!(
+                pos,
+                self.chain.len() - 1,
+                "committing holder must be deepest"
+            );
+            let entry = self.chain.remove(pos);
+            match heir {
+                None => {
+                    self.base = entry.state;
+                }
+                Some(h) => {
+                    if let Some(parent_entry) = self.chain.iter_mut().find(|e| e.owner.id == h.id) {
+                        parent_entry.state = entry.state;
+                    } else {
+                        self.chain.push(ChainEntry {
+                            owner: h.clone(),
+                            state: entry.state,
+                        });
+                    }
+                    if drop_read_on_write {
+                        self.readers.retain(|r| r.id != h.id);
+                    }
+                }
+            }
+        }
+        if let Some(pos) = self.readers.iter().position(|r| r.id == tx.id) {
+            self.readers.swap_remove(pos);
+            if let Some(h) = heir {
+                let heir_writes = self.chain.iter().any(|e| e.owner.id == h.id);
+                if !(drop_read_on_write && heir_writes) {
+                    self.add_reader(h, false);
+                }
+            }
+        }
+    }
+
+    /// Abort-time discard: drop every version and read lock held by `tx` or
+    /// any of its descendants. The surviving deepest version (or the base)
+    /// *is* the restored state — no undo log needed.
+    pub fn discard_subtree(&mut self, tx: &TxNode) {
+        self.chain.retain(|e| !tx.is_ancestor_of(&e.owner));
+        self.readers.retain(|r| !tx.is_ancestor_of(r));
+    }
+}
+
+/// One object: its lock table plus the condition variable lock waiters park
+/// on.
+pub(crate) struct ObjectSlot {
+    pub name: String,
+    pub inner: Mutex<ObjectInner>,
+    pub cv: Condvar,
+}
+
+impl ObjectSlot {
+    pub fn new(name: String, initial: Box<dyn AnyState>) -> ObjectSlot {
+        ObjectSlot {
+            name,
+            inner: Mutex::new(ObjectInner {
+                base: initial,
+                chain: Vec::new(),
+                readers: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes() -> (Arc<TxNode>, Arc<TxNode>, Arc<TxNode>, Arc<TxNode>) {
+        let p = TxNode::top_level(1);
+        let c = TxNode::child_of(&p, 2);
+        let g = TxNode::child_of(&c, 3);
+        let q = TxNode::top_level(4);
+        (p, c, g, q)
+    }
+
+    fn inner() -> ObjectInner {
+        ObjectInner {
+            base: Box::new(0i64),
+            chain: Vec::new(),
+            readers: Vec::new(),
+        }
+    }
+
+    fn read_i64(s: &dyn AnyState) -> i64 {
+        *s.as_any().downcast_ref::<i64>().unwrap()
+    }
+
+    #[test]
+    fn write_creates_version_and_updates_current() {
+        let (p, ..) = nodes();
+        let mut o = inner();
+        *o.writable_state(&p)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 42;
+        assert_eq!(read_i64(o.current()), 42);
+        assert_eq!(
+            read_i64(o.base.as_ref()),
+            0,
+            "base untouched until top commit"
+        );
+        assert_eq!(o.chain.len(), 1);
+    }
+
+    #[test]
+    fn reentrant_write_reuses_version() {
+        let (p, ..) = nodes();
+        let mut o = inner();
+        *o.writable_state(&p)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 1;
+        *o.writable_state(&p)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 2;
+        assert_eq!(o.chain.len(), 1);
+        assert_eq!(read_i64(o.current()), 2);
+    }
+
+    #[test]
+    fn grant_rule_follows_ancestry() {
+        let (p, c, g, q) = nodes();
+        let mut o = inner();
+        let _ = o.writable_state(&c);
+        // Descendant of the holder: fine. Ancestor of the holder: blocked
+        // (the holder is not an ancestor of the requester).
+        assert!(o.grantable(&g, true));
+        assert!(!o.grantable(&p, true));
+        assert!(!o.grantable(&q, false));
+        // Readers block writers but not readers.
+        let mut o2 = inner();
+        o2.add_reader(&c, false);
+        assert!(o2.grantable(&q, false));
+        assert!(!o2.grantable(&q, true));
+        assert!(o2.grantable(&g, true), "reader is an ancestor of g");
+    }
+
+    #[test]
+    fn blockers_reported() {
+        let (p, c, _, q) = nodes();
+        let mut o = inner();
+        let _ = o.writable_state(&c);
+        o.add_reader(&p, false);
+        let b = o.blockers(&q, true);
+        let ids: Vec<u64> = b.iter().map(|n| n.id).collect();
+        assert!(ids.contains(&c.id));
+        assert!(ids.contains(&p.id));
+        // For a read request only write holders block.
+        let b = o.blockers(&q, false);
+        assert_eq!(b.iter().map(|n| n.id).collect::<Vec<_>>(), vec![c.id]);
+    }
+
+    #[test]
+    fn inherit_merges_into_parent_version() {
+        let (p, c, g, _) = nodes();
+        let mut o = inner();
+        *o.writable_state(&c)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 5;
+        *o.writable_state(&g)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 9;
+        // g commits: its version replaces... becomes c's (c already owns one).
+        o.inherit(&g, Some(&c), false);
+        assert_eq!(o.chain.len(), 1);
+        assert_eq!(o.chain[0].owner.id, c.id);
+        assert_eq!(read_i64(o.current()), 9);
+        // c commits to p (no version yet): rename.
+        o.inherit(&c, Some(&p), false);
+        assert_eq!(o.chain[0].owner.id, p.id);
+        // p top-level commit: publish to base.
+        o.inherit(&p, None, false);
+        assert!(o.chain.is_empty());
+        assert_eq!(read_i64(o.base.as_ref()), 9);
+    }
+
+    #[test]
+    fn inherit_moves_read_locks() {
+        let (p, c, _, _) = nodes();
+        let mut o = inner();
+        o.add_reader(&c, false);
+        o.inherit(&c, Some(&p), false);
+        assert_eq!(o.readers.len(), 1);
+        assert_eq!(o.readers[0].id, p.id);
+        // Top-level commit drops the read lock.
+        o.inherit(&p, None, false);
+        assert!(o.readers.is_empty());
+    }
+
+    #[test]
+    fn footnote8_drops_read_when_heir_writes() {
+        let (p, c, _, _) = nodes();
+        let mut o = inner();
+        *o.writable_state(&p)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 1;
+        o.add_reader(&c, false);
+        o.inherit(&c, Some(&p), true);
+        assert!(
+            o.readers.is_empty(),
+            "p holds a write lock; read lock dropped"
+        );
+    }
+
+    #[test]
+    fn discard_restores_previous_version() {
+        let (p, c, g, _) = nodes();
+        let mut o = inner();
+        *o.writable_state(&p)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 1;
+        *o.writable_state(&c)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 2;
+        *o.writable_state(&g)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 3;
+        o.discard_subtree(&c);
+        assert_eq!(read_i64(o.current()), 1, "c and g versions discarded");
+        assert_eq!(o.chain.len(), 1);
+        o.discard_subtree(&p);
+        assert_eq!(read_i64(o.current()), 0, "back to base");
+    }
+
+    #[test]
+    fn discard_removes_subtree_readers() {
+        let (p, c, g, q) = nodes();
+        let mut o = inner();
+        o.add_reader(&g, false);
+        o.add_reader(&q, false);
+        o.discard_subtree(&c);
+        assert_eq!(o.readers.len(), 1);
+        assert_eq!(o.readers[0].id, q.id);
+        let _ = p;
+    }
+
+    #[test]
+    fn footnote8_skips_redundant_read_lock() {
+        let (p, ..) = nodes();
+        let mut o = inner();
+        let _ = o.writable_state(&p);
+        o.add_reader(&p, true);
+        assert!(o.readers.is_empty());
+        o.add_reader(&p, false);
+        assert_eq!(o.readers.len(), 1);
+    }
+}

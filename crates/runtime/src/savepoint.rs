@@ -1,0 +1,186 @@
+//! Savepoints as sugar over nested transactions.
+//!
+//! The paper's introduction traces nested transactions back to System R,
+//! where "a recovery block can be aborted and the transaction restarted at
+//! the last savepoint". That primitive falls out of nesting: a savepoint
+//! is a child transaction that absorbs the work done since the previous
+//! one. [`SavepointScope`] packages the idiom: operations go through the
+//! *current* child; [`SavepointScope::savepoint`] commits it (work is now
+//! protected by the parent) and opens a fresh child;
+//! [`SavepointScope::rollback`] aborts it (work since the last savepoint
+//! vanishes) and opens a fresh child.
+
+use crate::error::TxError;
+use crate::manager::ObjRef;
+use crate::tx::Tx;
+
+/// A savepoint-style cursor over a parent transaction.
+///
+/// Exactly one child of the parent is open at any time; the parent must
+/// not be used for data access or other children while the scope is alive
+/// (commit would fail with [`TxError::LiveChildren`] anyway).
+pub struct SavepointScope<'a> {
+    parent: &'a Tx,
+    current: Option<Tx>,
+    savepoints: usize,
+    rollbacks: usize,
+}
+
+impl<'a> SavepointScope<'a> {
+    /// Open a scope over `parent`.
+    pub fn new(parent: &'a Tx) -> Result<Self, TxError> {
+        let current = parent.child()?;
+        Ok(SavepointScope {
+            parent,
+            current: Some(current),
+            savepoints: 0,
+            rollbacks: 0,
+        })
+    }
+
+    fn cur(&self) -> Result<&Tx, TxError> {
+        self.current.as_ref().ok_or(TxError::AlreadyFinished)
+    }
+
+    /// Read through the current recovery block.
+    pub fn read<T: 'static, R>(
+        &self,
+        obj: &ObjRef<T>,
+        f: impl FnOnce(&T) -> R,
+    ) -> Result<R, TxError> {
+        self.cur()?.read(obj, f)
+    }
+
+    /// Write through the current recovery block.
+    pub fn write<T: 'static, R>(
+        &self,
+        obj: &ObjRef<T>,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Result<R, TxError> {
+        self.cur()?.write(obj, f)
+    }
+
+    /// Take a savepoint: the work since the previous savepoint is committed
+    /// to the parent (still invisible to the outside world) and a fresh
+    /// recovery block begins.
+    pub fn savepoint(&mut self) -> Result<(), TxError> {
+        let cur = self.current.take().ok_or(TxError::AlreadyFinished)?;
+        cur.commit()?;
+        self.savepoints += 1;
+        self.current = Some(self.parent.child()?);
+        Ok(())
+    }
+
+    /// Roll back to the last savepoint: the work since then is discarded
+    /// and a fresh recovery block begins.
+    pub fn rollback(&mut self) -> Result<(), TxError> {
+        let cur = self.current.take().ok_or(TxError::AlreadyFinished)?;
+        cur.abort();
+        self.rollbacks += 1;
+        self.current = Some(self.parent.child()?);
+        Ok(())
+    }
+
+    /// Close the scope, committing the final block into the parent. The
+    /// parent remains open (commit it to publish).
+    pub fn finish(mut self) -> Result<(), TxError> {
+        if let Some(cur) = self.current.take() {
+            cur.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Savepoints taken so far.
+    pub fn savepoints(&self) -> usize {
+        self.savepoints
+    }
+
+    /// Rollbacks performed so far.
+    pub fn rollbacks(&self) -> usize {
+        self.rollbacks
+    }
+}
+
+impl Drop for SavepointScope<'_> {
+    fn drop(&mut self) {
+        // An unfinished scope discards its open block (RAII, like Tx).
+        if let Some(cur) = self.current.take() {
+            cur.abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RtConfig;
+    use crate::manager::TxManager;
+
+    #[test]
+    fn rollback_discards_only_since_last_savepoint() {
+        let mgr = TxManager::new(RtConfig::default());
+        let x = mgr.register("x", 0i64);
+        let tx = mgr.begin();
+        let mut sp = SavepointScope::new(&tx).unwrap();
+        sp.write(&x, |v| *v = 10).unwrap();
+        sp.savepoint().unwrap();
+        sp.write(&x, |v| *v = 99).unwrap();
+        assert_eq!(sp.read(&x, |v| *v).unwrap(), 99);
+        sp.rollback().unwrap();
+        assert_eq!(sp.read(&x, |v| *v).unwrap(), 10, "back to the savepoint");
+        sp.write(&x, |v| *v += 1).unwrap();
+        sp.finish().unwrap();
+        tx.commit().unwrap();
+        assert_eq!(mgr.read_committed(&x, |v| *v), 11);
+    }
+
+    #[test]
+    fn multiple_savepoints_accumulate() {
+        let mgr = TxManager::new(RtConfig::default());
+        let log = mgr.register("log", Vec::<i64>::new());
+        let tx = mgr.begin();
+        let mut sp = SavepointScope::new(&tx).unwrap();
+        for i in 0..5 {
+            sp.write(&log, |l| l.push(i)).unwrap();
+            sp.savepoint().unwrap();
+        }
+        // Work after the last savepoint gets rolled back.
+        sp.write(&log, |l| l.push(999)).unwrap();
+        sp.rollback().unwrap();
+        assert_eq!(sp.savepoints(), 5);
+        assert_eq!(sp.rollbacks(), 1);
+        sp.finish().unwrap();
+        tx.commit().unwrap();
+        assert_eq!(mgr.read_committed(&log, |l| l.clone()), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dropped_scope_discards_open_block() {
+        let mgr = TxManager::new(RtConfig::default());
+        let x = mgr.register("x", 0i64);
+        let tx = mgr.begin();
+        {
+            let mut sp = SavepointScope::new(&tx).unwrap();
+            sp.write(&x, |v| *v = 1).unwrap();
+            sp.savepoint().unwrap();
+            sp.write(&x, |v| *v = 2).unwrap();
+            // dropped here without finish()
+        }
+        assert_eq!(
+            tx.read(&x, |v| *v).unwrap(),
+            1,
+            "open block discarded, savepoint kept"
+        );
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn parent_commit_blocked_while_scope_open() {
+        let mgr = TxManager::new(RtConfig::default());
+        let tx = mgr.begin();
+        let sp = SavepointScope::new(&tx).unwrap();
+        assert_eq!(tx.commit(), Err(TxError::LiveChildren));
+        sp.finish().unwrap();
+        tx.commit().unwrap();
+    }
+}

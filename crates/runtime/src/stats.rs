@@ -1,0 +1,98 @@
+//! Runtime counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Internal atomic counters (one instance per manager).
+#[derive(Default)]
+pub(crate) struct Stats {
+    pub read_grants: AtomicU64,
+    pub write_grants: AtomicU64,
+    pub waits: AtomicU64,
+    pub wait_nanos: AtomicU64,
+    pub deadlocks: AtomicU64,
+    pub wounds: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub commits: AtomicU64,
+    pub top_commits: AtomicU64,
+    pub aborts: AtomicU64,
+    pub begun: AtomicU64,
+}
+
+impl Stats {
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            read_grants: self.read_grants.load(Ordering::Relaxed),
+            write_grants: self.write_grants.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            total_wait: Duration::from_nanos(self.wait_nanos.load(Ordering::Relaxed)),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            wounds: self.wounds.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            top_level_commits: self.top_commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            transactions_begun: self.begun.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a manager's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Read locks granted.
+    pub read_grants: u64,
+    /// Write locks granted (versions created or reused).
+    pub write_grants: u64,
+    /// Lock requests that had to block at least once.
+    pub waits: u64,
+    /// Total time spent blocked across all lock requests.
+    pub total_wait: Duration,
+    /// Requests refused as deadlock victims.
+    pub deadlocks: u64,
+    /// Younger transactions aborted by older requesters (wound–wait).
+    pub wounds: u64,
+    /// Requests that exhausted their wait budget.
+    pub timeouts: u64,
+    /// Commits at any level.
+    pub commits: u64,
+    /// Top-level commits (published to the store).
+    pub top_level_commits: u64,
+    /// Aborts at any level (explicit or via doom).
+    pub aborts: u64,
+    /// Transactions ever begun (any level).
+    pub transactions_begun: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean blocked time per waiting request.
+    pub fn mean_wait(&self) -> Duration {
+        if self.waits == 0 {
+            Duration::ZERO
+        } else {
+            self.total_wait / u32::try_from(self.waits.min(u64::from(u32::MAX))).unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let s = Stats::default();
+        s.commits.fetch_add(3, Ordering::Relaxed);
+        s.waits.fetch_add(2, Ordering::Relaxed);
+        s.wait_nanos.fetch_add(1_000_000, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 3);
+        assert_eq!(snap.waits, 2);
+        assert_eq!(snap.mean_wait(), Duration::from_nanos(500_000));
+    }
+
+    #[test]
+    fn mean_wait_zero_when_no_waits() {
+        assert_eq!(StatsSnapshot::default().mean_wait(), Duration::ZERO);
+    }
+}

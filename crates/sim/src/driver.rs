@@ -1,0 +1,196 @@
+//! Seeded, policy-weighted execution drivers.
+//!
+//! Every automaton in the model is deterministic per action; all the
+//! nondeterminism sits in *which enabled action fires next*. The drivers
+//! here resolve it with a seeded RNG and a [`DrivePolicy`] that weights
+//! action classes — most importantly how often the scheduler exercises its
+//! right to spontaneously `ABORT` a live transaction (the model-level
+//! fault-injection knob for the experiments).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ntx_automata::{Schedule, System};
+use ntx_model::{Action, ObjectSemantics, SystemSpec};
+
+/// Relative weights for choosing the next enabled action.
+#[derive(Clone, Copy, Debug)]
+pub struct DrivePolicy {
+    /// Weight of `ABORT` actions relative to weight-1 ordinary actions.
+    /// `0.0` disables spontaneous aborts entirely.
+    pub abort_weight: f64,
+    /// Weight of `INFORM_…` actions. Lower values delay lock inheritance
+    /// and release, higher values make objects learn fates promptly.
+    pub inform_weight: f64,
+    /// Step budget per run.
+    pub max_steps: usize,
+}
+
+impl Default for DrivePolicy {
+    fn default() -> Self {
+        DrivePolicy {
+            abort_weight: 0.02,
+            inform_weight: 1.0,
+            max_steps: 100_000,
+        }
+    }
+}
+
+impl DrivePolicy {
+    /// No spontaneous aborts; everything runs to commit.
+    pub fn no_aborts() -> Self {
+        DrivePolicy {
+            abort_weight: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// Aborts as likely as any other action (heavy fault injection).
+    pub fn chaos() -> Self {
+        DrivePolicy {
+            abort_weight: 1.0,
+            ..Default::default()
+        }
+    }
+
+    fn weight(&self, a: &Action) -> f64 {
+        match a {
+            Action::Abort(_) => self.abort_weight,
+            Action::InformCommit(..) | Action::InformAbort(..) => self.inform_weight,
+            _ => 1.0,
+        }
+    }
+}
+
+/// The result of one driven run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The schedule produced.
+    pub schedule: Schedule<Action>,
+    /// `true` if the system went quiescent before the step budget ran out.
+    pub quiescent: bool,
+}
+
+/// Drive an arbitrary system with the policy until quiescence or budget.
+pub fn run_system(mut sys: System<Action>, seed: u64, policy: &DrivePolicy) -> RunOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut steps = 0usize;
+    loop {
+        if steps >= policy.max_steps {
+            return RunOutcome {
+                schedule: sys.into_schedule(),
+                quiescent: false,
+            };
+        }
+        let enabled = sys.enabled_outputs();
+        if enabled.is_empty() {
+            return RunOutcome {
+                schedule: sys.into_schedule(),
+                quiescent: true,
+            };
+        }
+        let idx = weighted_pick(&enabled, policy, &mut rng);
+        sys.perform(&enabled[idx]);
+        steps += 1;
+    }
+}
+
+fn weighted_pick(enabled: &[Action], policy: &DrivePolicy, rng: &mut StdRng) -> usize {
+    let total: f64 = enabled.iter().map(|a| policy.weight(a)).sum();
+    if total <= 0.0 {
+        // All enabled actions have zero weight (e.g. only ABORTs remain
+        // with abort_weight 0): fall back to uniform so the run can end.
+        return rng.gen_range(0..enabled.len());
+    }
+    let mut u = rng.gen_range(0.0..total);
+    for (i, a) in enabled.iter().enumerate() {
+        u -= policy.weight(a);
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    enabled.len() - 1
+}
+
+/// Drive the spec's R/W Locking system.
+pub fn run_concurrent<S: ObjectSemantics>(
+    spec: &SystemSpec<S>,
+    seed: u64,
+    policy: &DrivePolicy,
+) -> RunOutcome {
+    run_system(spec.concurrent_system(), seed, policy)
+}
+
+/// Drive the spec's serial system.
+pub fn run_serial<S: ObjectSemantics>(
+    spec: &SystemSpec<S>,
+    seed: u64,
+    policy: &DrivePolicy,
+) -> RunOutcome {
+    run_system(spec.serial_system(), seed, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Workload, WorkloadConfig};
+    use ntx_model::correctness::check_serial_correctness;
+    use ntx_model::visibility::Fates;
+    use ntx_model::wellformed::check_concurrent_sequence;
+
+    fn workload() -> Workload {
+        Workload::generate(&WorkloadConfig::default(), 17)
+    }
+
+    #[test]
+    fn no_abort_policy_commits_everything() {
+        let w = workload();
+        let mut spec = w.spec.clone();
+        spec.generic_config.allow_aborts = false;
+        let out = run_concurrent(&spec, 3, &DrivePolicy::no_aborts());
+        assert!(out.quiescent, "run did not finish");
+        let fates = Fates::scan(out.schedule.as_slice());
+        for t in spec.tree.children(ntx_tree::TxTree::ROOT) {
+            assert!(fates.is_committed(*t), "{t} did not commit");
+        }
+    }
+
+    #[test]
+    fn chaos_policy_aborts_things() {
+        let w = workload();
+        let out = run_concurrent(&w.spec, 3, &DrivePolicy::chaos());
+        let aborts = out
+            .schedule
+            .iter()
+            .filter(|a| matches!(a, Action::Abort(_)))
+            .count();
+        assert!(aborts > 0, "chaos produced no aborts");
+    }
+
+    #[test]
+    fn driven_schedules_are_well_formed_and_serially_correct() {
+        let w = workload();
+        for seed in 0..10 {
+            let out = run_concurrent(&w.spec, seed, &DrivePolicy::default());
+            check_concurrent_sequence(out.schedule.as_slice(), &w.spec.tree).unwrap();
+            let report = check_serial_correctness(&w.spec, out.schedule.as_slice());
+            assert!(report.ok(), "seed {seed}: {:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn serial_runs_quiesce() {
+        let w = workload();
+        let out = run_serial(&w.spec, 5, &DrivePolicy::no_aborts());
+        assert!(out.quiescent);
+        assert!(!out.schedule.is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let w = workload();
+        let a = run_concurrent(&w.spec, 11, &DrivePolicy::default());
+        let b = run_concurrent(&w.spec, 11, &DrivePolicy::default());
+        assert_eq!(a.schedule.as_slice(), b.schedule.as_slice());
+    }
+}

@@ -1,0 +1,289 @@
+//! Schedule analytics.
+//!
+//! Experiments quantify the *concurrency* a locking discipline admits and
+//! the *work saved* by nested recovery. Both are read off schedules: how
+//! long accesses wait between invocation (`CREATE`) and response
+//! (`REQUEST_COMMIT`), how many unrelated transactions are live at once
+//! (impossible in serial schedules — Lemma 6), how much of the performed
+//! work survives to top-level commit.
+
+use std::collections::HashMap;
+
+use ntx_model::Action;
+use ntx_tree::{TxId, TxTree};
+
+/// Summary statistics of one schedule.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScheduleMetrics {
+    /// Total events.
+    pub len: usize,
+    /// `CREATE` events.
+    pub creates: usize,
+    /// `COMMIT` events.
+    pub commits: usize,
+    /// `ABORT` events.
+    pub aborts: usize,
+    /// Commits of children of `T₀`.
+    pub top_level_commits: usize,
+    /// Aborts of children of `T₀`.
+    pub top_level_aborts: usize,
+    /// Access responses (`REQUEST_COMMIT` of access leaves).
+    pub access_responses: usize,
+    /// Mean events between an access's `CREATE` and its response — the
+    /// model-level analogue of lock wait time.
+    pub mean_access_wait: f64,
+    /// Largest observed wait.
+    pub max_access_wait: usize,
+    /// Mean number of live transactions per event.
+    pub mean_live: f64,
+    /// Maximum number of simultaneously live transactions.
+    pub max_live: usize,
+    /// Maximum number of *unrelated* (no ancestor relation) live pairs seen
+    /// at any point — strictly 0 for serial schedules (Lemma 6), the
+    /// headline concurrency measure for locking disciplines.
+    pub max_unrelated_live_pairs: usize,
+    /// Accesses that responded but whose effects died with an aborted
+    /// ancestor — wasted work.
+    pub wasted_accesses: usize,
+    /// Access responses delivered *after* the `ABORT` of an ancestor — the
+    /// "orphan activity" of §3.5. Orphans that keep observing state after
+    /// their dooming abort may see mutually inconsistent data; this counts
+    /// how often plain R/W Locking lets that happen (the motivation for
+    /// the paper's companion orphan-elimination work, [HLMW]).
+    pub orphan_responses: usize,
+}
+
+/// Analyze a schedule against its system type.
+pub fn analyze(events: &[Action], tree: &TxTree) -> ScheduleMetrics {
+    let mut m = ScheduleMetrics {
+        len: events.len(),
+        ..Default::default()
+    };
+    let mut create_pos: HashMap<TxId, usize> = HashMap::new();
+    let mut live: Vec<TxId> = Vec::new();
+    let mut aborted: std::collections::HashSet<TxId> = std::collections::HashSet::new();
+    let mut wait_total = 0usize;
+    let mut live_total = 0usize;
+    let mut responded: Vec<TxId> = Vec::new();
+
+    for (i, a) in events.iter().enumerate() {
+        match *a {
+            Action::Create(t) => {
+                m.creates += 1;
+                create_pos.insert(t, i);
+                live.push(t);
+            }
+            Action::Commit(t) => {
+                m.commits += 1;
+                if tree.parent(t) == Some(TxTree::ROOT) {
+                    m.top_level_commits += 1;
+                }
+                live.retain(|&l| l != t);
+            }
+            Action::Abort(t) => {
+                m.aborts += 1;
+                aborted.insert(t);
+                if tree.parent(t) == Some(TxTree::ROOT) {
+                    m.top_level_aborts += 1;
+                }
+                live.retain(|&l| l != t);
+            }
+            Action::RequestCommit(t, _) if tree.is_access(t) => {
+                m.access_responses += 1;
+                if let Some(&c) = create_pos.get(&t) {
+                    let wait = i - c - 1;
+                    wait_total += wait;
+                    m.max_access_wait = m.max_access_wait.max(wait);
+                }
+                // Orphan activity: some ancestor already aborted in the
+                // prefix before this response.
+                if tree.ancestors(t).any(|u| aborted.contains(&u)) {
+                    m.orphan_responses += 1;
+                }
+                responded.push(t);
+            }
+            _ => {}
+        }
+        live_total += live.len();
+        m.max_live = m.max_live.max(live.len());
+        let mut unrelated = 0usize;
+        for (j, &x) in live.iter().enumerate() {
+            for &y in &live[j + 1..] {
+                if !tree.related(x, y) {
+                    unrelated += 1;
+                }
+            }
+        }
+        m.max_unrelated_live_pairs = m.max_unrelated_live_pairs.max(unrelated);
+    }
+
+    if m.access_responses > 0 {
+        m.mean_access_wait = wait_total as f64 / m.access_responses as f64;
+    }
+    if m.len > 0 {
+        m.mean_live = live_total as f64 / m.len as f64;
+    }
+
+    // Wasted work: responded accesses with an aborted ancestor.
+    let fates = ntx_model::visibility::Fates::scan(events);
+    m.wasted_accesses = responded
+        .iter()
+        .filter(|&&t| fates.is_orphan(t, tree))
+        .count();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_concurrent, run_serial, DrivePolicy};
+    use crate::workload::{Workload, WorkloadConfig};
+    use ntx_model::Value;
+    use ntx_tree::TxTreeBuilder;
+
+    #[test]
+    fn counts_basic_events() {
+        let mut b = TxTreeBuilder::new();
+        let x = b.object("x");
+        let t = b.internal(TxTree::ROOT, "t");
+        let w = b.write(t, "w", x, 1);
+        let tree = b.build();
+        let events = vec![
+            Action::Create(TxTree::ROOT),
+            Action::RequestCreate(t),
+            Action::Create(t),
+            Action::RequestCreate(w),
+            Action::Create(w),
+            Action::RequestCommit(w, Value(1)),
+            Action::Commit(w),
+            Action::RequestCommit(t, Value(1)),
+            Action::Commit(t),
+        ];
+        let m = analyze(&events, &tree);
+        assert_eq!(m.creates, 3);
+        assert_eq!(m.commits, 2);
+        assert_eq!(m.top_level_commits, 1);
+        assert_eq!(m.access_responses, 1);
+        assert_eq!(m.max_access_wait, 0);
+        assert_eq!(m.wasted_accesses, 0);
+        assert!(m.max_live >= 3);
+    }
+
+    #[test]
+    fn wasted_work_counted_on_ancestor_abort() {
+        let mut b = TxTreeBuilder::new();
+        let x = b.object("x");
+        let t = b.internal(TxTree::ROOT, "t");
+        let w = b.write(t, "w", x, 1);
+        let tree = b.build();
+        let events = vec![
+            Action::Create(t),
+            Action::Create(w),
+            Action::RequestCommit(w, Value(1)),
+            Action::Commit(w),
+            Action::Abort(t),
+        ];
+        let m = analyze(&events, &tree);
+        assert_eq!(m.wasted_accesses, 1);
+        assert_eq!(m.top_level_aborts, 1);
+    }
+
+    #[test]
+    fn orphan_responses_counted() {
+        // An access responding after its ancestor aborted is orphan
+        // activity; before the abort it is not.
+        let mut b = TxTreeBuilder::new();
+        let x = b.object("x");
+        let t = b.internal(TxTree::ROOT, "t");
+        let w1 = b.write(t, "w1", x, 1);
+        let w2 = b.write(t, "w2", x, 2);
+        let tree = b.build();
+        let events = vec![
+            Action::Create(t),
+            Action::Create(w1),
+            Action::RequestCommit(w1, Value(1)), // before abort: fine
+            Action::Abort(t),
+            Action::Create(w2),
+            Action::RequestCommit(w2, Value(2)), // orphan activity
+        ];
+        let m = analyze(&events, &tree);
+        assert_eq!(m.orphan_responses, 1);
+        assert_eq!(m.wasted_accesses, 2, "both accesses died with t");
+    }
+
+    #[test]
+    fn orphan_activity_occurs_under_chaos() {
+        // §3.5: plain R/W Locking systems let orphans keep running — the
+        // observation motivating orphan-elimination algorithms.
+        let w = Workload::generate(
+            &WorkloadConfig {
+                top_level: 3,
+                depth: 2,
+                fanout: 2,
+                ..Default::default()
+            },
+            31,
+        );
+        let mut seen = 0usize;
+        for seed in 0..40 {
+            let out = run_concurrent(&w.spec, seed, &DrivePolicy::chaos());
+            seen += analyze(out.schedule.as_slice(), &w.spec.tree).orphan_responses;
+        }
+        assert!(seen > 0, "no orphan activity in 40 chaotic runs");
+    }
+
+    #[test]
+    fn serial_schedules_have_no_unrelated_live_pairs() {
+        let w = Workload::generate(&WorkloadConfig::default(), 23);
+        for seed in 0..5 {
+            let out = run_serial(&w.spec, seed, &DrivePolicy::default());
+            let m = analyze(out.schedule.as_slice(), &w.spec.tree);
+            assert_eq!(m.max_unrelated_live_pairs, 0, "Lemma 6 violated in metrics");
+        }
+    }
+
+    #[test]
+    fn concurrent_schedules_show_concurrency() {
+        let w = Workload::generate(
+            &WorkloadConfig {
+                top_level: 4,
+                read_fraction: 1.0,
+                ..Default::default()
+            },
+            23,
+        );
+        let mut spec = w.spec.clone();
+        spec.generic_config.allow_aborts = false;
+        let mut saw_concurrency = false;
+        for seed in 0..10 {
+            let out = run_concurrent(&spec, seed, &DrivePolicy::no_aborts());
+            let m = analyze(out.schedule.as_slice(), &spec.tree);
+            if m.max_unrelated_live_pairs > 0 {
+                saw_concurrency = true;
+            }
+        }
+        assert!(
+            saw_concurrency,
+            "R/W locking admitted no concurrency on an all-read workload"
+        );
+    }
+
+    #[test]
+    fn access_waits_grow_under_contention() {
+        // One hot object, all writes: heavy blocking expected.
+        let hot = Workload::generate(
+            &WorkloadConfig {
+                top_level: 6,
+                objects: 1,
+                read_fraction: 0.0,
+                ..Default::default()
+            },
+            41,
+        );
+        let mut spec = hot.spec.clone();
+        spec.generic_config.allow_aborts = false;
+        let out = run_concurrent(&spec, 1, &DrivePolicy::no_aborts());
+        let m = analyze(out.schedule.as_slice(), &spec.tree);
+        assert!(m.max_access_wait > 0, "no blocking on a single hot object?");
+    }
+}

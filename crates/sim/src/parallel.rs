@@ -1,0 +1,205 @@
+//! Logical-time parallel makespan simulation.
+//!
+//! Wall-clock throughput only reflects a locking discipline's admitted
+//! concurrency when real cores execute transactions in parallel; on a
+//! single-core host every discipline looks the same. This module measures
+//! concurrency in *logical time* instead, directly on the formal model:
+//!
+//! * bookkeeping operations (creates, requests, commits, reports, informs)
+//!   are free — they model control transfers, not data work;
+//! * each access response (`REQUEST_COMMIT` of an access) costs one *tick*;
+//! * in one tick, **every access response currently enabled** fires —
+//!   except those disabled by responses earlier in the same tick (two
+//!   sibling writes conflict: the first to fire takes the lock, the second
+//!   waits a tick; any number of reads share a tick).
+//!
+//! The resulting **makespan** (ticks to quiescence) is the schedule length
+//! of an infinitely-parallel machine constrained only by the locking rules;
+//! `accesses / makespan` is the admitted parallel speedup. Running the same
+//! workload with `treat_reads_as_writes` gives the exclusive-locking
+//! baseline, and the serial system's makespan is simply the access count —
+//! exactly the comparison the paper's introduction motivates.
+
+use ntx_automata::System;
+use ntx_model::{Action, ObjectSemantics, SystemSpec};
+
+/// Result of a makespan simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Makespan {
+    /// Logical ticks until quiescence.
+    pub ticks: usize,
+    /// Access responses performed (= total data operations).
+    pub accesses: usize,
+    /// `accesses / ticks`: mean admitted parallelism.
+    pub speedup: f64,
+    /// `true` if the system quiesced (always, unless `max_ticks` hit).
+    pub completed: bool,
+}
+
+fn is_access_response<S: ObjectSemantics>(spec: &SystemSpec<S>, a: &Action) -> bool {
+    matches!(*a, Action::RequestCommit(t, _) if spec.tree.is_access(t))
+}
+
+/// Fire all enabled non-access actions until only access responses (or
+/// nothing) remain enabled. Deterministic: always picks the first enabled
+/// action. Requires the spec's dedup scheduler options (the defaults) so
+/// the bookkeeping closure terminates.
+fn drain_bookkeeping<S: ObjectSemantics>(spec: &SystemSpec<S>, sys: &mut System<Action>) {
+    loop {
+        let enabled = sys.enabled_outputs();
+        let Some(a) = enabled.iter().find(|a| !is_access_response(spec, a)) else {
+            return;
+        };
+        let a = *a;
+        sys.perform(&a);
+    }
+}
+
+/// Simulate the R/W Locking system of `spec` on an infinitely parallel
+/// machine (see module docs). Aborts never fire — this measures the
+/// fault-free concurrency of the locking discipline.
+pub fn parallel_makespan<S: ObjectSemantics>(spec: &SystemSpec<S>, max_ticks: usize) -> Makespan {
+    let mut spec = spec.clone();
+    spec.generic_config.allow_aborts = false;
+    let mut sys = spec.concurrent_system();
+    let mut ticks = 0usize;
+    let mut accesses = 0usize;
+    loop {
+        drain_bookkeeping(&spec, &mut sys);
+        let ready: Vec<Action> = sys
+            .enabled_outputs()
+            .into_iter()
+            .filter(|a| is_access_response(&spec, a))
+            .collect();
+        if ready.is_empty() {
+            break;
+        }
+        if ticks >= max_ticks {
+            return Makespan {
+                ticks,
+                accesses,
+                speedup: accesses as f64 / ticks.max(1) as f64,
+                completed: false,
+            };
+        }
+        ticks += 1;
+        for a in &ready {
+            // Re-check: an earlier response this tick may have taken a
+            // conflicting lock.
+            let still_enabled = sys.enabled_outputs().iter().any(|e| e == a);
+            if still_enabled {
+                sys.perform(a);
+                accesses += 1;
+            }
+        }
+    }
+    Makespan {
+        ticks,
+        accesses,
+        speedup: if ticks == 0 {
+            0.0
+        } else {
+            accesses as f64 / ticks as f64
+        },
+        completed: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Workload, WorkloadConfig};
+    use ntx_model::{StdSemantics, SystemSpec};
+    use ntx_tree::{TxTree, TxTreeBuilder};
+    use std::sync::Arc;
+
+    /// `n` top-level transactions, each with one access to the same object.
+    fn one_object(n: usize, read: bool) -> SystemSpec<StdSemantics> {
+        let mut b = TxTreeBuilder::new();
+        let x = b.object("x");
+        for i in 0..n {
+            let t = b.internal(TxTree::ROOT, format!("t{i}"));
+            if read {
+                b.read(t, "a", x);
+            } else {
+                b.write(t, "a", x, 1);
+            }
+        }
+        SystemSpec::new(Arc::new(b.build()), vec![StdSemantics::register(0)])
+    }
+
+    #[test]
+    fn concurrent_reads_share_one_tick() {
+        let m = parallel_makespan(&one_object(6, true), 1000);
+        assert!(m.completed);
+        assert_eq!(m.accesses, 6);
+        assert_eq!(m.ticks, 1, "all six reads should run in parallel");
+        assert!((m.speedup - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conflicting_writes_serialize() {
+        let m = parallel_makespan(&one_object(6, false), 1000);
+        assert!(m.completed);
+        assert_eq!(m.accesses, 6);
+        assert_eq!(m.ticks, 6, "writes to one object must serialize");
+    }
+
+    #[test]
+    fn exclusive_mode_serializes_reads() {
+        let mut spec = one_object(6, true);
+        spec.lock_config.treat_reads_as_writes = true;
+        let m = parallel_makespan(&spec, 1000);
+        assert_eq!(m.ticks, 6, "exclusive locking removes read concurrency");
+    }
+
+    #[test]
+    fn independent_objects_run_in_parallel() {
+        let mut b = TxTreeBuilder::new();
+        let objs: Vec<_> = (0..4).map(|i| b.object(format!("x{i}"))).collect();
+        for (i, &x) in objs.iter().enumerate() {
+            let t = b.internal(TxTree::ROOT, format!("t{i}"));
+            b.write(t, "w", x, 1);
+        }
+        let spec = SystemSpec::new(
+            Arc::new(b.build()),
+            (0..4).map(|_| StdSemantics::register(0)).collect(),
+        );
+        let m = parallel_makespan(&spec, 1000);
+        assert_eq!(m.ticks, 1, "disjoint writes are independent");
+        assert_eq!(m.accesses, 4);
+    }
+
+    #[test]
+    fn moss_never_slower_than_exclusive_on_random_workloads() {
+        for seed in 0..8 {
+            let cfg = WorkloadConfig {
+                top_level: 4,
+                depth: 1,
+                fanout: 2,
+                accesses_per_leaf: 1,
+                objects: 3,
+                read_fraction: 0.7,
+                ..Default::default()
+            };
+            let w = Workload::generate(&cfg, seed);
+            let moss = parallel_makespan(&w.spec, 10_000);
+            let excl = parallel_makespan(&w.exclusive_twin().spec, 10_000);
+            assert!(moss.completed && excl.completed);
+            assert_eq!(moss.accesses, excl.accesses);
+            assert!(
+                moss.ticks <= excl.ticks,
+                "seed {seed}: Moss ({}) slower than exclusive ({})",
+                moss.ticks,
+                excl.ticks
+            );
+        }
+    }
+
+    #[test]
+    fn max_ticks_respected() {
+        let m = parallel_makespan(&one_object(50, false), 10);
+        assert!(!m.completed);
+        assert_eq!(m.ticks, 10);
+    }
+}

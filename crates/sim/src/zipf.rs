@@ -1,0 +1,117 @@
+//! Zipf-distributed sampling for skewed object popularity.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `{0, 1, …, n-1}`.
+///
+/// `θ = 0` is the uniform distribution; larger θ concentrates probability
+/// on low ranks (rank `k` has weight `1 / (k+1)^θ`). θ around 0.8–1.2 is
+/// the usual "hot spot" regime in transaction-processing workloads.
+///
+/// Implemented with a precomputed CDF and binary search — exact, O(log n)
+/// per sample, no external distribution crates needed.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with skew `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(theta >= 0.0 && theta.is_finite(), "invalid skew {theta}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when the domain has a single element.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipf, samples: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut h = vec![0usize; z.len()];
+        for _ in 0..samples {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(8, 0.0);
+        let h = histogram(&z, 80_000);
+        for &count in &h {
+            assert!((8_000..12_000).contains(&count), "non-uniform: {h:?}");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_rank_zero() {
+        let z = Zipf::new(16, 1.2);
+        let h = histogram(&z, 50_000);
+        assert!(h[0] > h[8] * 4, "no hotspot: {h:?}");
+        // Monotone non-increasing in expectation; check loose ordering of
+        // first vs last.
+        assert!(h[0] > *h.last().unwrap());
+    }
+
+    #[test]
+    fn all_ranks_reachable() {
+        let z = Zipf::new(4, 1.0);
+        let h = histogram(&z, 10_000);
+        assert!(h.iter().all(|&c| c > 0), "{h:?}");
+    }
+
+    #[test]
+    fn single_rank_domain() {
+        let z = Zipf::new(1, 0.9);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

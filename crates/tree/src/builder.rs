@@ -1,0 +1,229 @@
+//! Construction of transaction trees.
+
+use crate::ids::{ObjectId, TxId};
+use crate::tree::{AccessInfo, AccessKind, Node, NodeKind, TxTree};
+
+/// Builder for [`TxTree`].
+///
+/// Nodes are added parent-first; the builder enforces that accesses are
+/// leaves (no children may be added under an access) and that every access
+/// names a previously declared object.
+///
+/// ```
+/// use ntx_tree::{AccessKind, TxTree, TxTreeBuilder};
+/// let mut b = TxTreeBuilder::new();
+/// let x = b.object("x");
+/// let t = b.internal(TxTree::ROOT, "t");
+/// b.access(t, "w", x, AccessKind::Write, 0, 7);
+/// let tree = b.build();
+/// assert_eq!(tree.len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TxTreeBuilder {
+    nodes: Vec<Node>,
+    objects: Vec<String>,
+    accesses_by_object: Vec<Vec<TxId>>,
+}
+
+impl TxTreeBuilder {
+    /// Start a new tree containing only the root `T₀`.
+    pub fn new() -> Self {
+        TxTreeBuilder {
+            nodes: vec![Node {
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+                label: "T0".to_owned(),
+                kind: NodeKind::Internal,
+            }],
+            objects: Vec::new(),
+            accesses_by_object: Vec::new(),
+        }
+    }
+
+    /// Declare a shared object.
+    pub fn object(&mut self, name: impl Into<String>) -> ObjectId {
+        let id = ObjectId::from_index(self.objects.len());
+        self.objects.push(name.into());
+        self.accesses_by_object.push(Vec::new());
+        id
+    }
+
+    /// Add an internal (non-access) transaction under `parent`.
+    ///
+    /// # Panics
+    /// Panics if `parent` is an access leaf or out of range.
+    pub fn internal(&mut self, parent: TxId, label: impl Into<String>) -> TxId {
+        self.add_node(parent, label.into(), NodeKind::Internal)
+    }
+
+    /// Add an access leaf under `parent` touching `object`.
+    ///
+    /// `opcode`/`param` select and parameterise the operation of the
+    /// object's abstract data type; they are interpreted by the object
+    /// semantics used when the tree is turned into a system.
+    ///
+    /// # Panics
+    /// Panics if `parent` is an access leaf, or `object` was not declared.
+    pub fn access(
+        &mut self,
+        parent: TxId,
+        label: impl Into<String>,
+        object: ObjectId,
+        kind: AccessKind,
+        opcode: u16,
+        param: i64,
+    ) -> TxId {
+        assert!(
+            object.index() < self.objects.len(),
+            "undeclared object {object:?}"
+        );
+        let id = self.add_node(
+            parent,
+            label.into(),
+            NodeKind::Access(AccessInfo {
+                object,
+                kind,
+                opcode,
+                param,
+            }),
+        );
+        self.accesses_by_object[object.index()].push(id);
+        id
+    }
+
+    /// Convenience: a read access with `opcode`/`param` 0.
+    pub fn read(&mut self, parent: TxId, label: impl Into<String>, object: ObjectId) -> TxId {
+        self.access(parent, label, object, AccessKind::Read, 0, 0)
+    }
+
+    /// Convenience: a write access with opcode 0 and the given parameter.
+    pub fn write(
+        &mut self,
+        parent: TxId,
+        label: impl Into<String>,
+        object: ObjectId,
+        param: i64,
+    ) -> TxId {
+        self.access(parent, label, object, AccessKind::Write, 0, param)
+    }
+
+    fn add_node(&mut self, parent: TxId, label: String, kind: NodeKind) -> TxId {
+        let pnode = self
+            .nodes
+            .get(parent.index())
+            .unwrap_or_else(|| panic!("parent {parent:?} out of range"));
+        assert!(
+            matches!(pnode.kind, NodeKind::Internal),
+            "cannot add children under access leaf {parent:?}"
+        );
+        let depth = pnode.depth + 1;
+        let id = TxId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            parent: Some(parent),
+            children: Vec::new(),
+            depth,
+            label,
+            kind,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Number of nodes added so far (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Finish construction.
+    pub fn build(self) -> TxTree {
+        TxTree {
+            nodes: self.nodes,
+            objects: self.objects,
+            accesses_by_object: self.accesses_by_object,
+        }
+    }
+}
+
+impl Default for TxTreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_only() {
+        let tree = TxTreeBuilder::new().build();
+        assert_eq!(tree.len(), 1);
+        assert!(tree.is_empty());
+        assert_eq!(tree.label(TxTree::ROOT), "T0");
+        assert_eq!(tree.kind(TxTree::ROOT), NodeKind::Internal);
+    }
+
+    #[test]
+    fn children_in_declaration_order() {
+        let mut b = TxTreeBuilder::new();
+        let a = b.internal(TxTree::ROOT, "a");
+        let c = b.internal(TxTree::ROOT, "c");
+        let bb = b.internal(TxTree::ROOT, "b");
+        let tree = b.build();
+        assert_eq!(tree.children(TxTree::ROOT), &[a, c, bb]);
+    }
+
+    #[test]
+    #[should_panic(expected = "access leaf")]
+    fn no_children_under_access() {
+        let mut b = TxTreeBuilder::new();
+        let x = b.object("x");
+        let w = b.write(TxTree::ROOT, "w", x, 1);
+        b.internal(w, "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared object")]
+    fn access_requires_declared_object() {
+        let mut b = TxTreeBuilder::new();
+        b.access(
+            TxTree::ROOT,
+            "bad",
+            ObjectId::from_index(3),
+            AccessKind::Read,
+            0,
+            0,
+        );
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        let mut b = TxTreeBuilder::new();
+        let x = b.object("x");
+        let r = b.read(TxTree::ROOT, "r", x);
+        let w = b.write(TxTree::ROOT, "w", x, 5);
+        let tree = b.build();
+        assert_eq!(tree.access(r).unwrap().kind, AccessKind::Read);
+        let wi = tree.access(w).unwrap();
+        assert_eq!(wi.kind, AccessKind::Write);
+        assert_eq!(wi.param, 5);
+    }
+
+    #[test]
+    fn object_names() {
+        let mut b = TxTreeBuilder::new();
+        let x = b.object("accounts");
+        let y = b.object("audit-log");
+        let tree = b.build();
+        assert_eq!(tree.object_name(x), "accounts");
+        assert_eq!(tree.object_name(y), "audit-log");
+        assert_eq!(tree.object_count(), 2);
+        assert_eq!(tree.all_objects().count(), 2);
+    }
+}

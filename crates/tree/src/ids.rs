@@ -1,0 +1,99 @@
+//! Compact identifiers for transactions and objects.
+
+use std::fmt;
+
+/// Identifier of a transaction name in a [`crate::TxTree`].
+///
+/// A `TxId` is an index into the tree's node arena; it is only meaningful
+/// with respect to the tree it was created by. The root transaction `T₀` is
+/// always [`crate::TxTree::ROOT`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub(crate) u32);
+
+impl TxId {
+    /// The raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a `TxId` from a raw index previously obtained via
+    /// [`TxId::index`]. The caller is responsible for using it only with the
+    /// tree it came from.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        TxId(u32::try_from(i).expect("transaction tree larger than u32::MAX"))
+    }
+}
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a shared data object.
+///
+/// Accesses — the leaves of the transaction tree — are partitioned by the
+/// object they touch; the paper associates one (basic or R/W locking) object
+/// automaton with each `ObjectId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub(crate) u32);
+
+impl ObjectId {
+    /// The raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct an `ObjectId` from a raw index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ObjectId(u32::try_from(i).expect("object table larger than u32::MAX"))
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txid_roundtrip() {
+        let t = TxId::from_index(42);
+        assert_eq!(t.index(), 42);
+        assert_eq!(format!("{t}"), "T42");
+        assert_eq!(format!("{t:?}"), "T42");
+    }
+
+    #[test]
+    fn objectid_roundtrip() {
+        let x = ObjectId::from_index(7);
+        assert_eq!(x.index(), 7);
+        assert_eq!(format!("{x}"), "X7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TxId::from_index(1) < TxId::from_index(2));
+        assert!(ObjectId::from_index(0) < ObjectId::from_index(9));
+    }
+}

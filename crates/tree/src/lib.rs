@@ -1,0 +1,40 @@
+//! # ntx-tree — transaction naming trees ("system types")
+//!
+//! Fekete, Lynch, Merritt and Weihl (PODS 1987) organise all transaction
+//! names of a nested-transaction system into a tree — the *system type* —
+//! rooted at the mythical transaction `T₀` which models the external
+//! environment. Leaves of the tree are *accesses*: each access touches a
+//! single shared object and is classified as a *read* or a *write* access.
+//! Internal nodes are ordinary (non-access) transactions whose only job is
+//! to create and manage subtransactions.
+//!
+//! The paper treats the tree as a predefined, possibly infinite naming
+//! scheme known to every component. This crate materialises the finite
+//! portion of the tree a particular system actually names, and provides the
+//! tree algebra the rest of the workspace leans on: `parent`, `ancestors`,
+//! `descendants`, least common ancestors, sibling tests, and the partition
+//! of accesses by object.
+//!
+//! ```
+//! use ntx_tree::{AccessKind, TxTreeBuilder};
+//!
+//! let mut b = TxTreeBuilder::new();
+//! let acct = b.object("account");
+//! let t1 = b.internal(ntx_tree::TxTree::ROOT, "t1");
+//! let r = b.access(t1, "read-balance", acct, AccessKind::Read, 0, 0);
+//! let w = b.access(t1, "deposit", acct, AccessKind::Write, 1, 50);
+//! let tree = b.build();
+//!
+//! assert_eq!(tree.parent(r), Some(t1));
+//! assert_eq!(tree.lca(r, w), t1);
+//! assert!(tree.is_ancestor(ntx_tree::TxTree::ROOT, w));
+//! assert_eq!(tree.accesses_of(acct).count(), 2);
+//! ```
+
+mod builder;
+mod ids;
+mod tree;
+
+pub use builder::TxTreeBuilder;
+pub use ids::{ObjectId, TxId};
+pub use tree::{AccessInfo, AccessKind, NodeKind, TxTree};

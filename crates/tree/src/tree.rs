@@ -1,0 +1,514 @@
+//! The transaction tree itself and its navigation algebra.
+
+use std::fmt;
+
+use crate::ids::{ObjectId, TxId};
+
+/// Read/write classification of an access (Section 4 of the paper).
+///
+/// Write accesses need no special semantic properties; read accesses must be
+/// *transparent* — they leave the object in an equieffective state. The R/W
+/// locking object grants read locks that conflict only with write locks.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A read access: its `REQUEST_COMMIT` must be transparent.
+    Read,
+    /// A write access: may change the object state arbitrarily.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Read`].
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// Description of what an access leaf does.
+///
+/// The paper folds the "parameters" of an access into its name (footnote 6:
+/// transactions with different inputs are different transactions). We carry
+/// the parameters explicitly: `opcode` selects an operation of the object's
+/// abstract data type and `param` is its argument; both are interpreted by
+/// the object semantics in `ntx-model`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AccessInfo {
+    /// Object this access touches.
+    pub object: ObjectId,
+    /// Read/write classification.
+    pub kind: AccessKind,
+    /// Operation selector, interpreted by the object's semantics.
+    pub opcode: u16,
+    /// Operation argument, interpreted by the object's semantics.
+    pub param: i64,
+}
+
+/// Whether a node is an internal (non-access) transaction or an access leaf.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// Non-access transaction: creates and manages subtransactions.
+    Internal,
+    /// Access leaf: performs one operation on one object.
+    Access(AccessInfo),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    pub(crate) parent: Option<TxId>,
+    pub(crate) children: Vec<TxId>,
+    pub(crate) depth: u32,
+    pub(crate) label: String,
+    pub(crate) kind: NodeKind,
+}
+
+/// A finite transaction naming tree — the *system type* of a nested
+/// transaction system.
+///
+/// Node 0 is always the root transaction `T₀` modelling the external
+/// environment. The tree is immutable once built (see
+/// [`crate::TxTreeBuilder`]); every component of a system shares a reference
+/// to it, mirroring the paper's assumption that the system type is known in
+/// advance by all components.
+#[derive(Clone, Debug)]
+pub struct TxTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) objects: Vec<String>,
+    /// Accesses partitioned by object, in creation order.
+    pub(crate) accesses_by_object: Vec<Vec<TxId>>,
+}
+
+impl TxTree {
+    /// The root transaction `T₀`.
+    pub const ROOT: TxId = TxId(0);
+
+    /// Number of transaction names in the tree (including `T₀`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the tree contains only `T₀`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Number of declared objects.
+    #[inline]
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Iterate over all transaction ids in index order (root first).
+    pub fn all_tx(&self) -> impl Iterator<Item = TxId> + '_ {
+        (0..self.nodes.len()).map(TxId::from_index)
+    }
+
+    /// Iterate over all object ids.
+    pub fn all_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        (0..self.objects.len()).map(ObjectId::from_index)
+    }
+
+    /// Human-readable label given at construction time.
+    pub fn label(&self, t: TxId) -> &str {
+        &self.nodes[t.index()].label
+    }
+
+    /// Name of an object.
+    pub fn object_name(&self, x: ObjectId) -> &str {
+        &self.objects[x.index()]
+    }
+
+    /// Parent of `t`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, t: TxId) -> Option<TxId> {
+        self.nodes[t.index()].parent
+    }
+
+    /// Children of `t` in declaration order.
+    #[inline]
+    pub fn children(&self, t: TxId) -> &[TxId] {
+        &self.nodes[t.index()].children
+    }
+
+    /// Depth of `t` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, t: TxId) -> u32 {
+        self.nodes[t.index()].depth
+    }
+
+    /// Node classification of `t`.
+    #[inline]
+    pub fn kind(&self, t: TxId) -> NodeKind {
+        self.nodes[t.index()].kind
+    }
+
+    /// `true` if `t` is an access leaf.
+    #[inline]
+    pub fn is_access(&self, t: TxId) -> bool {
+        matches!(self.nodes[t.index()].kind, NodeKind::Access(_))
+    }
+
+    /// Access description of `t`, or `None` if `t` is internal.
+    #[inline]
+    pub fn access(&self, t: TxId) -> Option<AccessInfo> {
+        match self.nodes[t.index()].kind {
+            NodeKind::Access(a) => Some(a),
+            NodeKind::Internal => None,
+        }
+    }
+
+    /// All accesses to object `x`, in declaration order.
+    pub fn accesses_of(&self, x: ObjectId) -> impl Iterator<Item = TxId> + '_ {
+        self.accesses_by_object[x.index()].iter().copied()
+    }
+
+    /// `true` iff `anc` is an ancestor of `t`.
+    ///
+    /// Following the paper's convention, a transaction is an ancestor (and a
+    /// descendant) of itself.
+    pub fn is_ancestor(&self, anc: TxId, t: TxId) -> bool {
+        let mut cur = t;
+        let target_depth = self.depth(anc);
+        while self.depth(cur) > target_depth {
+            cur = self.nodes[cur.index()].parent.expect("non-root has parent");
+        }
+        cur == anc
+    }
+
+    /// `true` iff `t` is a *proper* ancestor of `d` (ancestor and not equal).
+    #[inline]
+    pub fn is_proper_ancestor(&self, t: TxId, d: TxId) -> bool {
+        t != d && self.is_ancestor(t, d)
+    }
+
+    /// `true` iff `a` and `b` are related by ancestry (either direction,
+    /// including equality).
+    pub fn related(&self, a: TxId, b: TxId) -> bool {
+        self.is_ancestor(a, b) || self.is_ancestor(b, a)
+    }
+
+    /// `true` iff `a` and `b` are distinct children of the same parent.
+    pub fn are_siblings(&self, a: TxId, b: TxId) -> bool {
+        a != b && self.parent(a).is_some() && self.parent(a) == self.parent(b)
+    }
+
+    /// Least common ancestor of `a` and `b`.
+    pub fn lca(&self, a: TxId, b: TxId) -> TxId {
+        let (mut a, mut b) = (a, b);
+        while self.depth(a) > self.depth(b) {
+            a = self.parent(a).expect("deeper node has parent");
+        }
+        while self.depth(b) > self.depth(a) {
+            b = self.parent(b).expect("deeper node has parent");
+        }
+        while a != b {
+            a = self.parent(a).expect("distinct nodes below root");
+            b = self.parent(b).expect("distinct nodes below root");
+        }
+        a
+    }
+
+    /// Iterate `t`, parent(`t`), …, `T₀` (inclusive at both ends).
+    pub fn ancestors(&self, t: TxId) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            cur: Some(t),
+        }
+    }
+
+    /// Iterate the *proper* ancestors of `t`: parent(`t`), …, `T₀`.
+    pub fn proper_ancestors(&self, t: TxId) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            cur: self.parent(t),
+        }
+    }
+
+    /// The ancestors of `t` that are proper descendants of `anc`, ordered
+    /// from `t` upward. This is the chain quantified over in the paper's
+    /// "committed to" definition. Returns `None` if `anc` is not an
+    /// ancestor of `t`.
+    pub fn chain_below(&self, t: TxId, anc: TxId) -> Option<Vec<TxId>> {
+        if !self.is_ancestor(anc, t) {
+            return None;
+        }
+        let mut chain = Vec::new();
+        let mut cur = t;
+        while cur != anc {
+            chain.push(cur);
+            cur = self.parent(cur).expect("anc is an ancestor");
+        }
+        Some(chain)
+    }
+
+    /// The child of `anc` that is an ancestor of `t` (useful for Lemma 7.4
+    /// style reasoning). `None` if `anc` is not a proper ancestor of `t`.
+    pub fn child_toward(&self, anc: TxId, t: TxId) -> Option<TxId> {
+        if !self.is_proper_ancestor(anc, t) {
+            return None;
+        }
+        let mut cur = t;
+        loop {
+            let p = self.parent(cur).expect("anc is a proper ancestor");
+            if p == anc {
+                return Some(cur);
+            }
+            cur = p;
+        }
+    }
+
+    /// Iterate the subtree rooted at `t` in preorder (including `t`).
+    pub fn descendants(&self, t: TxId) -> Descendants<'_> {
+        Descendants {
+            tree: self,
+            stack: vec![t],
+        }
+    }
+
+    /// All access leaves in the subtree rooted at `t`, preorder.
+    pub fn access_leaves(&self, t: TxId) -> impl Iterator<Item = TxId> + '_ {
+        self.descendants(t).filter(|&d| self.is_access(d))
+    }
+
+    /// Dotted path of node labels from the root to `t`, e.g. `T0.job.read`.
+    pub fn path(&self, t: TxId) -> String {
+        let mut parts: Vec<&str> = self.ancestors(t).map(|a| self.label(a)).collect();
+        parts.reverse();
+        parts.join(".")
+    }
+
+    /// Render the whole tree as an indented listing (for debugging and
+    /// example output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(TxTree::ROOT, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, t: TxId, indent: usize, out: &mut String) {
+        use fmt::Write as _;
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        match self.kind(t) {
+            NodeKind::Internal => {
+                let _ = writeln!(out, "{t} {}", self.label(t));
+            }
+            NodeKind::Access(a) => {
+                let _ = writeln!(
+                    out,
+                    "{t} {} [{} {} op{} #{}]",
+                    self.label(t),
+                    a.kind,
+                    self.object_name(a.object),
+                    a.opcode,
+                    a.param
+                );
+            }
+        }
+        for &c in self.children(t) {
+            self.render_into(c, indent + 1, out);
+        }
+    }
+}
+
+/// Iterator over a node's ancestor chain; see [`TxTree::ancestors`].
+pub struct Ancestors<'a> {
+    tree: &'a TxTree,
+    cur: Option<TxId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = TxId;
+
+    fn next(&mut self) -> Option<TxId> {
+        let cur = self.cur?;
+        self.cur = self.tree.parent(cur);
+        Some(cur)
+    }
+}
+
+/// Preorder iterator over a subtree; see [`TxTree::descendants`].
+pub struct Descendants<'a> {
+    tree: &'a TxTree,
+    stack: Vec<TxId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = TxId;
+
+    fn next(&mut self) -> Option<TxId> {
+        let t = self.stack.pop()?;
+        // Push children in reverse so preorder visits them left-to-right.
+        for &c in self.tree.children(t).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TxTreeBuilder;
+
+    /// T0 ── t1 ── {r1, w1}
+    ///    └─ t2 ── {t3 ── {r2}, w2}
+    fn sample() -> (TxTree, [TxId; 7], ObjectId) {
+        let mut b = TxTreeBuilder::new();
+        let x = b.object("x");
+        let t1 = b.internal(TxTree::ROOT, "t1");
+        let r1 = b.access(t1, "r1", x, AccessKind::Read, 0, 0);
+        let w1 = b.access(t1, "w1", x, AccessKind::Write, 1, 10);
+        let t2 = b.internal(TxTree::ROOT, "t2");
+        let t3 = b.internal(t2, "t3");
+        let r2 = b.access(t3, "r2", x, AccessKind::Read, 0, 0);
+        let w2 = b.access(t2, "w2", x, AccessKind::Write, 1, 20);
+        (b.build(), [t1, r1, w1, t2, t3, r2, w2], x)
+    }
+
+    #[test]
+    fn parent_and_depth() {
+        let (tree, [t1, r1, _, t2, t3, r2, _], _) = sample();
+        assert_eq!(tree.parent(TxTree::ROOT), None);
+        assert_eq!(tree.parent(t1), Some(TxTree::ROOT));
+        assert_eq!(tree.parent(r2), Some(t3));
+        assert_eq!(tree.depth(TxTree::ROOT), 0);
+        assert_eq!(tree.depth(t2), 1);
+        assert_eq!(tree.depth(t3), 2);
+        assert_eq!(tree.depth(r2), 3);
+        assert_eq!(tree.depth(r1), 2);
+    }
+
+    #[test]
+    fn ancestor_is_reflexive() {
+        let (tree, ids, _) = sample();
+        for t in ids {
+            assert!(tree.is_ancestor(t, t));
+            assert!(!tree.is_proper_ancestor(t, t));
+        }
+    }
+
+    #[test]
+    fn ancestor_chains() {
+        let (tree, [t1, r1, _, t2, t3, r2, _], _) = sample();
+        assert!(tree.is_ancestor(TxTree::ROOT, r2));
+        assert!(tree.is_ancestor(t2, r2));
+        assert!(tree.is_ancestor(t3, r2));
+        assert!(!tree.is_ancestor(t1, r2));
+        assert!(!tree.is_ancestor(r1, t1));
+        assert!(tree.is_proper_ancestor(t2, t3));
+    }
+
+    #[test]
+    fn lca_cases() {
+        let (tree, [t1, r1, w1, t2, t3, r2, w2], _) = sample();
+        assert_eq!(tree.lca(r1, w1), t1);
+        assert_eq!(tree.lca(r1, r2), TxTree::ROOT);
+        assert_eq!(tree.lca(r2, w2), t2);
+        assert_eq!(tree.lca(t3, t3), t3);
+        assert_eq!(tree.lca(t2, r2), t2);
+        assert_eq!(tree.lca(TxTree::ROOT, w2), TxTree::ROOT);
+        // lca is symmetric.
+        assert_eq!(tree.lca(w2, r2), tree.lca(r2, w2));
+        assert_eq!(tree.lca(t1, t2), TxTree::ROOT);
+    }
+
+    #[test]
+    fn siblings() {
+        let (tree, [t1, r1, w1, t2, t3, _, w2], _) = sample();
+        assert!(tree.are_siblings(t1, t2));
+        assert!(tree.are_siblings(r1, w1));
+        assert!(tree.are_siblings(t3, w2));
+        assert!(!tree.are_siblings(t1, t1));
+        assert!(!tree.are_siblings(r1, w2));
+        assert!(!tree.are_siblings(TxTree::ROOT, t1));
+    }
+
+    #[test]
+    fn ancestors_iterator() {
+        let (tree, [_, _, _, t2, t3, r2, _], _) = sample();
+        let chain: Vec<_> = tree.ancestors(r2).collect();
+        assert_eq!(chain, vec![r2, t3, t2, TxTree::ROOT]);
+        let proper: Vec<_> = tree.proper_ancestors(r2).collect();
+        assert_eq!(proper, vec![t3, t2, TxTree::ROOT]);
+        assert_eq!(tree.ancestors(TxTree::ROOT).count(), 1);
+    }
+
+    #[test]
+    fn chain_below_matches_committed_to_quantifier() {
+        let (tree, [t1, _, _, t2, t3, r2, _], _) = sample();
+        assert_eq!(tree.chain_below(r2, t2), Some(vec![r2, t3]));
+        assert_eq!(tree.chain_below(r2, TxTree::ROOT), Some(vec![r2, t3, t2]));
+        assert_eq!(tree.chain_below(t2, t2), Some(vec![]));
+        assert_eq!(tree.chain_below(r2, t1), None);
+    }
+
+    #[test]
+    fn child_toward() {
+        let (tree, [t1, _, _, t2, t3, r2, _], _) = sample();
+        assert_eq!(tree.child_toward(TxTree::ROOT, r2), Some(t2));
+        assert_eq!(tree.child_toward(t2, r2), Some(t3));
+        assert_eq!(tree.child_toward(t3, r2), Some(r2));
+        assert_eq!(tree.child_toward(r2, r2), None);
+        assert_eq!(tree.child_toward(t1, r2), None);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (tree, [t1, r1, w1, t2, t3, r2, w2], _) = sample();
+        let all: Vec<_> = tree.descendants(TxTree::ROOT).collect();
+        assert_eq!(all, vec![TxTree::ROOT, t1, r1, w1, t2, t3, r2, w2]);
+        let sub: Vec<_> = tree.descendants(t2).collect();
+        assert_eq!(sub, vec![t2, t3, r2, w2]);
+    }
+
+    #[test]
+    fn access_partition() {
+        let (tree, [_, r1, w1, _, _, r2, w2], x) = sample();
+        let accesses: Vec<_> = tree.accesses_of(x).collect();
+        assert_eq!(accesses, vec![r1, w1, r2, w2]);
+        assert!(tree.is_access(r1));
+        assert!(!tree.is_access(TxTree::ROOT));
+        let info = tree.access(w2).unwrap();
+        assert_eq!(info.kind, AccessKind::Write);
+        assert_eq!(info.param, 20);
+        assert_eq!(tree.access(TxTree::ROOT), None);
+    }
+
+    #[test]
+    fn access_leaves_of_subtree() {
+        let (tree, [_, _, _, t2, _, r2, w2], _) = sample();
+        let leaves: Vec<_> = tree.access_leaves(t2).collect();
+        assert_eq!(leaves, vec![r2, w2]);
+    }
+
+    #[test]
+    fn paths_and_render() {
+        let (tree, [_, _, _, _, _, r2, _], _) = sample();
+        assert_eq!(tree.path(r2), "T0.t2.t3.r2");
+        let rendered = tree.render();
+        assert!(rendered.contains("t3"));
+        assert!(rendered.contains("read"));
+    }
+
+    #[test]
+    fn related_relation() {
+        let (tree, [t1, _, _, t2, t3, _, _], _) = sample();
+        assert!(tree.related(t2, t3));
+        assert!(tree.related(t3, t2));
+        assert!(tree.related(t2, t2));
+        assert!(!tree.related(t1, t3));
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the nested-transaction runtime in five minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ntx_runtime::{RtConfig, TxError, TxManager};
+
+fn main() -> Result<(), TxError> {
+    // A manager owns the shared objects and hands out transactions.
+    let mgr = TxManager::new(RtConfig::default());
+    let checking = mgr.register("checking", 100i64);
+    let savings = mgr.register("savings", 50i64);
+    let audit = mgr.register("audit-log", Vec::<String>::new());
+
+    // ---------------------------------------------------------------
+    // 1. A top-level transaction with nested subtransactions.
+    // ---------------------------------------------------------------
+    let tx = mgr.begin();
+
+    // Subtransaction: move 30 from checking to savings atomically.
+    let transfer = tx.child()?;
+    transfer.write(&checking, |b| *b -= 30)?;
+    transfer.write(&savings, |b| *b += 30)?;
+    transfer.commit()?; // locks + versions inherited by `tx`
+
+    // The parent sees the transferred balances...
+    assert_eq!(tx.read(&checking, |b| *b)?, 70);
+    assert_eq!(tx.read(&savings, |b| *b)?, 80);
+    // ...but the outside world still sees the committed state.
+    assert_eq!(mgr.read_committed(&checking, |b| *b), 100);
+
+    // ---------------------------------------------------------------
+    // 2. Independent subtransaction abort: only the child rolls back.
+    // ---------------------------------------------------------------
+    let risky = tx.child()?;
+    risky.write(&checking, |b| *b -= 1_000_000)?; // oops
+    risky.abort(); // checking reverts to 70 — the parent's work survives
+
+    assert_eq!(tx.read(&checking, |b| *b)?, 70);
+
+    // ---------------------------------------------------------------
+    // 3. run_child: commit on Ok, abort on Err.
+    // ---------------------------------------------------------------
+    let result: Result<i64, TxError> = tx.run_child(|c| {
+        let bal = c.read(&checking, |b| *b)?;
+        if bal < 80 {
+            c.write(&audit, |log| log.push(format!("low balance: {bal}")))?;
+        }
+        Ok(bal)
+    });
+    println!("checking balance inside tx: {}", result?);
+
+    // ---------------------------------------------------------------
+    // 4. Top-level commit publishes everything at once.
+    // ---------------------------------------------------------------
+    tx.commit()?;
+    assert_eq!(mgr.read_committed(&checking, |b| *b), 70);
+    assert_eq!(mgr.read_committed(&savings, |b| *b), 80);
+    assert_eq!(mgr.read_committed(&audit, |log| log.len()), 1);
+
+    println!("final checking = {}", mgr.read_committed(&checking, |b| *b));
+    println!("final savings  = {}", mgr.read_committed(&savings, |b| *b));
+    println!(
+        "audit entries  = {:?}",
+        mgr.read_committed(&audit, |l| l.clone())
+    );
+    println!("stats          = {:?}", mgr.stats());
+    Ok(())
+}

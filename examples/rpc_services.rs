@@ -1,0 +1,146 @@
+//! Nested remote-procedure-call services — the workload that motivated
+//! nested transactions in Argus (the paper's introduction: "providing a
+//! service will often require using other services, [so] the transactions
+//! that implement services ought to be nested").
+//!
+//! A travel-booking *service* calls a flight service and a hotel service;
+//! each call is a subtransaction. When the preferred hotel is full the
+//! hotel subtransaction aborts **independently** — its reservation rolls
+//! back — and the booking service falls back to another hotel without
+//! disturbing the already-booked flight. That partial-recovery pattern is
+//! exactly what flat transactions cannot do.
+//!
+//! Run with: `cargo run --example rpc_services`
+
+use ntx_runtime::{ObjRef, RtConfig, Tx, TxError, TxManager};
+
+#[derive(Clone, Debug, Default)]
+struct Inventory {
+    free: i64,
+    reservations: Vec<String>,
+}
+
+struct Services {
+    flights: ObjRef<Inventory>,
+    hotel_plaza: ObjRef<Inventory>,
+    hotel_budget: ObjRef<Inventory>,
+    ledger: ObjRef<i64>,
+}
+
+/// "Flight service": reserve one seat, debit the ledger.
+fn book_flight(tx: &Tx, s: &Services, who: &str) -> Result<(), TxError> {
+    tx.run_child(|c| {
+        let ok = c.write(&s.flights, |inv| {
+            if inv.free > 0 {
+                inv.free -= 1;
+                inv.reservations.push(who.to_owned());
+                true
+            } else {
+                false
+            }
+        })?;
+        if !ok {
+            return Err(TxError::Doomed); // abort this subtransaction only
+        }
+        c.write(&s.ledger, |l| *l += 120)?;
+        Ok(())
+    })
+}
+
+/// "Hotel service": reserve one room at the given hotel.
+fn book_hotel(tx: &Tx, hotel: &ObjRef<Inventory>, s: &Services, who: &str) -> Result<(), TxError> {
+    tx.run_child(|c| {
+        let ok = c.write(hotel, |inv| {
+            if inv.free > 0 {
+                inv.free -= 1;
+                inv.reservations.push(who.to_owned());
+                true
+            } else {
+                false
+            }
+        })?;
+        if !ok {
+            return Err(TxError::Doomed);
+        }
+        c.write(&s.ledger, |l| *l += 80)?;
+        Ok(())
+    })
+}
+
+/// "Travel service": one atomic trip = flight + (plaza hotel, else budget
+/// hotel). Any unrecoverable failure aborts the whole trip.
+fn book_trip(mgr: &TxManager, s: &Services, who: &str) -> Result<String, TxError> {
+    let tx = mgr.begin();
+    book_flight(&tx, s, who)?;
+    // Preferred hotel first; on failure the *subtransaction* rolled back,
+    // so falling back leaves no partial hotel state behind.
+    let hotel = match book_hotel(&tx, &s.hotel_plaza, s, who) {
+        Ok(()) => "plaza",
+        Err(_) => {
+            book_hotel(&tx, &s.hotel_budget, s, who)?;
+            "budget"
+        }
+    };
+    tx.commit()?;
+    Ok(hotel.to_owned())
+}
+
+fn main() {
+    let mgr = TxManager::new(RtConfig::default());
+    let s = Services {
+        flights: mgr.register(
+            "flights",
+            Inventory {
+                free: 10,
+                reservations: vec![],
+            },
+        ),
+        hotel_plaza: mgr.register(
+            "plaza",
+            Inventory {
+                free: 2,
+                reservations: vec![],
+            },
+        ),
+        hotel_budget: mgr.register(
+            "budget",
+            Inventory {
+                free: 10,
+                reservations: vec![],
+            },
+        ),
+        ledger: mgr.register("ledger", 0i64),
+    };
+
+    // Five travellers; the plaza only has two rooms, so three fall back.
+    for who in ["ada", "grace", "edsger", "barbara", "leslie"] {
+        match book_trip(&mgr, &s, who) {
+            Ok(hotel) => println!("{who:8} booked: flight + {hotel}"),
+            Err(e) => println!("{who:8} failed: {e}"),
+        }
+    }
+
+    let plaza = mgr.read_committed(&s.hotel_plaza, |i| i.clone());
+    let budget = mgr.read_committed(&s.hotel_budget, |i| i.clone());
+    let flights = mgr.read_committed(&s.flights, |i| i.clone());
+    let ledger = mgr.read_committed(&s.ledger, |l| *l);
+
+    println!(
+        "\nplaza rooms left:  {} ({:?})",
+        plaza.free, plaza.reservations
+    );
+    println!(
+        "budget rooms left: {} ({:?})",
+        budget.free, budget.reservations
+    );
+    println!("flight seats left: {}", flights.free);
+    println!("ledger total:      {ledger}");
+
+    // Every committed trip purchased exactly one flight (120) + one hotel
+    // (80); failed hotel attempts must have left NO ledger residue.
+    assert_eq!(plaza.reservations.len(), 2);
+    assert_eq!(budget.reservations.len(), 3);
+    assert_eq!(flights.reservations.len(), 5);
+    assert_eq!(ledger, 5 * (120 + 80));
+    println!("\nno partial bookings leaked ✓");
+}

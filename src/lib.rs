@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the nested-transaction workspace.
+pub use ntx_automata as automata;
+pub use ntx_conform as conform;
+pub use ntx_model as model;
+pub use ntx_runtime as runtime;
+pub use ntx_sim as sim;
+pub use ntx_tree as tree;
+
+/// The README's code examples, compiled and run as doctests.
+#[doc = include_str!("../README.md")]
+mod _readme_doctests {}

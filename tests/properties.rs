@@ -1,0 +1,281 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * tree algebra laws (lca, ancestry, chains);
+//! * Lemma 20: write-equal object schedules are equieffective (replay to
+//!   equal states) for every standard semantics;
+//! * well-formedness characterisation (Lemma 2/3 shape of accepted
+//!   sequences);
+//! * runtime version chains: random nested write/abort/commit sequences
+//!   always restore exactly the right state.
+
+use proptest::prelude::*;
+
+use ntx_model::equieffective::{replay_final_state, write_equal};
+use ntx_model::{Action, Value};
+use ntx_tree::{AccessKind, ObjectId, TxId, TxTree, TxTreeBuilder};
+
+// ---------------------------------------------------------------------
+// Tree algebra.
+// ---------------------------------------------------------------------
+
+/// Build a random tree from a parent-pointer list (parent[i] < i+1).
+fn tree_from_parents(parents: &[usize]) -> TxTree {
+    let mut b = TxTreeBuilder::new();
+    let mut ids = vec![TxTree::ROOT];
+    for (i, &p) in parents.iter().enumerate() {
+        let parent = ids[p.min(ids.len() - 1)];
+        ids.push(b.internal(parent, format!("n{i}")));
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn lca_laws(parents in proptest::collection::vec(0usize..12, 1..12),
+                a in 0usize..12, c in 0usize..12) {
+        let tree = tree_from_parents(&parents);
+        let n = tree.len();
+        let a = TxId::from_index(a % n);
+        let c = TxId::from_index(c % n);
+        let l = tree.lca(a, c);
+        // lca is an ancestor of both.
+        prop_assert!(tree.is_ancestor(l, a));
+        prop_assert!(tree.is_ancestor(l, c));
+        // symmetric and idempotent.
+        prop_assert_eq!(tree.lca(c, a), l);
+        prop_assert_eq!(tree.lca(a, a), a);
+        // deepest common ancestor: no child of lca is a common ancestor.
+        for &ch in tree.children(l) {
+            prop_assert!(!(tree.is_ancestor(ch, a) && tree.is_ancestor(ch, c)));
+        }
+    }
+
+    #[test]
+    fn ancestry_antisymmetric_and_chainlike(
+        parents in proptest::collection::vec(0usize..12, 1..12),
+        a in 0usize..12, c in 0usize..12)
+    {
+        let tree = tree_from_parents(&parents);
+        let n = tree.len();
+        let a = TxId::from_index(a % n);
+        let c = TxId::from_index(c % n);
+        if tree.is_ancestor(a, c) && tree.is_ancestor(c, a) {
+            prop_assert_eq!(a, c);
+        }
+        // chain_below covers exactly the proper descendants on the path.
+        if tree.is_ancestor(a, c) {
+            let chain = tree.chain_below(c, a).unwrap();
+            prop_assert_eq!(chain.len() as u32, tree.depth(c) - tree.depth(a));
+            for u in chain {
+                prop_assert!(tree.is_proper_ancestor(a, u));
+                prop_assert!(tree.is_ancestor(u, c));
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_preorder_consistent(
+        parents in proptest::collection::vec(0usize..10, 1..10),
+        a in 0usize..10)
+    {
+        let tree = tree_from_parents(&parents);
+        let a = TxId::from_index(a % tree.len());
+        let desc: Vec<TxId> = tree.descendants(a).collect();
+        // Every listed node is a descendant; every tree node is listed iff
+        // it is a descendant.
+        for t in tree.all_tx() {
+            prop_assert_eq!(desc.contains(&t), tree.is_ancestor(a, t));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lemma 20: write-equal schedules are equieffective.
+// ---------------------------------------------------------------------
+
+/// A tree with `n` accesses to a single object; opcode/param/kind supplied.
+fn access_tree(specs: &[(bool, u16, i64)]) -> (TxTree, Vec<TxId>, ObjectId) {
+    let mut b = TxTreeBuilder::new();
+    let x = b.object("x");
+    let t = b.internal(TxTree::ROOT, "t");
+    let ids = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(is_read, opcode, param))| {
+            let kind = if is_read {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
+            b.access(t, format!("a{i}"), x, kind, opcode % 2, param)
+        })
+        .collect();
+    (b.build(), ids, x)
+}
+
+fn all_semantics() -> Vec<ntx_model::StdSemantics> {
+    vec![
+        ntx_model::StdSemantics::register(0),
+        ntx_model::StdSemantics::counter(0),
+        ntx_model::StdSemantics::account(10),
+        ntx_model::StdSemantics::IntSet,
+        ntx_model::StdSemantics::Log,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lemma20_write_equal_implies_equieffective(
+        specs in proptest::collection::vec((any::<bool>(), 0u16..2, -5i64..6), 1..8),
+        seed in 0u64..1000)
+    {
+        let (tree, ids, x) = access_tree(&specs);
+        // Schedule A: responses in declaration order.
+        let sched_a: Vec<Action> =
+            ids.iter().map(|&t| Action::RequestCommit(t, Value(0))).collect();
+        // Schedule B: reads shuffled around (writes keep their order).
+        let mut reads: Vec<Action> = sched_a
+            .iter()
+            .filter(|a| matches!(**a, Action::RequestCommit(t, _) if
+                tree.access(t).unwrap().kind == AccessKind::Read))
+            .copied()
+            .collect();
+        let writes: Vec<Action> = sched_a
+            .iter()
+            .filter(|a| matches!(**a, Action::RequestCommit(t, _) if
+                tree.access(t).unwrap().kind == AccessKind::Write))
+            .copied()
+            .collect();
+        // Deterministic pseudo-shuffle of read positions.
+        let mut sched_b = writes.clone();
+        let mut s = seed;
+        while let Some(r) = reads.pop() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pos = (s >> 33) as usize % (sched_b.len() + 1);
+            sched_b.insert(pos, r);
+        }
+        prop_assert!(write_equal(&sched_a, &sched_b, &tree, x));
+        for sem in all_semantics() {
+            let fa = replay_final_state(&sched_a, &tree, x, &sem);
+            let fb = replay_final_state(&sched_b, &tree, x, &sem);
+            prop_assert_eq!(fa, fb, "semantics {:?} distinguished write-equal schedules", sem);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Well-formedness characterisation (Lemma 3): a sequence of object events
+// is accepted iff each access appears as nothing, CREATE, or
+// CREATE→REQUEST_COMMIT.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn lemma3_characterisation(ops in proptest::collection::vec((0usize..3, any::<bool>()), 0..12)) {
+        let specs: Vec<(bool, u16, i64)> = vec![(false, 0, 1); 3];
+        let (tree, ids, x) = access_tree(&specs);
+        let seq: Vec<Action> = ops
+            .iter()
+            .map(|&(i, is_create)| {
+                if is_create {
+                    Action::Create(ids[i])
+                } else {
+                    Action::RequestCommit(ids[i], Value(0))
+                }
+            })
+            .collect();
+        let mut wf = ntx_model::wellformed::ObjectWellFormed::new(x);
+        let mut accepted = true;
+        for a in &seq {
+            if wf.check(a, &tree).is_err() {
+                accepted = false;
+                break;
+            }
+        }
+        // Reference predicate straight from Lemma 3.
+        let mut reference = true;
+        'outer: for (k, a) in seq.iter().enumerate() {
+            match *a {
+                Action::Create(t) => {
+                    if seq[..k].contains(&Action::Create(t)) {
+                        reference = false;
+                        break 'outer;
+                    }
+                }
+                Action::RequestCommit(t, v) => {
+                    if !seq[..k].contains(&Action::Create(t))
+                        || seq[..k].iter().any(|b| matches!(*b, Action::RequestCommit(u, _) if u == t))
+                    {
+                        let _ = v;
+                        reference = false;
+                        break 'outer;
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        prop_assert_eq!(accepted, reference);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime version chains: random nested write/commit/abort always restores
+// exactly the reference state.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn runtime_nested_rollback_matches_reference(
+        script in proptest::collection::vec((0u8..4, 0i64..10), 1..30))
+    {
+        use ntx_runtime::{RtConfig, TxManager, Tx};
+        let mgr = TxManager::new(RtConfig::default());
+        let obj = mgr.register("x", 0i64);
+
+        // Interpreter state: stack of open transactions with the reference
+        // value each level would restore to on abort.
+        let top = mgr.begin();
+        let mut stack: Vec<(Tx, i64)> = vec![(top, 0)];
+        let mut current = 0i64;
+
+        for (op, arg) in script {
+            match op {
+                0 => {
+                    // write += arg
+                    let (tx, _) = stack.last().unwrap();
+                    tx.write(&obj, |v| *v += arg).unwrap();
+                    current += arg;
+                }
+                1 => {
+                    // open child
+                    let child = stack.last().unwrap().0.child().unwrap();
+                    stack.push((child, current));
+                }
+                2 => {
+                    // commit deepest (never the top-level in mid-script)
+                    if stack.len() > 1 {
+                        let (tx, _) = stack.pop().unwrap();
+                        tx.commit().unwrap();
+                    }
+                }
+                _ => {
+                    // abort deepest child: value reverts to its open point
+                    if stack.len() > 1 {
+                        let (tx, restore) = stack.pop().unwrap();
+                        tx.abort();
+                        current = restore;
+                    }
+                }
+            }
+            // The deepest live transaction must observe `current`.
+            let (tx, _) = stack.last().unwrap();
+            prop_assert_eq!(tx.read(&obj, |v| *v).unwrap(), current);
+        }
+        // Unwind: commit everything; the published value must be `current`.
+        while let Some((tx, _)) = stack.pop() {
+            tx.commit().unwrap();
+        }
+        prop_assert_eq!(mgr.read_committed(&obj, |v| *v), current);
+    }
+}

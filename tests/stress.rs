@@ -1,0 +1,138 @@
+//! Opt-in soak tests (`cargo test --test stress -- --ignored`).
+//!
+//! Long-running, high-concurrency hammering of the runtime under every
+//! lock mode and deadlock policy, checking the global invariants that must
+//! never break: conservation of transferred value, zero leaked aborted
+//! writes, and stats coherence. Excluded from the default test run to keep
+//! CI fast.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use ntx_runtime::{DeadlockPolicy, LockMode, RtConfig, TxError, TxManager};
+
+fn soak(mode: LockMode, policy: DeadlockPolicy, threads: usize, txs: usize) {
+    const ACCOUNTS: usize = 8;
+    const OPENING: i64 = 1_000;
+    let mgr = TxManager::new(RtConfig {
+        mode,
+        deadlock: policy,
+        wait_timeout: Duration::from_secs(20),
+        ..Default::default()
+    });
+    let accounts: Arc<Vec<_>> = Arc::new(
+        (0..ACCOUNTS)
+            .map(|i| mgr.register(format!("a{i}"), OPENING))
+            .collect(),
+    );
+    let barrier = Arc::new(Barrier::new(threads));
+    let retries = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..threads as u64)
+        .map(|t| {
+            let mgr = mgr.clone();
+            let accounts = accounts.clone();
+            let barrier = barrier.clone();
+            let retries = retries.clone();
+            std::thread::spawn(move || {
+                let mut s = t.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+                let mut rng = move |n: usize| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    (s >> 33) as usize % n
+                };
+                barrier.wait();
+                for i in 0..txs {
+                    let from = rng(ACCOUNTS);
+                    let to = (from + 1 + rng(ACCOUNTS - 1)) % ACCOUNTS;
+                    let amount = rng(20) as i64 + 1;
+                    let nested = i % 3 != 0; // mix nested and flat bodies
+                    'retry: loop {
+                        let tx = mgr.begin();
+                        let moved: Result<(), TxError> = if nested {
+                            tx.retry_child(8, |c| {
+                                c.write(&accounts[from], |b| *b -= amount)?;
+                                // Occasionally inject a poison child that
+                                // must roll back cleanly.
+                                if rng(10) == 0 {
+                                    if let Ok(bad) = c.child() {
+                                        let _ = bad.write(&accounts[to], |b| *b += 1_000_000);
+                                        bad.abort();
+                                    }
+                                }
+                                c.write(&accounts[to], |b| *b += amount)?;
+                                Ok(())
+                            })
+                        } else {
+                            tx.write(&accounts[from], |b| *b -= amount)
+                                .and_then(|()| tx.write(&accounts[to], |b| *b += amount))
+                        };
+                        match moved {
+                            Ok(()) => {
+                                if tx.commit().is_ok() {
+                                    break 'retry;
+                                }
+                                retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(TxError::Deadlock | TxError::Timeout | TxError::Doomed) => {
+                                tx.abort();
+                                retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total: i64 = accounts.iter().map(|a| mgr.read_committed(a, |b| *b)).sum();
+    assert_eq!(
+        total,
+        ACCOUNTS as i64 * OPENING,
+        "conservation broken under {mode:?}/{policy:?}"
+    );
+    for a in accounts.iter() {
+        let v = mgr.read_committed(a, |b| *b);
+        assert!(v.abs() < 500_000, "poison write leaked: {v}");
+    }
+    let stats = mgr.stats();
+    assert_eq!(stats.top_level_commits as usize, threads * txs);
+    assert!(stats.commits >= stats.top_level_commits);
+}
+
+#[test]
+#[ignore = "soak test; run with --ignored"]
+fn soak_moss_die_on_cycle() {
+    soak(LockMode::MossRW, DeadlockPolicy::DieOnCycle, 8, 2_000);
+}
+
+#[test]
+#[ignore = "soak test; run with --ignored"]
+fn soak_moss_wound_wait() {
+    soak(LockMode::MossRW, DeadlockPolicy::WoundWait, 8, 2_000);
+}
+
+#[test]
+#[ignore = "soak test; run with --ignored"]
+fn soak_exclusive() {
+    soak(LockMode::Exclusive, DeadlockPolicy::DieOnCycle, 8, 1_000);
+}
+
+#[test]
+#[ignore = "soak test; run with --ignored"]
+fn soak_flat2pl() {
+    soak(LockMode::Flat2PL, DeadlockPolicy::DieOnCycle, 8, 1_000);
+}
+
+/// A quick (non-ignored) smoke version so the soak path is exercised in CI.
+#[test]
+fn soak_smoke() {
+    soak(LockMode::MossRW, DeadlockPolicy::DieOnCycle, 4, 100);
+    soak(LockMode::MossRW, DeadlockPolicy::WoundWait, 4, 100);
+}

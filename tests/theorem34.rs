@@ -1,0 +1,229 @@
+//! Integration test: the paper's Theorem 34, machine-checked across
+//! generated workloads (crates: ntx-tree → ntx-model → ntx-sim).
+//!
+//! Every schedule of a R/W Locking system must be serially correct for
+//! every non-orphan transaction. We generate systems of varying shape,
+//! drive them with varying abort/inform policies, construct the Lemma 33
+//! witnesses and verify all three checker conditions.
+
+use ntx_model::correctness::{check_exhaustive, check_serial_correctness};
+use ntx_model::visibility::{visible, Fates};
+use ntx_model::wellformed::check_concurrent_sequence;
+use ntx_sim::workload::{SemanticsKind, Workload, WorkloadConfig};
+use ntx_sim::{run_concurrent, DrivePolicy};
+
+fn shapes() -> Vec<WorkloadConfig> {
+    vec![
+        // Flat classical transactions.
+        WorkloadConfig {
+            top_level: 4,
+            depth: 0,
+            accesses_per_leaf: 2,
+            ..Default::default()
+        },
+        // One level of nesting, read-heavy.
+        WorkloadConfig {
+            top_level: 3,
+            depth: 1,
+            fanout: 2,
+            read_fraction: 0.8,
+            ..Default::default()
+        },
+        // Deep nesting, write-heavy, hot objects.
+        WorkloadConfig {
+            top_level: 2,
+            depth: 3,
+            fanout: 2,
+            accesses_per_leaf: 1,
+            objects: 2,
+            read_fraction: 0.2,
+            zipf_theta: 1.0,
+            ..Default::default()
+        },
+        // Counters (commutative ops still locked conservatively).
+        WorkloadConfig {
+            top_level: 3,
+            depth: 1,
+            semantics: SemanticsKind::Counters,
+            ..Default::default()
+        },
+        // Accounts with conditional withdraws.
+        WorkloadConfig {
+            top_level: 3,
+            depth: 2,
+            fanout: 2,
+            semantics: SemanticsKind::Accounts,
+            read_fraction: 0.4,
+            ..Default::default()
+        },
+        // Sequential child programs.
+        WorkloadConfig {
+            top_level: 3,
+            depth: 1,
+            sequential_children: true,
+            ..Default::default()
+        },
+        // Sets: non-commutative membership semantics.
+        WorkloadConfig {
+            top_level: 3,
+            depth: 1,
+            objects: 2,
+            semantics: SemanticsKind::Sets,
+            read_fraction: 0.5,
+            ..Default::default()
+        },
+        // Queues: order-sensitive semantics with destructive "reads"
+        // (dequeue is a write access).
+        WorkloadConfig {
+            top_level: 3,
+            depth: 1,
+            objects: 2,
+            semantics: SemanticsKind::Queues,
+            read_fraction: 0.3,
+            ..Default::default()
+        },
+    ]
+}
+
+#[test]
+fn theorem34_across_shapes_and_policies() {
+    for (si, cfg) in shapes().into_iter().enumerate() {
+        for (pi, policy) in [
+            DrivePolicy::no_aborts(),
+            DrivePolicy::default(),
+            DrivePolicy::chaos(),
+            DrivePolicy {
+                abort_weight: 0.1,
+                inform_weight: 0.2,
+                max_steps: 100_000,
+            },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for seed in 0..6u64 {
+                let w = Workload::generate(&cfg, seed);
+                let out = run_concurrent(&w.spec, seed * 1000 + pi as u64, &policy);
+                check_concurrent_sequence(out.schedule.as_slice(), &w.spec.tree)
+                    .unwrap_or_else(|e| panic!("shape {si} policy {pi} seed {seed}: wf {e:?}"));
+                let report = check_serial_correctness(&w.spec, out.schedule.as_slice());
+                assert!(
+                    report.ok(),
+                    "shape {si} policy {pi} seed {seed}: {:?}",
+                    report.violations
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem34_on_truncated_prefixes() {
+    // Serial correctness must hold at EVERY prefix, not just quiescence.
+    let cfg = WorkloadConfig {
+        top_level: 3,
+        depth: 2,
+        fanout: 2,
+        ..Default::default()
+    };
+    let w = Workload::generate(&cfg, 3);
+    for max_steps in [10usize, 30, 60, 120] {
+        let policy = DrivePolicy {
+            max_steps,
+            ..Default::default()
+        };
+        let out = run_concurrent(&w.spec, 9, &policy);
+        let report = check_serial_correctness(&w.spec, out.schedule.as_slice());
+        assert!(
+            report.ok(),
+            "prefix of {max_steps}: {:?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn witnesses_match_visible_projections() {
+    // Spot-check the fine structure of Lemma 33's conclusion: β|T = α|T for
+    // the root (serial correctness as the paper states Corollary 35).
+    let cfg = WorkloadConfig {
+        top_level: 3,
+        depth: 1,
+        ..Default::default()
+    };
+    let w = Workload::generate(&cfg, 5);
+    let out = run_concurrent(&w.spec, 5, &DrivePolicy::default());
+    let mut ser = ntx_model::serializer::Serializer::new(w.spec.tree.clone());
+    ser.absorb_all(out.schedule.as_slice());
+    let root = ntx_tree::TxTree::ROOT;
+    let witness = ser.witness(root).expect("root tracked");
+    let vis = visible(out.schedule.as_slice(), &w.spec.tree, root);
+    // The witness is a permutation of visible(α, T0)…
+    assert_eq!(witness.len(), vis.len());
+    // …and projects to the same events at T0.
+    let at_root_w = ntx_model::visibility::events_at(&witness, &w.spec.tree, root);
+    let at_root_a = ntx_model::visibility::events_at(out.schedule.as_slice(), &w.spec.tree, root);
+    assert_eq!(at_root_w, at_root_a);
+}
+
+#[test]
+fn exhaustive_nested_system() {
+    // Complete enumeration of a nested system within budget; every schedule
+    // (including truncated prefixes) verified.
+    use ntx_automata::explore::ExploreConfig;
+    use ntx_model::{StdSemantics, SystemSpec};
+    use ntx_tree::{TxTree, TxTreeBuilder};
+
+    let mut b = TxTreeBuilder::new();
+    let x = b.object("x");
+    let t1 = b.internal(TxTree::ROOT, "t1");
+    let c = b.internal(t1, "c");
+    b.write(c, "w", x, 1);
+    let t2 = b.internal(TxTree::ROOT, "t2");
+    b.read(t2, "r", x);
+    let spec = SystemSpec::new(
+        std::sync::Arc::new(b.build()),
+        vec![StdSemantics::register(0)],
+    );
+    let report = check_exhaustive(
+        &spec,
+        ExploreConfig {
+            max_depth: 64,
+            max_schedules: 3_000,
+        },
+    );
+    assert!(report.ok(), "counterexample: {:?}", report.counterexample);
+    assert!(report.schedules >= 3_000 || report.truncated == 0);
+}
+
+#[test]
+fn aborted_subtrees_stay_invisible() {
+    // Fate semantics: once a transaction aborts, nothing its subtree did is
+    // ever visible to non-orphans.
+    let cfg = WorkloadConfig {
+        top_level: 3,
+        depth: 2,
+        fanout: 2,
+        ..Default::default()
+    };
+    for seed in 0..10u64 {
+        let w = Workload::generate(&cfg, seed);
+        let out = run_concurrent(&w.spec, seed, &DrivePolicy::chaos());
+        let events = out.schedule.as_slice();
+        let fates = Fates::scan(events);
+        for t in w.spec.tree.all_tx() {
+            if fates.is_orphan(t, &w.spec.tree) {
+                continue;
+            }
+            let vis = visible(events, &w.spec.tree, t);
+            for a in &vis {
+                if let Some(u) = a.transaction(&w.spec.tree) {
+                    assert!(
+                        !fates.is_orphan(u, &w.spec.tree),
+                        "orphan event {a:?} visible to non-orphan {t} (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+}
