@@ -11,7 +11,8 @@ use ntx_bench::model_exps::{
     e9_orphan_activity,
 };
 use ntx_bench::runtime_exps::{
-    e3_read_fraction_sweep, e4_skew_sweep, e5_partial_abort, e7_deadlock_sweep,
+    a3_fault_hook_overhead, e3_read_fraction_sweep, e4_skew_sweep, e5_partial_abort,
+    e7_deadlock_sweep,
 };
 use ntx_bench::Table;
 
@@ -53,10 +54,11 @@ fn main() {
     run(&["e9"], &|| e9_orphan_activity(e8n * 4));
     run(&["a1"], &|| a1_broken_variant(a1n));
     run(&["a2"], &|| a2_footnote8(a2n));
+    run(&["a3"], &|| a3_fault_hook_overhead(rt_txs));
 
     if ran == 0 {
         eprintln!(
-            "unknown experiment {which:?}; available: all e1 e2 e3 e4 e5 e7 e8 e9 a1 a2 (E6 = `cargo bench -p ntx-bench`)"
+            "unknown experiment {which:?}; available: all e1 e2 e3 e4 e5 e7 e8 e9 a1 a2 a3 (E6 = `cargo bench -p ntx-bench`)"
         );
         std::process::exit(2);
     }

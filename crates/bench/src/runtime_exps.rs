@@ -94,10 +94,21 @@ pub struct RtOutcome {
 /// Run the closed-loop workload: every thread commits `txs_per_thread`
 /// transactions, retrying on deadlock/timeout.
 pub fn run_rt_workload(cfg: &RtWorkload, seed: u64) -> RtOutcome {
-    let mgr = TxManager::new(RtConfig {
+    let rt = RtConfig {
         mode: cfg.mode,
         wait_timeout: Duration::from_secs(10),
         ..Default::default()
+    };
+    run_rt_workload_with(cfg, seed, rt)
+}
+
+/// Like [`run_rt_workload`] but over an explicit runtime configuration —
+/// the hook-overhead experiment (A3) plugs fault injectors and trace
+/// recorders in here. `rt.mode` is overridden by `cfg.mode`.
+pub fn run_rt_workload_with(cfg: &RtWorkload, seed: u64, rt: RtConfig) -> RtOutcome {
+    let mgr = TxManager::new(RtConfig {
+        mode: cfg.mode,
+        ..rt
     });
     let objects: Arc<Vec<ObjRef<i64>>> = Arc::new(
         (0..cfg.objects)
@@ -427,6 +438,70 @@ pub fn e7_deadlock_sweep(txs_per_thread: usize) -> Table {
     t
 }
 
+/// A3: cost of the chaos-harness hooks on the hot path.
+///
+/// Three configurations of the same workload: hooks disabled (`fault` and
+/// `trace` both `None` — the shipping configuration), a zero-probability
+/// injector (every lock request and commit consults the injector but no
+/// fault ever fires), and a live trace recorder (every grant/commit/abort
+/// appended to the in-memory log). The claim under test: disabled hooks are
+/// free — a single branch on an `Option` — so the first column's throughput
+/// should match a pre-hook build, and even the enabled configurations stay
+/// within a modest factor.
+pub fn a3_fault_hook_overhead(txs_per_thread: usize) -> Table {
+    use ntx_runtime::TraceRecorder;
+    use ntx_sim::fault::{FaultPlan, SeededFaults};
+
+    let mut t = Table::new(
+        "A3 — fault/trace hook overhead: commits/s on a read-heavy workload \
+         (median of 3 runs; zero-prob injector fires no faults)",
+        &["configuration", "tx/s", "relative", "waits"],
+    );
+    let cfg = RtWorkload {
+        threads: 4,
+        objects: 32,
+        ops_per_tx: 4,
+        read_fraction: 0.8,
+        zipf_theta: 0.0,
+        txs_per_thread,
+        mode: LockMode::MossRW,
+        sorted_access: true,
+        work_per_op: 0,
+    };
+    let median_with = |rt: &dyn Fn() -> RtConfig| -> RtOutcome {
+        let mut outs: Vec<RtOutcome> = (0..3)
+            .map(|i| run_rt_workload_with(&cfg, 7 + i, rt()))
+            .collect();
+        outs.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+        outs[1]
+    };
+    let base_rt = || RtConfig {
+        wait_timeout: Duration::from_secs(10),
+        ..Default::default()
+    };
+    let baseline = median_with(&base_rt);
+    let injector = median_with(&|| RtConfig {
+        fault: Some(Arc::new(SeededFaults::new(0, FaultPlan::none()))),
+        ..base_rt()
+    });
+    let recorder = median_with(&|| RtConfig {
+        trace: Some(Arc::new(TraceRecorder::new())),
+        ..base_rt()
+    });
+    let mut row = |name: &str, out: &RtOutcome| {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.0}", out.throughput),
+            format!("{:.2}x", out.throughput / baseline.throughput.max(1e-9)),
+            out.waits.to_string(),
+        ]);
+    };
+    row("hooks disabled (None)", &baseline);
+    row("zero-prob injector", &injector);
+    row("trace recorder", &recorder);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +537,19 @@ mod tests {
             flat > nested,
             "flat restart ({flat:.1}) should waste more work than nested retry ({nested:.1})"
         );
+    }
+
+    #[test]
+    fn a3_all_configurations_commit_the_same_work() {
+        let t = a3_fault_hook_overhead(25);
+        assert_eq!(t.rows.len(), 3);
+        // The baseline row is 1.00x by construction.
+        assert_eq!(t.rows[0][2], "1.00x");
+        // Every configuration completed (tx/s strictly positive).
+        for r in &t.rows {
+            let tps: f64 = r[1].parse().unwrap();
+            assert!(tps > 0.0, "{r:?}");
+        }
     }
 
     #[test]

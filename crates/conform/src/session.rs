@@ -72,6 +72,13 @@ impl TracedTx {
     pub fn id(&self) -> u64 {
         self.id
     }
+
+    /// `true` once the underlying transaction or an ancestor aborted —
+    /// lets a driver discover doom inflicted from outside (an injected
+    /// fault, a deadlock wound) and record the abort in the trace.
+    pub fn is_doomed(&self) -> bool {
+        self.tx.is_doomed()
+    }
 }
 
 /// A workload session whose every operation is both executed on a real

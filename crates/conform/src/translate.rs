@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ntx_model::correctness::check_serial_correctness;
+use ntx_model::wellformed::check_concurrent_sequence;
 use ntx_model::{Action, StdSemantics, SystemSpec, Value};
 use ntx_tree::{AccessKind, ObjectId, TxId, TxTree, TxTreeBuilder};
 
@@ -132,6 +133,9 @@ pub struct ConformanceReport {
     /// `Some(msg)` = the replay was refused (lock discipline or value
     /// mismatch between runtime and model).
     pub schedule_error: Option<String>,
+    /// `None` = the translated sequence is well-formed (§3.1/§3.2/§5.1);
+    /// `Some(msg)` = a well-formedness violation with its action index.
+    pub wellformed_error: Option<String>,
     /// Theorem 34 violations found on the translated schedule.
     pub correctness_violations: Vec<String>,
 }
@@ -139,7 +143,9 @@ pub struct ConformanceReport {
 impl ConformanceReport {
     /// `true` when the trace fully conforms.
     pub fn ok(&self) -> bool {
-        self.schedule_error.is_none() && self.correctness_violations.is_empty()
+        self.schedule_error.is_none()
+            && self.wellformed_error.is_none()
+            && self.correctness_violations.is_empty()
     }
 }
 
@@ -150,10 +156,14 @@ pub fn check_trace(trace: &Trace, options: TranslateOptions) -> ConformanceRepor
         .is_concurrent_schedule(&actions)
         .err()
         .map(|e| format!("{e} — action {:?}", actions.get(e.index)));
+    let wellformed_error = check_concurrent_sequence(&actions, &spec.tree)
+        .err()
+        .map(|(i, v)| format!("{v} — action {i} {:?}", actions.get(i)));
     let report = check_serial_correctness(&spec, &actions);
     ConformanceReport {
         actions: actions.len(),
         schedule_error,
+        wellformed_error,
         correctness_violations: report.violations.iter().map(|v| v.to_string()).collect(),
     }
 }

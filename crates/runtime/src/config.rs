@@ -1,6 +1,10 @@
 //! Runtime configuration.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use crate::fault::FaultInjector;
+use crate::trace::TraceRecorder;
 
 /// Locking discipline (see crate docs for the three-way comparison).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -37,7 +41,7 @@ pub enum DeadlockPolicy {
 }
 
 /// Configuration for a [`crate::TxManager`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct RtConfig {
     /// Locking discipline.
     pub mode: LockMode,
@@ -49,6 +53,28 @@ pub struct RtConfig {
     /// Moss' footnote-8 optimisation: drop a transaction's read lock on an
     /// object once it holds a write lock there.
     pub drop_read_lock_when_write_held: bool,
+    /// Deterministic fault injector consulted at the runtime's yield
+    /// points (`None` = hooks are no-ops). See [`crate::FaultInjector`].
+    pub fault: Option<Arc<dyn FaultInjector>>,
+    /// Action-trace recorder (`None` = tracing off). See
+    /// [`crate::TraceRecorder`].
+    pub trace: Option<Arc<TraceRecorder>>,
+}
+
+impl std::fmt::Debug for RtConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtConfig")
+            .field("mode", &self.mode)
+            .field("deadlock", &self.deadlock)
+            .field("wait_timeout", &self.wait_timeout)
+            .field(
+                "drop_read_lock_when_write_held",
+                &self.drop_read_lock_when_write_held,
+            )
+            .field("fault", &self.fault.as_ref().map(|_| "<injector>"))
+            .field("trace", &self.trace)
+            .finish()
+    }
 }
 
 impl Default for RtConfig {
@@ -58,6 +84,8 @@ impl Default for RtConfig {
             deadlock: DeadlockPolicy::DieOnCycle,
             wait_timeout: Duration::from_secs(10),
             drop_read_lock_when_write_held: false,
+            fault: None,
+            trace: None,
         }
     }
 }
@@ -82,6 +110,19 @@ mod tests {
         assert_eq!(c.mode, LockMode::MossRW);
         assert_eq!(c.deadlock, DeadlockPolicy::DieOnCycle);
         assert!(!c.drop_read_lock_when_write_held);
+        assert!(c.fault.is_none());
+        assert!(c.trace.is_none());
+    }
+
+    #[test]
+    fn debug_marks_hooks() {
+        let c = RtConfig {
+            trace: Some(Arc::new(TraceRecorder::new())),
+            ..Default::default()
+        };
+        let s = format!("{c:?}");
+        assert!(s.contains("TraceRecorder(0 events)"), "{s}");
+        assert!(s.contains("fault: None"), "{s}");
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! Wait-for graph and cycle detection.
+//! Wait-for graph, cycle detection, and victim selection.
 //!
 //! The paper assigns deadlock handling to the scheduler ("the scheduler
 //! must have some power to decide to abort transactions, as when it detects
 //! deadlocks"); the runtime implements the standard die-on-cycle scheme: a
 //! requester about to block records wait-for edges to its blockers, and if
-//! that closes a cycle the requester fails fast with
-//! [`crate::TxError::Deadlock`] instead of parking.
+//! that closes a cycle a victim is chosen by [`pick_victim`] and aborted —
+//! the requester itself failing fast with [`crate::TxError::Deadlock`] when
+//! it is the victim.
 
 use std::collections::{HashMap, HashSet};
 
@@ -17,36 +18,60 @@ pub(crate) struct WaitForGraph {
     edges: Mutex<HashMap<u64, Vec<u64>>>,
 }
 
+/// Youngest-victim policy: among the members of a deadlock cycle, the
+/// transaction begun most recently — the largest top-level id — dies, on
+/// the heuristic that it has done the least work worth saving.
+pub(crate) fn pick_victim(cycle: &[u64]) -> u64 {
+    cycle
+        .iter()
+        .copied()
+        .max()
+        .expect("deadlock cycle cannot be empty")
+}
+
+fn reachable(edges: &HashMap<u64, Vec<u64>>, starts: &[u64]) -> HashSet<u64> {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stack: Vec<u64> = starts.to_vec();
+    while let Some(n) = stack.pop() {
+        if seen.insert(n) {
+            if let Some(next) = edges.get(&n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+    }
+    seen
+}
+
 impl WaitForGraph {
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Install `waiter`'s current out-edges (replacing earlier ones) and
-    /// report whether a cycle through `waiter` now exists.
+    /// Install `waiter`'s current out-edges (replacing earlier ones) and, if
+    /// a cycle through `waiter` now exists, return its members (sorted,
+    /// `waiter` included). The waiter's edges are removed again on
+    /// detection — whichever victim dies, the waiter either fails fast or
+    /// re-waits and re-registers.
     ///
     /// Blockers in nested locking are *transactions*; a waiter effectively
     /// waits for the blocker **or any of its ancestors** to release the
     /// lock by committing/aborting, so edges point at the blocker ids that
     /// were actually observed holding the conflicting lock.
-    pub fn wait_and_check(&self, waiter: u64, blockers: &[u64]) -> bool {
+    pub fn wait_and_check(&self, waiter: u64, blockers: &[u64]) -> Option<Vec<u64>> {
         let mut edges = self.edges.lock();
         edges.insert(waiter, blockers.to_vec());
-        // DFS from each blocker looking for `waiter`.
-        let mut seen: HashSet<u64> = HashSet::new();
-        let mut stack: Vec<u64> = blockers.to_vec();
-        while let Some(n) = stack.pop() {
-            if n == waiter {
-                edges.remove(&waiter);
-                return true;
-            }
-            if seen.insert(n) {
-                if let Some(next) = edges.get(&n) {
-                    stack.extend(next.iter().copied());
-                }
-            }
+        let downstream = reachable(&edges, blockers);
+        if !downstream.contains(&waiter) {
+            return None;
         }
-        false
+        // Cycle members: nodes downstream of the waiter that also reach it.
+        let mut members: Vec<u64> = downstream
+            .into_iter()
+            .filter(|&n| n == waiter || reachable(&edges, &[n]).contains(&waiter))
+            .collect();
+        members.sort_unstable();
+        edges.remove(&waiter);
+        Some(members)
     }
 
     /// Remove `waiter`'s out-edges (lock granted, or waiter gave up).
@@ -68,46 +93,84 @@ mod tests {
     #[test]
     fn no_cycle_on_simple_wait() {
         let g = WaitForGraph::new();
-        assert!(!g.wait_and_check(1, &[2]));
+        assert!(g.wait_and_check(1, &[2]).is_none());
         assert_eq!(g.waiting_count(), 1);
         g.clear(1);
         assert_eq!(g.waiting_count(), 0);
     }
 
     #[test]
-    fn two_party_cycle_detected() {
+    fn two_party_cycle_detected_with_members() {
         let g = WaitForGraph::new();
-        assert!(!g.wait_and_check(1, &[2]));
-        assert!(g.wait_and_check(2, &[1]), "2 waits for 1 waits for 2");
+        assert!(g.wait_and_check(1, &[2]).is_none());
+        let cycle = g
+            .wait_and_check(2, &[1])
+            .expect("2 waits for 1 waits for 2");
+        assert_eq!(cycle, vec![1, 2]);
         // The detected waiter's edges were removed: 1 can proceed later.
         assert_eq!(g.waiting_count(), 1);
     }
 
     #[test]
-    fn three_party_cycle_detected() {
+    fn three_party_cycle_detected_with_members() {
         let g = WaitForGraph::new();
-        assert!(!g.wait_and_check(1, &[2]));
-        assert!(!g.wait_and_check(2, &[3]));
-        assert!(g.wait_and_check(3, &[1]));
+        assert!(g.wait_and_check(1, &[2]).is_none());
+        assert!(g.wait_and_check(2, &[3]).is_none());
+        let cycle = g.wait_and_check(3, &[1]).expect("closes the 3-cycle");
+        assert_eq!(cycle, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn self_deadlock_is_a_singleton_cycle() {
+        // The manager filters self-edges out, but the graph itself must
+        // handle a transaction waiting on itself (cycle of length 1).
+        let g = WaitForGraph::new();
+        let cycle = g.wait_and_check(7, &[7]).expect("self-wait is a cycle");
+        assert_eq!(cycle, vec![7]);
+        assert_eq!(pick_victim(&cycle), 7);
+    }
+
+    #[test]
+    fn cycle_excludes_bystanders() {
+        // 9 waits into the cycle but is not on it; 4 is waited on by a
+        // cycle member but waits on nobody.
+        let g = WaitForGraph::new();
+        assert!(g.wait_and_check(1, &[2]).is_none());
+        assert!(g.wait_and_check(2, &[3, 4]).is_none());
+        assert!(g.wait_and_check(9, &[1]).is_none());
+        let cycle = g.wait_and_check(3, &[1]).expect("1→2→3→1");
+        assert_eq!(cycle, vec![1, 2, 3], "4 and 9 are not cycle members");
+    }
+
+    #[test]
+    fn youngest_victim_policy_picks_largest_id() {
+        assert_eq!(pick_victim(&[3, 1, 2]), 3);
+        assert_eq!(pick_victim(&[10]), 10);
+        // Ids are begin-ordered, so the largest is the youngest.
+        let g = WaitForGraph::new();
+        assert!(g.wait_and_check(5, &[11]).is_none());
+        assert!(g.wait_and_check(11, &[2]).is_none());
+        let cycle = g.wait_and_check(2, &[5]).expect("2→5→11→2");
+        assert_eq!(pick_victim(&cycle), 11, "youngest of {{2,5,11}}");
     }
 
     #[test]
     fn diamond_without_cycle() {
         let g = WaitForGraph::new();
-        assert!(!g.wait_and_check(1, &[2, 3]));
-        assert!(!g.wait_and_check(2, &[4]));
-        assert!(!g.wait_and_check(3, &[4]));
+        assert!(g.wait_and_check(1, &[2, 3]).is_none());
+        assert!(g.wait_and_check(2, &[4]).is_none());
+        assert!(g.wait_and_check(3, &[4]).is_none());
         assert_eq!(g.waiting_count(), 3);
     }
 
     #[test]
     fn edges_replaced_not_accumulated() {
         let g = WaitForGraph::new();
-        assert!(!g.wait_and_check(1, &[2]));
+        assert!(g.wait_and_check(1, &[2]).is_none());
         // 1 re-waits, now only on 3; the old edge to 2 must be gone.
-        assert!(!g.wait_and_check(1, &[3]));
+        assert!(g.wait_and_check(1, &[3]).is_none());
         assert!(
-            !g.wait_and_check(2, &[1]),
+            g.wait_and_check(2, &[1]).is_none(),
             "no cycle: 1 no longer waits on 2"
         );
     }

@@ -56,16 +56,20 @@
 mod config;
 mod deadlock;
 mod error;
+mod fault;
 mod manager;
 mod node;
 mod object;
 mod savepoint;
 mod stats;
+mod trace;
 mod tx;
 
 pub use config::{DeadlockPolicy, LockMode, RtConfig};
 pub use error::TxError;
+pub use fault::{FaultAction, FaultContext, FaultInjector, FaultPoint};
 pub use manager::{ObjRef, TxManager};
 pub use savepoint::SavepointScope;
 pub use stats::StatsSnapshot;
+pub use trace::{RtEvent, TraceRecorder, TxTraceStats};
 pub use tx::Tx;

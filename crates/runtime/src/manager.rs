@@ -8,11 +8,13 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 use crate::config::{DeadlockPolicy, LockMode, RtConfig};
-use crate::deadlock::WaitForGraph;
+use crate::deadlock::{pick_victim, WaitForGraph};
 use crate::error::TxError;
+use crate::fault::{FaultAction, FaultContext, FaultPoint};
 use crate::node::TxNode;
 use crate::object::{AnyState, ObjectSlot};
 use crate::stats::{Stats, StatsSnapshot};
+use crate::trace::RtEvent;
 use crate::tx::Tx;
 
 /// Typed handle to a registered object.
@@ -85,6 +87,10 @@ impl TxManager {
     pub fn begin(&self) -> Tx {
         let id = self.inner.next_tx_id.fetch_add(1, Ordering::Relaxed);
         self.inner.stats.begun.fetch_add(1, Ordering::Relaxed);
+        self.inner.trace(RtEvent::Begin {
+            tx: id,
+            parent: None,
+        });
         Tx::new(self.inner.clone(), TxNode::top_level(id))
     }
 
@@ -125,6 +131,76 @@ impl ManagerInner {
         self.objects.read()[idx].clone()
     }
 
+    /// Record a trace event if a recorder is configured (no-op otherwise).
+    pub(crate) fn trace(&self, ev: RtEvent) {
+        if let Some(t) = &self.config.trace {
+            t.record(ev);
+        }
+    }
+
+    /// Consult the configured fault injector at a yield point.
+    /// [`FaultAction::Continue`] when no injector is plugged in.
+    pub(crate) fn fault_decision(
+        &self,
+        point: FaultPoint,
+        node: &Arc<TxNode>,
+        obj: Option<usize>,
+        write: bool,
+    ) -> FaultAction {
+        match &self.config.fault {
+            None => FaultAction::Continue,
+            Some(inj) => inj.decide(&FaultContext {
+                point,
+                tx: node.id,
+                top: node.top_level_id(),
+                depth: node.depth(),
+                obj,
+                write,
+            }),
+        }
+    }
+
+    /// Apply a non-[`FaultAction::Continue`] injected fault at a lock
+    /// request and return the error the request fails with. Must NOT be
+    /// called while holding an object slot mutex — aborting a subtree
+    /// re-locks touched objects.
+    fn apply_lock_fault(
+        &self,
+        action: FaultAction,
+        node: &Arc<TxNode>,
+        owner: &Arc<TxNode>,
+        obj: usize,
+        waited: bool,
+    ) -> TxError {
+        if waited {
+            self.wait_graph.clear(owner.top_level_id());
+        }
+        self.trace(RtEvent::Fault {
+            tx: node.id,
+            obj: Some(obj),
+            action,
+        });
+        match action {
+            FaultAction::Abort => {
+                self.abort_subtree(node);
+                TxError::Doomed
+            }
+            FaultAction::CrashSubtree => {
+                self.abort_subtree(&node.top());
+                TxError::Doomed
+            }
+            FaultAction::Timeout => {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                TxError::Timeout
+            }
+            FaultAction::DeadlockVictim => {
+                self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+                TxError::Deadlock
+            }
+            FaultAction::Continue => unreachable!("Continue is not a fault"),
+        }
+    }
+
     /// The node that owns locks for `node` under the configured mode.
     pub(crate) fn effective_owner(&self, node: &Arc<TxNode>) -> Arc<TxNode> {
         match self.config.mode {
@@ -156,13 +232,26 @@ impl ManagerInner {
         let deadline = Instant::now() + self.config.wait_timeout;
         let mut waited = false;
         let wait_start = Instant::now();
+        if self.config.fault.is_some() {
+            let action = self.fault_decision(FaultPoint::LockRequest, node, Some(obj_idx), write);
+            if action != FaultAction::Continue {
+                return Err(self.apply_lock_fault(action, node, &owner, obj_idx, false));
+            }
+        }
         let mut guard = slot.inner.lock();
         loop {
             if node.is_doomed() {
                 if waited {
                     self.wait_graph.clear(owner.top_level_id());
                 }
-                return Err(TxError::Doomed);
+                // A deadlock victim's doom is reported as Deadlock: the
+                // caller learns the abort was a retryable scheduling
+                // decision, not a failure of its own making.
+                return Err(if node.victim_flagged() {
+                    TxError::Deadlock
+                } else {
+                    TxError::Doomed
+                });
             }
             if guard.grantable(&owner, lock_write) {
                 if waited {
@@ -172,30 +261,40 @@ impl ManagerInner {
                         .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 }
                 owner.touch(obj_idx);
-                let result = if write {
+                let result = if lock_write {
+                    // Declared writes, and reads in Exclusive mode (which
+                    // take a write lock whose version equals its
+                    // predecessor).
                     self.stats.write_grants.fetch_add(1, Ordering::Relaxed);
+                    let installs = !matches!(guard.chain.last(), Some(e) if e.owner.id == owner.id);
+                    self.trace(RtEvent::WriteGrant {
+                        tx: owner.id,
+                        obj: obj_idx,
+                    });
+                    if installs {
+                        self.trace(RtEvent::VersionInstall {
+                            tx: owner.id,
+                            obj: obj_idx,
+                        });
+                    }
                     let st = guard.writable_state(&owner);
                     f(st.as_mut())
                 } else {
-                    if lock_write {
-                        // Exclusive mode: a read takes a write lock whose
-                        // version equals its predecessor.
-                        self.stats.write_grants.fetch_add(1, Ordering::Relaxed);
-                        let st = guard.writable_state(&owner);
-                        f(st.as_mut())
-                    } else {
-                        self.stats.read_grants.fetch_add(1, Ordering::Relaxed);
-                        // Read the current version in place. The closure
-                        // receives a mutable reference for signature
-                        // uniformity, but read paths only read (enforced by
-                        // the public typed wrappers).
-                        let r = match guard.chain.last_mut() {
-                            Some(e) => f(e.state.as_mut()),
-                            None => f(guard.base.as_mut()),
-                        };
-                        guard.add_reader(&owner, self.config.drop_read_lock_when_write_held);
-                        r
-                    }
+                    self.stats.read_grants.fetch_add(1, Ordering::Relaxed);
+                    self.trace(RtEvent::ReadGrant {
+                        tx: owner.id,
+                        obj: obj_idx,
+                    });
+                    // Read the current version in place. The closure
+                    // receives a mutable reference for signature
+                    // uniformity, but read paths only read (enforced by
+                    // the public typed wrappers).
+                    let r = match guard.chain.last_mut() {
+                        Some(e) => f(e.state.as_mut()),
+                        None => f(guard.base.as_mut()),
+                    };
+                    guard.add_reader(&owner, self.config.drop_read_lock_when_write_held);
+                    r
                 };
                 return Ok(result);
             }
@@ -203,6 +302,20 @@ impl ManagerInner {
             if !waited {
                 waited = true;
                 self.stats.waits.fetch_add(1, Ordering::Relaxed);
+                self.trace(RtEvent::Wait {
+                    tx: owner.id,
+                    obj: obj_idx,
+                    write: lock_write,
+                });
+            }
+            if self.config.fault.is_some() {
+                let action = self.fault_decision(FaultPoint::LockWait, node, Some(obj_idx), write);
+                if action != FaultAction::Continue {
+                    // apply_lock_fault may abort subtrees, which re-locks
+                    // touched slots — release this one first.
+                    drop(guard);
+                    return Err(self.apply_lock_fault(action, node, &owner, obj_idx, true));
+                }
             }
             if self.config.deadlock == DeadlockPolicy::WoundWait {
                 // Older requesters wound younger holders; younger
@@ -255,9 +368,39 @@ impl ManagerInner {
                     tops.dedup();
                     tops
                 };
-                if !blockers.is_empty() && self.wait_graph.wait_and_check(waiter_top, &blockers) {
-                    self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
-                    return Err(TxError::Deadlock);
+                if !blockers.is_empty() {
+                    if let Some(cycle) = self.wait_graph.wait_and_check(waiter_top, &blockers) {
+                        let victim = pick_victim(&cycle);
+                        self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+                        self.trace(RtEvent::Deadlock {
+                            waiter: owner.id,
+                            victim,
+                            cycle_len: cycle.len(),
+                        });
+                        if victim == waiter_top {
+                            return Err(TxError::Deadlock);
+                        }
+                        // Youngest-victim: wound the victim if it holds a
+                        // lock right here (then retry); otherwise it is
+                        // unreachable from this slot and the requester dies
+                        // in its place — conservative but safe.
+                        let victim_node = guard
+                            .blockers(&owner, lock_write)
+                            .into_iter()
+                            .find(|b| b.top_level_id() == victim)
+                            .map(|b| b.top());
+                        match victim_node {
+                            Some(v) => {
+                                // abort_subtree re-locks touched slots.
+                                drop(guard);
+                                v.deadlock_victim.store(true, Ordering::SeqCst);
+                                self.abort_subtree(&v);
+                                guard = slot.inner.lock();
+                                continue;
+                            }
+                            None => return Err(TxError::Deadlock),
+                        }
+                    }
                 }
             }
             let now = Instant::now();
@@ -282,11 +425,18 @@ impl ManagerInner {
             let slot = self.slot(obj);
             {
                 let mut guard = slot.inner.lock();
-                guard.inherit(
+                let moved = guard.inherit(
                     node,
                     heir.as_ref(),
                     self.config.drop_read_lock_when_write_held,
                 );
+                if moved.any() {
+                    self.trace(RtEvent::Inherit {
+                        tx: node.id,
+                        heir: heir.as_ref().map(|h| h.id),
+                        obj,
+                    });
+                }
             }
             slot.cv.notify_all();
             if let Some(h) = &heir {
@@ -305,6 +455,7 @@ impl ManagerInner {
         root.for_subtree(&mut |n| {
             if n.mark_aborted() {
                 newly_aborted += 1;
+                self.trace(RtEvent::Abort { tx: n.id });
             }
             for o in n.touched.lock().iter() {
                 if !touched.contains(o) {
@@ -322,7 +473,15 @@ impl ManagerInner {
             let slot = self.slot(obj);
             {
                 let mut guard = slot.inner.lock();
-                guard.discard_subtree(root);
+                let (versions, readers) = guard.discard_subtree(root);
+                if versions + readers > 0 {
+                    self.trace(RtEvent::Rollback {
+                        tx: root.id,
+                        obj,
+                        versions,
+                        readers,
+                    });
+                }
             }
             slot.cv.notify_all();
         }

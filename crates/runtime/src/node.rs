@@ -6,7 +6,7 @@
 //! path, so the ancestor tests at the heart of Moss' locking rule are O(1)
 //! array probes with no global locks.
 
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
@@ -40,6 +40,10 @@ pub(crate) struct TxNode {
     pub touched: Mutex<Vec<usize>>,
     /// Object this transaction is currently blocked on, if any.
     pub waiting_on: Mutex<Option<usize>>,
+    /// Set when this transaction was chosen as a deadlock victim, so its
+    /// blocked accesses report [`crate::TxError::Deadlock`] (retryable)
+    /// rather than plain doom.
+    pub deadlock_victim: AtomicBool,
 }
 
 impl TxNode {
@@ -54,6 +58,7 @@ impl TxNode {
             children: Mutex::new(Vec::new()),
             touched: Mutex::new(Vec::new()),
             waiting_on: Mutex::new(None),
+            deadlock_victim: AtomicBool::new(false),
         })
     }
 
@@ -70,6 +75,7 @@ impl TxNode {
             children: Mutex::new(Vec::new()),
             touched: Mutex::new(Vec::new()),
             waiting_on: Mutex::new(None),
+            deadlock_victim: AtomicBool::new(false),
         });
         parent.children_live.fetch_add(1, Ordering::SeqCst);
         parent.children.lock().push(Arc::downgrade(&node));
@@ -89,6 +95,28 @@ impl TxNode {
     /// Id of the top-level ancestor.
     pub fn top_level_id(&self) -> u64 {
         self.path[0]
+    }
+
+    /// The top-level ancestor node (self, at depth 0).
+    pub fn top(self: &Arc<TxNode>) -> Arc<TxNode> {
+        let mut cur = self.clone();
+        while let Some(p) = cur.parent.clone() {
+            cur = p;
+        }
+        cur
+    }
+
+    /// `true` when this node's top-level ancestor was marked a deadlock
+    /// victim.
+    pub fn victim_flagged(&self) -> bool {
+        let mut cur = Some(self);
+        while let Some(n) = cur {
+            if n.deadlock_victim.load(Ordering::SeqCst) {
+                return true;
+            }
+            cur = n.parent.as_deref();
+        }
+        false
     }
 
     pub fn state(&self) -> TxState {
@@ -219,6 +247,18 @@ mod tests {
         let mut seen = Vec::new();
         a.for_subtree(&mut |n| seen.push(n.id));
         assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn top_and_victim_flag() {
+        let a = TxNode::top_level(1);
+        let b = TxNode::child_of(&a, 2);
+        let c = TxNode::child_of(&b, 3);
+        assert_eq!(c.top().id, 1);
+        assert_eq!(a.top().id, 1);
+        assert!(!c.victim_flagged());
+        a.deadlock_victim.store(true, Ordering::SeqCst);
+        assert!(c.victim_flagged(), "flag visible from descendants");
     }
 
     #[test]

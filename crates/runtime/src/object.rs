@@ -118,8 +118,15 @@ impl ObjectInner {
     }
 
     /// Commit-time inheritance: hand `tx`'s locks and version to `heir`
-    /// (`None` = publish to the base — top-level commit).
-    pub fn inherit(&mut self, tx: &TxNode, heir: Option<&Arc<TxNode>>, drop_read_on_write: bool) {
+    /// (`None` = publish to the base — top-level commit). Reports what
+    /// actually moved so the caller can trace the transfer.
+    pub fn inherit(
+        &mut self,
+        tx: &TxNode,
+        heir: Option<&Arc<TxNode>>,
+        drop_read_on_write: bool,
+    ) -> InheritOutcome {
+        let mut outcome = InheritOutcome::default();
         if let Some(pos) = self.chain.iter().position(|e| e.owner.id == tx.id) {
             debug_assert_eq!(
                 pos,
@@ -127,6 +134,7 @@ impl ObjectInner {
                 "committing holder must be deepest"
             );
             let entry = self.chain.remove(pos);
+            outcome.moved_version = true;
             match heir {
                 None => {
                     self.base = entry.state;
@@ -148,6 +156,7 @@ impl ObjectInner {
         }
         if let Some(pos) = self.readers.iter().position(|r| r.id == tx.id) {
             self.readers.swap_remove(pos);
+            outcome.moved_read = true;
             if let Some(h) = heir {
                 let heir_writes = self.chain.iter().any(|e| e.owner.id == h.id);
                 if !(drop_read_on_write && heir_writes) {
@@ -155,14 +164,34 @@ impl ObjectInner {
                 }
             }
         }
+        outcome
     }
 
     /// Abort-time discard: drop every version and read lock held by `tx` or
     /// any of its descendants. The surviving deepest version (or the base)
-    /// *is* the restored state — no undo log needed.
-    pub fn discard_subtree(&mut self, tx: &TxNode) {
+    /// *is* the restored state — no undo log needed. Returns
+    /// `(versions_dropped, readers_dropped)` for rollback tracing.
+    pub fn discard_subtree(&mut self, tx: &TxNode) -> (usize, usize) {
+        let (nv, nr) = (self.chain.len(), self.readers.len());
         self.chain.retain(|e| !tx.is_ancestor_of(&e.owner));
         self.readers.retain(|r| !tx.is_ancestor_of(r));
+        (nv - self.chain.len(), nr - self.readers.len())
+    }
+}
+
+/// What a call to [`ObjectInner::inherit`] actually transferred.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct InheritOutcome {
+    /// A version owned by the committer moved to the heir (or the base).
+    pub moved_version: bool,
+    /// A read lock owned by the committer moved to the heir (or lapsed).
+    pub moved_read: bool,
+}
+
+impl InheritOutcome {
+    /// `true` when the commit transferred anything on this object.
+    pub fn any(&self) -> bool {
+        self.moved_version || self.moved_read
     }
 }
 
@@ -291,7 +320,8 @@ mod tests {
             .downcast_mut::<i64>()
             .unwrap() = 9;
         // g commits: its version replaces... becomes c's (c already owns one).
-        o.inherit(&g, Some(&c), false);
+        let out = o.inherit(&g, Some(&c), false);
+        assert!(out.moved_version && !out.moved_read && out.any());
         assert_eq!(o.chain.len(), 1);
         assert_eq!(o.chain[0].owner.id, c.id);
         assert_eq!(read_i64(o.current()), 9);
@@ -349,10 +379,10 @@ mod tests {
             .as_any_mut()
             .downcast_mut::<i64>()
             .unwrap() = 3;
-        o.discard_subtree(&c);
+        assert_eq!(o.discard_subtree(&c), (2, 0));
         assert_eq!(read_i64(o.current()), 1, "c and g versions discarded");
         assert_eq!(o.chain.len(), 1);
-        o.discard_subtree(&p);
+        assert_eq!(o.discard_subtree(&p), (1, 0));
         assert_eq!(read_i64(o.current()), 0, "back to base");
     }
 

@@ -90,6 +90,13 @@ impl<'a> SavepointScope<'a> {
         Ok(())
     }
 
+    /// The transaction of the current recovery block, e.g. to open a
+    /// nested scope over it. The returned borrow keeps `self` immutable,
+    /// so nested scopes necessarily unwind LIFO.
+    pub fn tx(&self) -> Result<&Tx, TxError> {
+        self.cur()
+    }
+
     /// Savepoints taken so far.
     pub fn savepoints(&self) -> usize {
         self.savepoints
@@ -172,6 +179,78 @@ mod tests {
             "open block discarded, savepoint kept"
         );
         tx.commit().unwrap();
+    }
+
+    #[test]
+    fn rollback_releases_block_locks_but_keeps_parent_locks() {
+        let mgr = TxManager::new(RtConfig {
+            wait_timeout: std::time::Duration::ZERO,
+            ..Default::default()
+        });
+        let x = mgr.register("x", 0i64);
+        let y = mgr.register("y", 0i64);
+        let tx = mgr.begin();
+        let mut sp = SavepointScope::new(&tx).unwrap();
+        sp.write(&x, |v| *v = 1).unwrap();
+        sp.savepoint().unwrap(); // x's write lock inherited by the parent
+        sp.write(&y, |v| *v = 2).unwrap(); // y held by the open block
+
+        let rival = mgr.begin();
+        assert_eq!(
+            rival.write(&y, |v| *v = 9),
+            Err(TxError::Timeout),
+            "the open block holds y's write lock"
+        );
+        sp.rollback().unwrap();
+        rival
+            .write(&y, |v| *v = 9)
+            .expect("rollback released the block's lock on y");
+        assert_eq!(
+            rival.write(&x, |v| *v = 9),
+            Err(TxError::Timeout),
+            "the parent's lock on x survives the rollback"
+        );
+        rival.abort();
+        sp.finish().unwrap();
+        tx.commit().unwrap();
+        assert_eq!(mgr.read_committed(&x, |v| *v), 1);
+        assert_eq!(mgr.read_committed(&y, |v| *v), 0);
+    }
+
+    #[test]
+    fn nested_scopes_unwind_lifo() {
+        let mgr = TxManager::new(RtConfig::default());
+        let x = mgr.register("x", 0i64);
+        let tx = mgr.begin();
+        let mut outer = SavepointScope::new(&tx).unwrap();
+        outer.write(&x, |v| *v = 1).unwrap();
+        outer.savepoint().unwrap();
+        {
+            // The inner scope borrows the outer's current block, so the
+            // borrow checker enforces LIFO teardown: `outer` cannot be
+            // touched until `inner` is finished (or dropped).
+            let mut inner = SavepointScope::new(outer.tx().unwrap()).unwrap();
+            inner.write(&x, |v| *v = 2).unwrap();
+            inner.savepoint().unwrap();
+            inner.write(&x, |v| *v = 3).unwrap();
+            inner.rollback().unwrap();
+            assert_eq!(inner.read(&x, |v| *v).unwrap(), 2);
+            inner.finish().unwrap();
+        }
+        assert_eq!(
+            outer.read(&x, |v| *v).unwrap(),
+            2,
+            "finished inner scope's work is visible to the outer block"
+        );
+        outer.rollback().unwrap();
+        assert_eq!(
+            outer.read(&x, |v| *v).unwrap(),
+            1,
+            "outer rollback discards the inner scope's committed work"
+        );
+        outer.finish().unwrap();
+        tx.commit().unwrap();
+        assert_eq!(mgr.read_committed(&x, |v| *v), 1);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Totally ordered runtime action traces.
+//!
+//! A [`TraceRecorder`] plugged into [`crate::RtConfig::trace`] logs every
+//! lock grant, version install, inheritance, commit, abort, rollback and
+//! injected fault in one global sequence. Events touching an object are
+//! recorded while the object's mutex is held, and the recorder's own mutex
+//! linearises the rest, so the log is a valid linearisation of the
+//! execution — the runtime-side counterpart of the model's schedules.
+//!
+//! Two uses drive the design:
+//!
+//! * **replay checking** — [`TraceRecorder::render`] produces one line per
+//!   event in a stable textual form, so two runs of the same seeded,
+//!   single-threaded scenario can be compared byte for byte;
+//! * **per-transaction accounting** — [`TraceRecorder::per_tx_stats`]
+//!   folds the log into counters keyed by transaction id.
+//!
+//! When [`crate::RtConfig::trace`] is `None` every hook is a single branch
+//! on an `Option`; nothing is allocated or locked.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use parking_lot::Mutex;
+
+use crate::fault::FaultAction;
+
+/// One recorded runtime action.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RtEvent {
+    /// A transaction began (`parent == None` for top level).
+    Begin {
+        /// New transaction id.
+        tx: u64,
+        /// Parent id, if nested.
+        parent: Option<u64>,
+    },
+    /// A read lock was granted (or re-confirmed) to `tx` on `obj`.
+    ReadGrant {
+        /// Lock owner (the effective owner under the configured mode).
+        tx: u64,
+        /// Object index.
+        obj: usize,
+    },
+    /// A write lock was granted to `tx` on `obj`.
+    WriteGrant {
+        /// Lock owner.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+    },
+    /// A fresh uncommitted version owned by `tx` was pushed on `obj`'s
+    /// chain (omitted when a write reuses the owner's existing version).
+    VersionInstall {
+        /// Version owner.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+    },
+    /// A lock request by `tx` on `obj` blocked at least once.
+    Wait {
+        /// Blocked requester.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+        /// Whether a write lock was requested.
+        write: bool,
+    },
+    /// `tx` committed (`top` marks a top-level, publishing commit).
+    /// Recorded after the state transition, before lock inheritance.
+    Commit {
+        /// Committing transaction.
+        tx: u64,
+        /// `true` for a top-level commit.
+        top: bool,
+    },
+    /// Commit-time inheritance moved `tx`'s lock/version on `obj` to
+    /// `heir` (`None` = published to the committed base).
+    Inherit {
+        /// The committed holder.
+        tx: u64,
+        /// The inheriting parent, if any.
+        heir: Option<u64>,
+        /// Object index.
+        obj: usize,
+    },
+    /// `tx` transitioned to aborted (one event per subtree node).
+    Abort {
+        /// Aborted transaction.
+        tx: u64,
+    },
+    /// Abort-time rollback on `obj`: versions and read locks held by the
+    /// subtree rooted at `tx` were discarded.
+    Rollback {
+        /// Subtree root of the abort.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+        /// Versions discarded.
+        versions: usize,
+        /// Read locks discarded.
+        readers: usize,
+    },
+    /// A deadlock cycle was detected; `victim` was chosen to die.
+    Deadlock {
+        /// The requester whose wait closed the cycle.
+        waiter: u64,
+        /// The top-level transaction chosen as victim.
+        victim: u64,
+        /// Number of top-level transactions in the cycle.
+        cycle_len: usize,
+    },
+    /// An injected fault fired (recorded only when the action is applied).
+    Fault {
+        /// Transaction at the yield point.
+        tx: u64,
+        /// Object index, if the point was a lock request.
+        obj: Option<usize>,
+        /// The applied action (never [`FaultAction::Continue`]).
+        action: FaultAction,
+    },
+}
+
+impl RtEvent {
+    fn render_into(&self, out: &mut String) {
+        match *self {
+            RtEvent::Begin { tx, parent } => match parent {
+                Some(p) => _ = writeln!(out, "BEGIN tx={tx} parent={p}"),
+                None => _ = writeln!(out, "BEGIN tx={tx} parent=-"),
+            },
+            RtEvent::ReadGrant { tx, obj } => _ = writeln!(out, "RGRANT tx={tx} obj={obj}"),
+            RtEvent::WriteGrant { tx, obj } => _ = writeln!(out, "WGRANT tx={tx} obj={obj}"),
+            RtEvent::VersionInstall { tx, obj } => {
+                _ = writeln!(out, "VERSION tx={tx} obj={obj}");
+            }
+            RtEvent::Wait { tx, obj, write } => {
+                _ = writeln!(out, "WAIT tx={tx} obj={obj} write={write}");
+            }
+            RtEvent::Commit { tx, top } => _ = writeln!(out, "COMMIT tx={tx} top={top}"),
+            RtEvent::Inherit { tx, heir, obj } => match heir {
+                Some(h) => _ = writeln!(out, "INHERIT tx={tx} heir={h} obj={obj}"),
+                None => _ = writeln!(out, "INHERIT tx={tx} heir=base obj={obj}"),
+            },
+            RtEvent::Abort { tx } => _ = writeln!(out, "ABORT tx={tx}"),
+            RtEvent::Rollback {
+                tx,
+                obj,
+                versions,
+                readers,
+            } => {
+                _ = writeln!(
+                    out,
+                    "ROLLBACK tx={tx} obj={obj} versions={versions} readers={readers}"
+                );
+            }
+            RtEvent::Deadlock {
+                waiter,
+                victim,
+                cycle_len,
+            } => {
+                _ = writeln!(
+                    out,
+                    "DEADLOCK waiter={waiter} victim={victim} cycle={cycle_len}"
+                );
+            }
+            RtEvent::Fault { tx, obj, action } => match obj {
+                Some(o) => _ = writeln!(out, "FAULT tx={tx} obj={o} action={action}"),
+                None => _ = writeln!(out, "FAULT tx={tx} obj=- action={action}"),
+            },
+        }
+    }
+}
+
+/// Per-transaction counters folded out of a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxTraceStats {
+    /// Read locks granted.
+    pub reads: u64,
+    /// Write locks granted.
+    pub writes: u64,
+    /// Versions installed.
+    pub versions: u64,
+    /// Lock requests that blocked.
+    pub waits: u64,
+    /// 1 if the transaction committed.
+    pub committed: bool,
+    /// 1 if the transaction aborted.
+    pub aborted: bool,
+    /// Injected faults charged to this transaction.
+    pub faults: u64,
+}
+
+/// Thread-safe accumulator for [`RtEvent`]s.
+#[derive(Default)]
+pub struct TraceRecorder {
+    events: Mutex<Vec<RtEvent>>,
+}
+
+impl TraceRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder::default()
+    }
+
+    /// Append one event.
+    pub fn record(&self, ev: RtEvent) {
+        self.events.lock().push(ev);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the event log.
+    pub fn events(&self) -> Vec<RtEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Render the log one line per event, in a form stable across runs —
+    /// two identical executions produce byte-identical output.
+    pub fn render(&self) -> String {
+        let events = self.events.lock();
+        let mut out = String::with_capacity(events.len() * 24);
+        for ev in events.iter() {
+            ev.render_into(&mut out);
+        }
+        out
+    }
+
+    /// Fold the log into per-transaction counters (keyed by id, ordered).
+    pub fn per_tx_stats(&self) -> BTreeMap<u64, TxTraceStats> {
+        let mut map: BTreeMap<u64, TxTraceStats> = BTreeMap::new();
+        for ev in self.events.lock().iter() {
+            match *ev {
+                RtEvent::Begin { tx, .. } => {
+                    map.entry(tx).or_default();
+                }
+                RtEvent::ReadGrant { tx, .. } => map.entry(tx).or_default().reads += 1,
+                RtEvent::WriteGrant { tx, .. } => map.entry(tx).or_default().writes += 1,
+                RtEvent::VersionInstall { tx, .. } => map.entry(tx).or_default().versions += 1,
+                RtEvent::Wait { tx, .. } => map.entry(tx).or_default().waits += 1,
+                RtEvent::Commit { tx, .. } => map.entry(tx).or_default().committed = true,
+                RtEvent::Abort { tx } => map.entry(tx).or_default().aborted = true,
+                RtEvent::Fault { tx, .. } => map.entry(tx).or_default().faults += 1,
+                RtEvent::Rollback { .. } | RtEvent::Inherit { .. } | RtEvent::Deadlock { .. } => {}
+            }
+        }
+        map
+    }
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceRecorder({} events)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_stable_and_complete() {
+        let t = TraceRecorder::new();
+        t.record(RtEvent::Begin {
+            tx: 1,
+            parent: None,
+        });
+        t.record(RtEvent::WriteGrant { tx: 1, obj: 0 });
+        t.record(RtEvent::VersionInstall { tx: 1, obj: 0 });
+        t.record(RtEvent::Commit { tx: 1, top: true });
+        t.record(RtEvent::Inherit {
+            tx: 1,
+            heir: None,
+            obj: 0,
+        });
+        let s = t.render();
+        assert_eq!(
+            s,
+            "BEGIN tx=1 parent=-\nWGRANT tx=1 obj=0\nVERSION tx=1 obj=0\n\
+             COMMIT tx=1 top=true\nINHERIT tx=1 heir=base obj=0\n"
+        );
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn per_tx_stats_fold() {
+        let t = TraceRecorder::new();
+        t.record(RtEvent::Begin {
+            tx: 1,
+            parent: None,
+        });
+        t.record(RtEvent::Begin {
+            tx: 2,
+            parent: Some(1),
+        });
+        t.record(RtEvent::ReadGrant { tx: 2, obj: 0 });
+        t.record(RtEvent::Wait {
+            tx: 2,
+            obj: 1,
+            write: true,
+        });
+        t.record(RtEvent::Fault {
+            tx: 2,
+            obj: Some(1),
+            action: FaultAction::Abort,
+        });
+        t.record(RtEvent::Abort { tx: 2 });
+        t.record(RtEvent::Commit { tx: 1, top: true });
+        let stats = t.per_tx_stats();
+        assert_eq!(stats.len(), 2);
+        assert!(stats[&1].committed && !stats[&1].aborted);
+        let s2 = stats[&2];
+        assert_eq!(
+            (s2.reads, s2.waits, s2.faults, s2.aborted, s2.committed),
+            (1, 1, 1, true, false)
+        );
+    }
+
+    #[test]
+    fn events_snapshot_round_trips() {
+        let t = TraceRecorder::new();
+        let ev = RtEvent::Rollback {
+            tx: 3,
+            obj: 1,
+            versions: 2,
+            readers: 1,
+        };
+        t.record(ev);
+        assert_eq!(t.events(), vec![ev]);
+        assert!(t
+            .render()
+            .contains("ROLLBACK tx=3 obj=1 versions=2 readers=1"));
+    }
+}

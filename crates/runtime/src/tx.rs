@@ -4,8 +4,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::error::TxError;
+use crate::fault::{FaultAction, FaultPoint};
 use crate::manager::{ManagerInner, ObjRef};
 use crate::node::{TxNode, TxState};
+use crate::trace::RtEvent;
 
 /// A live (sub)transaction.
 ///
@@ -57,6 +59,10 @@ impl Tx {
         self.check_usable()?;
         let id = self.mgr.next_tx_id.fetch_add(1, Ordering::Relaxed);
         self.mgr.stats.begun.fetch_add(1, Ordering::Relaxed);
+        self.mgr.trace(RtEvent::Begin {
+            tx: id,
+            parent: Some(self.node.id),
+        });
         Ok(Tx::new(self.mgr.clone(), TxNode::child_of(&self.node, id)))
     }
 
@@ -110,9 +116,34 @@ impl Tx {
             self.finished.store(false, Ordering::SeqCst);
             return Err(TxError::LiveChildren);
         }
+        if self.mgr.config.fault.is_some() {
+            let action = self
+                .mgr
+                .fault_decision(FaultPoint::Commit, &self.node, None, false);
+            // Only spontaneous aborts make sense at commit; Timeout and
+            // DeadlockVictim describe lock waits and are ignored here.
+            if matches!(action, FaultAction::Abort | FaultAction::CrashSubtree) {
+                self.mgr.trace(RtEvent::Fault {
+                    tx: self.node.id,
+                    obj: None,
+                    action,
+                });
+                let target = match action {
+                    FaultAction::CrashSubtree => self.node.top(),
+                    _ => self.node.clone(),
+                };
+                self.mgr.abort_subtree(&target);
+                self.decrement_parent_live();
+                return Err(TxError::Doomed);
+            }
+        }
         if !self.node.mark_committed() {
             return Err(TxError::AlreadyFinished);
         }
+        self.mgr.trace(RtEvent::Commit {
+            tx: self.node.id,
+            top: self.node.parent.is_none(),
+        });
         self.mgr.inherit_locks(&self.node);
         self.mgr.stats.commits.fetch_add(1, Ordering::Relaxed);
         if self.node.parent.is_none() {

@@ -144,15 +144,35 @@ mod tests {
 
     #[test]
     fn no_abort_policy_commits_everything() {
+        // The no-abort lock model can wedge (crosswise read-lock holds with
+        // no victim to kill), so "every top commits" is seed-dependent; the
+        // seed-independent invariants are: no ABORT ever fires, every run
+        // quiesces, and interleavings that avoid deadlock commit every top.
         let w = workload();
         let mut spec = w.spec.clone();
         spec.generic_config.allow_aborts = false;
-        let out = run_concurrent(&spec, 3, &DrivePolicy::no_aborts());
-        assert!(out.quiescent, "run did not finish");
-        let fates = Fates::scan(out.schedule.as_slice());
-        for t in spec.tree.children(ntx_tree::TxTree::ROOT) {
-            assert!(fates.is_committed(*t), "{t} did not commit");
+        let mut fully_committed = 0usize;
+        for seed in 0..10u64 {
+            let out = run_concurrent(&spec, seed, &DrivePolicy::no_aborts());
+            assert!(out.quiescent, "seed {seed}: run did not finish");
+            assert!(
+                !out.schedule.iter().any(|a| matches!(a, Action::Abort(_))),
+                "seed {seed}: no-abort policy fired an ABORT"
+            );
+            let fates = Fates::scan(out.schedule.as_slice());
+            if spec
+                .tree
+                .children(ntx_tree::TxTree::ROOT)
+                .iter()
+                .all(|t| fates.is_committed(*t))
+            {
+                fully_committed += 1;
+            }
         }
+        assert!(
+            fully_committed > 0,
+            "every interleaving deadlocked; driver never ran a workload to completion"
+        );
     }
 
     #[test]

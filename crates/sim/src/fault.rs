@@ -1,0 +1,215 @@
+//! Seeded fault plans for the runtime's injection hooks.
+//!
+//! [`SeededFaults`] implements [`ntx_runtime::FaultInjector`] as a pure
+//! function of `(seed, call index)`: the i-th consultation of the injector
+//! always returns the same decision for the same seed. In a single-threaded
+//! harness the sequence of consultations is itself deterministic, so one
+//! `u64` seed reproduces an entire faulty execution byte for byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ntx_runtime::{FaultAction, FaultContext, FaultInjector, FaultPoint};
+
+/// Per-mille probabilities for each fault kind, by yield point.
+///
+/// At a lock request (entry or blocked round) the spontaneous kinds
+/// (`abort_pm`, `crash_pm`) always apply; the wait-shaped kinds
+/// (`timeout_pm`, `victim_pm`) apply only once the request has blocked.
+/// At commit only `commit_abort_pm` and `crash_pm` apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// ‰ chance a lock request spontaneously aborts the requester's
+    /// subtree.
+    pub abort_pm: u32,
+    /// ‰ chance a blocked lock request fails as if its wait budget ran
+    /// out.
+    pub timeout_pm: u32,
+    /// ‰ chance a blocked lock request is killed as a deadlock victim.
+    pub victim_pm: u32,
+    /// ‰ chance the requester's whole top-level transaction crashes.
+    pub crash_pm: u32,
+    /// ‰ chance a commit spontaneously aborts instead.
+    pub commit_abort_pm: u32,
+}
+
+impl FaultPlan {
+    /// No faults ever (the injector still gets consulted — useful for
+    /// measuring hook overhead).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            abort_pm: 0,
+            timeout_pm: 0,
+            victim_pm: 0,
+            crash_pm: 0,
+            commit_abort_pm: 0,
+        }
+    }
+
+    /// Rare faults: most transactions complete, every failure path still
+    /// gets exercised over a few hundred seeds.
+    pub fn light() -> FaultPlan {
+        FaultPlan {
+            abort_pm: 12,
+            timeout_pm: 40,
+            victim_pm: 20,
+            crash_pm: 4,
+            commit_abort_pm: 12,
+        }
+    }
+
+    /// Frequent faults: abort/recovery paths dominate the execution.
+    pub fn heavy() -> FaultPlan {
+        FaultPlan {
+            abort_pm: 60,
+            timeout_pm: 150,
+            victim_pm: 80,
+            crash_pm: 25,
+            commit_abort_pm: 60,
+        }
+    }
+
+    /// Parse a plan name as used by the `ntx fuzz` CLI.
+    pub fn by_name(name: &str) -> Option<FaultPlan> {
+        match name {
+            "none" => Some(FaultPlan::none()),
+            "light" => Some(FaultPlan::light()),
+            "heavy" => Some(FaultPlan::heavy()),
+            _ => None,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic counter-keyed fault injector.
+pub struct SeededFaults {
+    seed: u64,
+    plan: FaultPlan,
+    calls: AtomicU64,
+}
+
+impl SeededFaults {
+    /// An injector whose decision sequence is fixed by `seed`.
+    pub fn new(seed: u64, plan: FaultPlan) -> SeededFaults {
+        SeededFaults {
+            seed,
+            plan,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// How many times the runtime consulted this injector.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl FaultInjector for SeededFaults {
+    fn decide(&self, ctx: &FaultContext) -> FaultAction {
+        let i = self.calls.fetch_add(1, Ordering::Relaxed);
+        let r = splitmix64(self.seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F)) % 1000;
+        let r = r as u32;
+        let p = &self.plan;
+        // Stack the per-kind bands on [0, 1000); a draw below the stacked
+        // boundary picks the corresponding kind.
+        let mut bound = 0u32;
+        let mut band = |pm: u32, action: FaultAction| {
+            bound += pm;
+            (r < bound).then_some(action)
+        };
+        let hit = match ctx.point {
+            FaultPoint::LockRequest => band(p.abort_pm, FaultAction::Abort)
+                .or_else(|| band(p.crash_pm, FaultAction::CrashSubtree)),
+            FaultPoint::LockWait => band(p.abort_pm, FaultAction::Abort)
+                .or_else(|| band(p.crash_pm, FaultAction::CrashSubtree))
+                .or_else(|| band(p.timeout_pm, FaultAction::Timeout))
+                .or_else(|| band(p.victim_pm, FaultAction::DeadlockVictim)),
+            FaultPoint::Commit => band(p.commit_abort_pm, FaultAction::Abort)
+                .or_else(|| band(p.crash_pm, FaultAction::CrashSubtree)),
+        };
+        hit.unwrap_or(FaultAction::Continue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(point: FaultPoint) -> FaultContext {
+        FaultContext {
+            point,
+            tx: 1,
+            top: 1,
+            depth: 0,
+            obj: Some(0),
+            write: false,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let a = SeededFaults::new(42, FaultPlan::heavy());
+        let b = SeededFaults::new(42, FaultPlan::heavy());
+        let da: Vec<_> = (0..200)
+            .map(|_| a.decide(&ctx(FaultPoint::LockWait)))
+            .collect();
+        let db: Vec<_> = (0..200)
+            .map(|_| b.decide(&ctx(FaultPoint::LockWait)))
+            .collect();
+        assert_eq!(da, db);
+        assert_eq!(a.calls(), 200);
+    }
+
+    #[test]
+    fn none_plan_never_fires() {
+        let inj = SeededFaults::new(7, FaultPlan::none());
+        for _ in 0..500 {
+            assert_eq!(
+                inj.decide(&ctx(FaultPoint::LockWait)),
+                FaultAction::Continue
+            );
+            assert_eq!(inj.decide(&ctx(FaultPoint::Commit)), FaultAction::Continue);
+        }
+    }
+
+    #[test]
+    fn heavy_plan_fires_every_kind() {
+        let inj = SeededFaults::new(3, FaultPlan::heavy());
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..3000 {
+            seen.insert(format!("{}", inj.decide(&ctx(FaultPoint::LockWait))));
+        }
+        for kind in ["abort", "crash", "timeout", "victim", "continue"] {
+            assert!(seen.contains(kind), "never drew {kind}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn commit_point_only_aborts_or_crashes() {
+        let inj = SeededFaults::new(11, FaultPlan::heavy());
+        for _ in 0..2000 {
+            let d = inj.decide(&ctx(FaultPoint::Commit));
+            assert!(
+                matches!(
+                    d,
+                    FaultAction::Continue | FaultAction::Abort | FaultAction::CrashSubtree
+                ),
+                "{d:?} at commit"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_names_resolve() {
+        assert_eq!(FaultPlan::by_name("none"), Some(FaultPlan::none()));
+        assert_eq!(FaultPlan::by_name("light"), Some(FaultPlan::light()));
+        assert_eq!(FaultPlan::by_name("heavy"), Some(FaultPlan::heavy()));
+        assert_eq!(FaultPlan::by_name("bogus"), None);
+    }
+}

@@ -1,0 +1,375 @@
+//! Schedule fuzzing with fault injection, differentially checked against
+//! the model.
+//!
+//! [`fuzz_run`] drives a single-threaded, fully seeded random workload
+//! against a real [`TxManager`]: a mix of begins, nested children, reads,
+//! adds, commits and aborts, with a [`SeededFaults`] injector killing
+//! transactions at the runtime's yield points. Every operation is recorded
+//! through `ntx-conform`'s [`ConformanceSession`], and the resulting trace
+//! is replayed through the paper's R/W Locking automaton and the Theorem 34
+//! serial-correctness checker. Whatever the faults did to the execution,
+//! the surviving trace must still be a correct nested-transaction history —
+//! that is the differential claim the fuzzer checks.
+//!
+//! Determinism: one thread, a [`StdRng`] op picker, a counter-keyed
+//! injector and a zero wait budget (every blocked request fails immediately
+//! instead of parking) make the whole run — including the runtime's own
+//! [`TraceRecorder`] log — a pure function of [`FuzzConfig::seed`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ntx_conform::{
+    check_trace, ConformanceReport, ConformanceSession, Trace, TracedTx, TranslateOptions,
+};
+use ntx_runtime::{LockMode, RtConfig, RtEvent, StatsSnapshot, TraceRecorder, TxError, TxManager};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::{FaultPlan, SeededFaults};
+
+/// Parameters of one fuzz run.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// Master seed: op sequence and fault decisions both derive from it.
+    pub seed: u64,
+    /// Number of driver steps (each step attempts one operation).
+    pub steps: usize,
+    /// Number of counter objects.
+    pub objects: usize,
+    /// Maximum concurrently open top-level transactions.
+    pub top_level: usize,
+    /// Maximum nesting depth (0 = top level only).
+    pub max_depth: usize,
+    /// Fault probabilities.
+    pub plan: FaultPlan,
+    /// Run the runtime in [`LockMode::Exclusive`] and tell the checker.
+    pub exclusive: bool,
+    /// Enable the footnote-8 optimisation on both sides.
+    pub footnote8: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            steps: 80,
+            objects: 3,
+            top_level: 3,
+            max_depth: 3,
+            plan: FaultPlan::light(),
+            exclusive: false,
+            footnote8: false,
+        }
+    }
+}
+
+/// Everything one fuzz run produced.
+pub struct FuzzOutcome {
+    /// The seed that produced this outcome.
+    pub seed: u64,
+    /// The conformance-session trace (model-facing events).
+    pub trace: Trace,
+    /// The differential verdict.
+    pub report: ConformanceReport,
+    /// The runtime's own action log, rendered (byte-stable per seed).
+    pub log: String,
+    /// Injector consultations during the run.
+    pub fault_calls: u64,
+    /// Faults actually applied (from the runtime log).
+    pub faults_applied: usize,
+    /// Runtime counters at the end of the run.
+    pub stats: StatsSnapshot,
+}
+
+impl FuzzOutcome {
+    /// `true` when the trace conformed to the model.
+    pub fn ok(&self) -> bool {
+        self.report.ok()
+    }
+}
+
+struct Node {
+    t: TracedTx,
+    parent: Option<usize>,
+    depth: usize,
+    finished: bool,
+}
+
+fn is_descendant(slots: &[Node], anc: usize, mut i: usize) -> bool {
+    loop {
+        if i == anc {
+            return true;
+        }
+        match slots[i].parent {
+            Some(p) => i = p,
+            None => return false,
+        }
+    }
+}
+
+/// Mark `root` and every unfinished descendant finished (their runtime
+/// state is already settled; this is driver bookkeeping only).
+fn close_subtree(slots: &mut [Node], root: usize) {
+    for i in root..slots.len() {
+        if !slots[i].finished && is_descendant(slots, root, i) {
+            slots[i].finished = true;
+        }
+    }
+}
+
+/// Record aborts for transactions doomed from outside the driver's own
+/// calls (injected faults, crash-of-subtree): the *maximal* doomed nodes
+/// get a session abort — their descendants are covered by the subtree
+/// abort, exactly as the runtime treats them.
+fn sweep_doomed(session: &ConformanceSession, slots: &mut [Node]) {
+    for i in 0..slots.len() {
+        if slots[i].finished || !slots[i].t.is_doomed() {
+            continue;
+        }
+        let parent_doomed = slots[i]
+            .parent
+            .is_some_and(|p| !slots[p].finished && slots[p].t.is_doomed());
+        if !parent_doomed {
+            session.abort(&slots[i].t);
+            close_subtree(slots, i);
+        }
+    }
+}
+
+fn open_top_count(slots: &[Node]) -> usize {
+    slots
+        .iter()
+        .filter(|n| !n.finished && n.parent.is_none())
+        .count()
+}
+
+fn has_open_child(slots: &[Node], i: usize) -> bool {
+    slots.iter().any(|n| !n.finished && n.parent == Some(i))
+}
+
+fn pick<'a>(rng: &mut StdRng, alive: &'a [usize]) -> Option<&'a usize> {
+    if alive.is_empty() {
+        None
+    } else {
+        alive.get(rng.gen_range(0..alive.len()))
+    }
+}
+
+/// Run one seeded fuzz scenario end to end and check it against the model.
+pub fn fuzz_run(cfg: &FuzzConfig) -> FuzzOutcome {
+    let recorder = Arc::new(TraceRecorder::new());
+    let injector = Arc::new(SeededFaults::new(cfg.seed ^ 0xF417, cfg.plan));
+    let rt = RtConfig {
+        mode: if cfg.exclusive {
+            LockMode::Exclusive
+        } else {
+            LockMode::MossRW
+        },
+        // Zero budget: a blocked request fails deterministically on its
+        // first pass instead of parking on the condition variable.
+        wait_timeout: Duration::ZERO,
+        drop_read_lock_when_write_held: cfg.footnote8,
+        fault: Some(injector.clone()),
+        trace: Some(recorder.clone()),
+        ..Default::default()
+    };
+    let mgr = TxManager::new(rt);
+    let session = ConformanceSession::new(mgr.clone(), cfg.objects.max(1));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut slots: Vec<Node> = Vec::new();
+
+    for _ in 0..cfg.steps {
+        let alive: Vec<usize> = (0..slots.len()).filter(|&i| !slots[i].finished).collect();
+        let roll = rng.gen_range(0u32..100);
+        match roll {
+            // Open a new top-level transaction.
+            _ if roll < 10 || alive.is_empty() => {
+                if open_top_count(&slots) < cfg.top_level {
+                    let t = session.begin();
+                    slots.push(Node {
+                        t,
+                        parent: None,
+                        depth: 0,
+                        finished: false,
+                    });
+                }
+            }
+            // Open a child under a random live transaction.
+            _ if roll < 20 => {
+                let candidates: Vec<usize> = alive
+                    .iter()
+                    .copied()
+                    .filter(|&i| slots[i].depth < cfg.max_depth)
+                    .collect();
+                if let Some(&i) = pick(&mut rng, &candidates) {
+                    if let Ok(c) = session.child(&slots[i].t) {
+                        let depth = slots[i].depth + 1;
+                        slots.push(Node {
+                            t: c,
+                            parent: Some(i),
+                            depth,
+                            finished: false,
+                        });
+                    }
+                }
+            }
+            // Read a random object.
+            _ if roll < 52 => {
+                if let Some(&i) = pick(&mut rng, &alive) {
+                    let obj = rng.gen_range(0..cfg.objects.max(1));
+                    match session.read(&slots[i].t, obj) {
+                        Ok(_) | Err(TxError::Timeout) => {}
+                        Err(TxError::Deadlock) => {
+                            // Chosen as victim: give up the whole subtree.
+                            session.abort(&slots[i].t);
+                            close_subtree(&mut slots, i);
+                        }
+                        Err(_) => {} // doomed: the sweep below records it
+                    }
+                }
+            }
+            // Add to a random object.
+            _ if roll < 82 => {
+                if let Some(&i) = pick(&mut rng, &alive) {
+                    let obj = rng.gen_range(0..cfg.objects.max(1));
+                    let delta = rng.gen_range(1i64..10);
+                    match session.add(&slots[i].t, obj, delta) {
+                        Ok(_) | Err(TxError::Timeout) => {}
+                        Err(TxError::Deadlock) => {
+                            session.abort(&slots[i].t);
+                            close_subtree(&mut slots, i);
+                        }
+                        Err(_) => {}
+                    }
+                }
+            }
+            // Commit a transaction with no open children.
+            _ if roll < 93 => {
+                let candidates: Vec<usize> = alive
+                    .iter()
+                    .copied()
+                    .filter(|&i| !has_open_child(&slots, i))
+                    .collect();
+                if let Some(&i) = pick(&mut rng, &candidates) {
+                    match session.commit(&slots[i].t) {
+                        Ok(()) => slots[i].finished = true,
+                        Err(_) => {
+                            // Commit-time fault or external doom: the
+                            // runtime aborted the subtree; record it.
+                            session.abort(&slots[i].t);
+                            close_subtree(&mut slots, i);
+                        }
+                    }
+                }
+            }
+            // Abort a random transaction.
+            _ => {
+                if let Some(&i) = pick(&mut rng, &alive) {
+                    session.abort(&slots[i].t);
+                    close_subtree(&mut slots, i);
+                }
+            }
+        }
+        sweep_doomed(&session, &mut slots);
+    }
+
+    // Close-out: children before parents (creation order reversed), so no
+    // commit can fail on live children.
+    sweep_doomed(&session, &mut slots);
+    for i in (0..slots.len()).rev() {
+        if slots[i].finished {
+            continue;
+        }
+        match session.commit(&slots[i].t) {
+            Ok(()) => slots[i].finished = true,
+            Err(_) => {
+                session.abort(&slots[i].t);
+                close_subtree(&mut slots, i);
+            }
+        }
+    }
+
+    let fault_calls = injector.calls();
+    let stats = mgr.stats();
+    let faults_applied = recorder
+        .events()
+        .iter()
+        .filter(|e| matches!(e, RtEvent::Fault { .. }))
+        .count();
+    let log = recorder.render();
+    let trace = session.finish();
+    let report = check_trace(
+        &trace,
+        TranslateOptions {
+            exclusive: cfg.exclusive,
+            footnote8: cfg.footnote8,
+        },
+    );
+    FuzzOutcome {
+        seed: cfg.seed,
+        trace,
+        report,
+        log,
+        fault_calls,
+        faults_applied,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_run_conforms_and_is_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 1,
+            ..Default::default()
+        };
+        let a = fuzz_run(&cfg);
+        let b = fuzz_run(&cfg);
+        assert!(a.ok(), "{:?}", a.report);
+        assert_eq!(a.log, b.log, "same seed must replay byte-identically");
+        assert_eq!(a.fault_calls, b.fault_calls);
+    }
+
+    #[test]
+    fn no_faults_when_plan_is_none() {
+        let cfg = FuzzConfig {
+            seed: 5,
+            plan: FaultPlan::none(),
+            ..Default::default()
+        };
+        let out = fuzz_run(&cfg);
+        assert!(out.ok(), "{:?}", out.report);
+        assert_eq!(out.faults_applied, 0);
+        assert!(out.fault_calls > 0, "injector must still be consulted");
+    }
+
+    #[test]
+    fn heavy_faults_still_conform() {
+        for seed in 0..8 {
+            let cfg = FuzzConfig {
+                seed,
+                plan: FaultPlan::heavy(),
+                ..Default::default()
+            };
+            let out = fuzz_run(&cfg);
+            assert!(out.ok(), "seed {seed}: {:?}", out.report);
+        }
+    }
+
+    #[test]
+    fn exclusive_mode_runs_conform() {
+        for seed in 0..4 {
+            let cfg = FuzzConfig {
+                seed,
+                exclusive: true,
+                ..Default::default()
+            };
+            let out = fuzz_run(&cfg);
+            assert!(out.ok(), "seed {seed}: {:?}", out.report);
+        }
+    }
+}

@@ -13,15 +13,22 @@
 //!   nondeterminism (how often to fire `ABORT`s, how eagerly to deliver
 //!   `INFORM`s), on top of `ntx-automata`'s neutral choosers;
 //! * [`metrics`] — schedule analytics: commits/aborts, access wait times,
-//!   sibling concurrency — the quantities the experiment tables report.
+//!   sibling concurrency — the quantities the experiment tables report;
+//! * [`fault`] — seeded fault plans for the runtime's injection hooks;
+//! * [`fuzz`] — deterministic fault-injecting schedule fuzzing over the
+//!   real runtime, differentially checked against the Theorem 34 model.
 
 pub mod driver;
+pub mod fault;
+pub mod fuzz;
 pub mod metrics;
 pub mod parallel;
 pub mod workload;
 pub mod zipf;
 
 pub use driver::{run_concurrent, run_serial, DrivePolicy, RunOutcome};
+pub use fault::{FaultPlan, SeededFaults};
+pub use fuzz::{fuzz_run, FuzzConfig, FuzzOutcome};
 pub use metrics::{analyze, ScheduleMetrics};
 pub use parallel::{parallel_makespan, Makespan};
 pub use workload::{Workload, WorkloadConfig};

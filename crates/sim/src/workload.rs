@@ -187,6 +187,55 @@ impl Workload {
     }
 }
 
+/// Proptest strategies over workload shapes.
+///
+/// Property tests (see `tests/workload_props.rs`) draw [`WorkloadConfig`]s
+/// from these strategies instead of hand-picking shapes, so invariants are
+/// checked across the whole parameter space the experiment suite uses.
+/// Failing shapes persist to `proptest-regressions/` and replay first.
+pub mod strategies {
+    use super::{SemanticsKind, WorkloadConfig};
+    use proptest::prelude::*;
+
+    /// Any of the five object-semantics families.
+    pub fn semantics_kind() -> impl Strategy<Value = SemanticsKind> {
+        (0usize..5).prop_map(|i| match i {
+            0 => SemanticsKind::Registers,
+            1 => SemanticsKind::Counters,
+            2 => SemanticsKind::Accounts,
+            3 => SemanticsKind::Sets,
+            _ => SemanticsKind::Queues,
+        })
+    }
+
+    /// Small-but-interesting workload shapes: each field spans the range
+    /// the experiment tables actually exercise (up to 4 top-level
+    /// transactions, nesting depth 2, fanout 3), so generated systems stay
+    /// cheap enough to run and check hundreds of times per property.
+    pub fn workload_config() -> impl Strategy<Value = WorkloadConfig> {
+        (
+            (1usize..5, 0u32..3, 1usize..4, 1usize..4, 1usize..7),
+            (0.0f64..1.0, 0.0f64..1.5, semantics_kind(), any::<bool>()),
+        )
+            .prop_map(
+                |(
+                    (top_level, depth, fanout, accesses_per_leaf, objects),
+                    (read_fraction, zipf_theta, semantics, sequential_children),
+                )| WorkloadConfig {
+                    top_level,
+                    depth,
+                    fanout,
+                    accesses_per_leaf,
+                    objects,
+                    read_fraction,
+                    zipf_theta,
+                    semantics,
+                    sequential_children,
+                },
+            )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,68 @@
+//! Property tests over randomly-shaped workloads.
+//!
+//! Shapes are drawn from [`ntx_sim::workload::strategies`] rather than
+//! hand-picked, so the generator's invariants — determinism, tree-shape
+//! arithmetic, read/write accounting — and Theorem 34 itself are checked
+//! across the whole configuration space the experiments sweep. Failing
+//! shapes persist to `proptest-regressions/workload_props.txt` (committed)
+//! and replay before fresh cases on every run.
+
+use ntx_model::correctness::check_serial_correctness;
+use ntx_sim::workload::strategies::workload_config;
+use ntx_sim::{run_concurrent, DrivePolicy, Workload};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn generation_is_deterministic(cfg in workload_config(), seed in 0u64..1_000_000) {
+        let a = Workload::generate(&cfg, seed);
+        let b = Workload::generate(&cfg, seed);
+        prop_assert_eq!(a.spec.tree.len(), b.spec.tree.len());
+        prop_assert_eq!(a.reads, b.reads);
+        prop_assert_eq!(a.writes, b.writes);
+        for t in a.spec.tree.all_tx() {
+            prop_assert_eq!(a.spec.tree.access(t), b.spec.tree.access(t));
+        }
+    }
+
+    #[test]
+    fn tree_shape_matches_config(cfg in workload_config(), seed in 0u64..1_000_000) {
+        let w = Workload::generate(&cfg, seed);
+        // top_level subtrees, each a full fanout^depth tree whose deepest
+        // transactions carry accesses_per_leaf access leaves.
+        let internals_per_top: usize = (0..=cfg.depth).map(|l| cfg.fanout.pow(l)).sum();
+        let leaves = cfg.top_level * cfg.fanout.pow(cfg.depth) * cfg.accesses_per_leaf;
+        let expected = 1 + cfg.top_level * internals_per_top + leaves;
+        prop_assert_eq!(w.spec.tree.len(), expected);
+        prop_assert_eq!(w.reads + w.writes, leaves);
+    }
+
+    #[test]
+    fn read_fraction_extremes_hold(cfg in workload_config(), seed in 0u64..1_000_000) {
+        let all_reads = Workload::generate(
+            &ntx_sim::WorkloadConfig { read_fraction: 1.0, ..cfg.clone() },
+            seed,
+        );
+        prop_assert_eq!(all_reads.writes, 0);
+        let all_writes = Workload::generate(
+            &ntx_sim::WorkloadConfig { read_fraction: 0.0, ..cfg },
+            seed,
+        );
+        prop_assert_eq!(all_writes.reads, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn generated_schedules_satisfy_theorem_34(cfg in workload_config(), seed in 0u64..10_000) {
+        let w = Workload::generate(&cfg, seed);
+        let out = run_concurrent(&w.spec, seed, &DrivePolicy::default());
+        let report = check_serial_correctness(&w.spec, out.schedule.as_slice());
+        prop_assert!(
+            report.violations.is_empty(),
+            "seed {seed} shape {cfg:?}: {:?}",
+            report.violations
+        );
+    }
+}

@@ -10,6 +10,11 @@
 //! ntx makespan [--read-frac F]
 //!              logical-time speedup of Moss R/W locking vs exclusive
 //!              locking on a generated workload
+//! ntx fuzz     [--seed N | --seeds K] [--faults none|light|heavy]
+//!              [--steps S] [--exclusive true] [--footnote8 true]
+//!              deterministic fault-injection fuzzing of the runtime,
+//!              differentially checked against the Theorem 34 model;
+//!              failing seeds are dumped to fuzz-failures/seed-N.log
 //! ntx demo     a quick nested-transaction session on the runtime
 //! ```
 
@@ -138,6 +143,80 @@ fn cmd_makespan(flags: &HashMap<String, String>) {
     println!("  advantage        : {:.2}x", moss / excl.max(1e-9));
 }
 
+fn cmd_fuzz(flags: &HashMap<String, String>) {
+    use ntx_sim::fault::FaultPlan;
+    use ntx_sim::fuzz::{fuzz_run, FuzzConfig};
+
+    let plan_name = flags.get("faults").map_or("light", String::as_str);
+    let plan = FaultPlan::by_name(plan_name).unwrap_or_else(|| {
+        eprintln!("unknown fault plan {plan_name:?} (expected none|light|heavy)");
+        std::process::exit(2);
+    });
+    let base = FuzzConfig {
+        steps: flag(flags, "steps", 100),
+        objects: flag(flags, "objects", 3),
+        top_level: flag(flags, "top", 3),
+        max_depth: flag(flags, "depth", 3),
+        plan,
+        exclusive: flag(flags, "exclusive", false),
+        footnote8: flag(flags, "footnote8", false),
+        ..Default::default()
+    };
+    // --seed N replays one seed verbosely; --seeds K sweeps 0..K.
+    let seeds: Vec<u64> = match flags.get("seed") {
+        Some(s) => vec![s.parse().unwrap_or(0)],
+        None => (0..flag(flags, "seeds", 64u64)).collect(),
+    };
+    let single = seeds.len() == 1;
+    let mut failures = 0usize;
+    let mut total_faults = 0usize;
+    for &seed in &seeds {
+        let out = fuzz_run(&FuzzConfig { seed, ..base });
+        total_faults += out.faults_applied;
+        if single {
+            println!("--- runtime log (seed {seed}) ---");
+            print!("{}", out.log);
+            println!("--- verdict ---");
+            println!(
+                "events={} faults={} schedule_error={:?} wellformed_error={:?} violations={:?}",
+                out.trace.events.len(),
+                out.faults_applied,
+                out.report.schedule_error,
+                out.report.wellformed_error,
+                out.report.correctness_violations
+            );
+        }
+        if !out.ok() {
+            failures += 1;
+            eprintln!("seed {seed}: FAILED (replay: ntx fuzz --seed {seed} --faults {plan_name})");
+            let dir = std::path::Path::new("fuzz-failures");
+            if std::fs::create_dir_all(dir).is_ok() {
+                let mut dump = String::new();
+                dump.push_str(&format!(
+                    "seed: {seed}\nplan: {plan_name}\nschedule_error: {:?}\n\
+                     wellformed_error: {:?}\nviolations: {:?}\n\n--- runtime log ---\n",
+                    out.report.schedule_error,
+                    out.report.wellformed_error,
+                    out.report.correctness_violations
+                ));
+                dump.push_str(&out.log);
+                let _ = std::fs::write(dir.join(format!("seed-{seed}.log")), dump);
+            }
+        }
+    }
+    println!(
+        "fuzzed {} seed(s), plan {plan_name}: {} injected faults, {} conformance failures",
+        seeds.len(),
+        total_faults,
+        failures
+    );
+    if failures > 0 {
+        eprintln!("failing seeds dumped under fuzz-failures/");
+        std::process::exit(1);
+    }
+    println!("every faulty execution conformed to the model ✓");
+}
+
 fn cmd_demo() {
     use ntx_runtime::{RtConfig, TxManager};
     let mgr = TxManager::new(RtConfig::default());
@@ -170,10 +249,11 @@ fn main() {
         "check" => cmd_check(&flags),
         "explore" => cmd_explore(&flags),
         "makespan" => cmd_makespan(&flags),
+        "fuzz" => cmd_fuzz(&flags),
         "demo" => cmd_demo(),
         _ => {
             eprintln!(
-                "usage: ntx <check|explore|makespan|demo> [--flag value …]\n\
+                "usage: ntx <check|explore|makespan|fuzz|demo> [--flag value …]\n\
                  (see the crate docs or src/bin/ntx.rs for flags)"
             );
             std::process::exit(2);

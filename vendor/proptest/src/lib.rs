@@ -1,0 +1,689 @@
+//! Offline stand-in for the `proptest` crate (API-compatible subset).
+//!
+//! The workspace builds without crates.io access, so property tests run on
+//! this miniature engine instead. It keeps the parts that matter for the
+//! repo's test suite:
+//!
+//! - the `proptest!` macro (with optional `#![proptest_config(..)]` header),
+//!   `prop_assert!`, `prop_assert_eq!`, `prop_assume!`;
+//! - range, tuple, `any::<T>()`, `Just`, and [`collection::vec`] strategies;
+//! - deterministic per-case seeds, greedy shrinking of failing inputs, and
+//!   failure persistence to `proptest-regressions/<file>.txt` so failures
+//!   replay first on the next run (the `cc <test> <seed>` lines are
+//!   committed like a normal proptest regression corpus).
+//!
+//! Differences from real proptest: case seeds are derived deterministically
+//! from the test name rather than from OS entropy (CI runs are exactly
+//! reproducible), and `prop_map` strategies do not shrink.
+
+/// Deterministic RNG used for value generation (SplitMix64).
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    /// Generation RNG: SplitMix64, seeded per case.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed a fresh generator.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Cap on shrink iterations once a failure is found.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    fn hash_name(name: &str) -> u64 {
+        // FNV-1a; stable across runs and platforms.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    fn regression_path(source_file: &str) -> PathBuf {
+        let stem = std::path::Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        let root = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+        PathBuf::from(root)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt"))
+    }
+
+    fn load_regressions(source_file: &str, test: &str) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(regression_path(source_file)) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let mut parts = line.split_whitespace();
+                match (parts.next(), parts.next(), parts.next()) {
+                    (Some("cc"), Some(name), Some(seed)) if name == test => {
+                        u64::from_str_radix(seed.trim_start_matches("0x"), 16).ok()
+                    }
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    fn persist_regression(source_file: &str, test: &str, seed: u64) {
+        let path = regression_path(source_file);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if load_regressions(source_file, test).contains(&seed) {
+            return;
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(f, "cc {test} {seed:#018x}");
+        }
+    }
+
+    /// One test case: returns `Err(reason)` on property failure.
+    pub type CaseResult = Result<(), String>;
+
+    fn shrink_failure<S, F>(
+        strat: &S,
+        cfg: &Config,
+        mut value: S::Value,
+        mut reason: String,
+        run: &F,
+    ) -> (S::Value, String, u32)
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> CaseResult,
+    {
+        let mut iters = 0u32;
+        let mut shrunk = 0u32;
+        'outer: while iters < cfg.max_shrink_iters {
+            for candidate in strat.shrink(&value) {
+                iters += 1;
+                if let Err(e) = run(&candidate) {
+                    value = candidate;
+                    reason = e;
+                    shrunk += 1;
+                    continue 'outer;
+                }
+                if iters >= cfg.max_shrink_iters {
+                    break;
+                }
+            }
+            break;
+        }
+        (value, reason, shrunk)
+    }
+
+    /// Drive one property: replay persisted regressions, then fresh cases.
+    /// Panics (test failure) on the first shrunk counterexample.
+    pub fn run_proptest<S, F>(cfg: &Config, source_file: &str, test: &str, strat: &S, run: F)
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> CaseResult,
+    {
+        let base = hash_name(test);
+        let regressions = load_regressions(source_file, test);
+        let fresh = (0..cfg.cases as u64).map(|i| base.wrapping_add(i.wrapping_mul(0x9E37_79B9)));
+        for (replayed, seed) in regressions
+            .into_iter()
+            .map(|s| (true, s))
+            .chain(fresh.map(|s| (false, s)))
+        {
+            let value = strat.generate(&mut TestRng::new(seed));
+            if let Err(reason) = run(&value) {
+                let (min, min_reason, shrunk) = shrink_failure(strat, cfg, value, reason, &run);
+                if !replayed {
+                    persist_regression(source_file, test, seed);
+                }
+                panic!(
+                    "proptest property `{test}` failed (seed {seed:#x}{}, shrunk {shrunk}x)\n  input: {min:?}\n  cause: {min_reason}",
+                    if replayed { ", replayed from corpus" } else { "" }
+                );
+            }
+        }
+    }
+}
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates (and shrinks) values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Clone + fmt::Debug;
+
+        /// Produce one value from seeded randomness.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Simpler candidate values derived from a failing `value`.
+        /// Candidates must be "smaller"; the runner greedily descends.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
+        /// Map generated values through `f` (no shrinking across the map).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Clone + fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    // Prefer the low bound, then the midpoint toward it.
+                    if *value != self.start {
+                        out.push(self.start);
+                        let mid = self.start.wrapping_add(value.wrapping_sub(self.start) / 2);
+                        if mid != self.start && mid != *value {
+                            out.push(mid);
+                        }
+                        let dec = value.wrapping_sub(1);
+                        if dec != self.start && !out.contains(&dec) {
+                            out.push(dec);
+                        }
+                    }
+                    out
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = end.wrapping_sub(start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add(rng.below(span + 1) as $t)
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    (*self.start()..value.wrapping_add(if *value == <$t>::MAX { 0 } else { 1 }))
+                        .shrink(value)
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            if *value == self.start {
+                return Vec::new();
+            }
+            let mid = self.start + (value - self.start) / 2.0;
+            if mid == *value {
+                vec![self.start]
+            } else {
+                vec![self.start, mid]
+            }
+        }
+    }
+
+    /// Strategy for "any value of `T`" — see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Types usable with [`any`].
+    pub trait Arbitrary: Clone + fmt::Debug + Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Shrink candidates (same contract as [`Strategy::shrink`]).
+        fn arbitrary_shrink(&self) -> Vec<Self> {
+            Vec::new()
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+
+        fn arbitrary_shrink(&self) -> Vec<bool> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+
+                fn arbitrary_shrink(&self) -> Vec<$t> {
+                    if *self == 0 {
+                        Vec::new()
+                    } else {
+                        vec![0, *self / 2]
+                    }
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.arbitrary_shrink()
+        }
+    }
+
+    /// The `any::<T>()` strategy constructor.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Always produces a clone of one fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Clone + fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $v:ident / $i:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$i.shrink(&value.$i) {
+                            let mut next = value.clone();
+                            next.$i = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A/a/0);
+        (A/a/0, B/b/1);
+        (A/a/0, B/b/1, C/c/2);
+        (A/a/0, B/b/1, C/c/2, D/d/3);
+        (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4);
+        (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4, F/f/5);
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length bounds for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (exclusive).
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with length in the size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Structural shrinks first: shorter vectors find smaller
+            // counterexamples much faster than element-wise descent.
+            if value.len() > self.size.min {
+                let half = self.size.min.max(value.len() / 2);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+                if value.len() > 1 {
+                    out.push(value[1..].to_vec());
+                }
+            }
+            for (i, item) in value.iter().enumerate() {
+                for candidate in self.element.shrink(item) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub use strategy::{any, Just};
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::strategy::{any, Just, Strategy};
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{}: `{:?}` != `{:?}`",
+            ::std::format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Skip the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(expr)]` header and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let __strategy = ( $($strat,)+ );
+            $crate::test_runner::run_proptest(
+                &__cfg,
+                ::std::file!(),
+                ::std::stringify!($name),
+                &__strategy,
+                |__values| {
+                    let ( $($arg,)+ ) = ::std::clone::Clone::clone(__values);
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[allow(missing_docs)]
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in collection::vec(0usize..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn mixed_tuple(flags in collection::vec((any::<bool>(), 0u16..2, -5i64..6), 1..8)) {
+            for (_, small, delta) in flags {
+                prop_assert!(small < 2);
+                prop_assert!((-5..6).contains(&delta));
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_finds_small_counterexample() {
+        use super::strategy::Strategy;
+        use super::test_runner::TestRng;
+        let strat = (0i64..1000,);
+        // Property "x < 10" fails for x >= 10; the minimal failing input is 10.
+        let mut rng = TestRng::new(42);
+        let mut failing = None;
+        for i in 0..200 {
+            let v = strat.generate(&mut rng);
+            let _ = i;
+            if v.0 >= 10 {
+                failing = Some(v);
+                break;
+            }
+        }
+        let mut value = failing.expect("found failing case");
+        loop {
+            let next = strat.shrink(&value).into_iter().find(|c| c.0 >= 10);
+            match next {
+                Some(c) => value = c,
+                None => break,
+            }
+        }
+        assert_eq!(value.0, 10);
+    }
+}
