@@ -4,6 +4,7 @@
 //! ```text
 //! harness -- all            # every experiment, quick sizes
 //! harness -- e1 [--full]    # one experiment; --full = publication sizes
+//! harness -- bseries        # B-series scalability; writes BENCH_runtime.json
 //! ```
 
 use ntx_bench::model_exps::{
@@ -28,6 +29,15 @@ fn main() {
 
     let run_all = which.contains(&"all");
     let mut ran = 0;
+
+    // The B-series is excluded from `all` (it writes BENCH_runtime.json in
+    // the working directory and takes tens of seconds even at quick sizes);
+    // run it explicitly with `harness -- bseries [--full]`.
+    if which.contains(&"bseries") {
+        run_bseries(full);
+        ran += 1;
+    }
+
     let mut run = |ids: &[&str], f: &dyn Fn() -> Table| {
         if run_all || ids.iter().any(|id| which.contains(id)) {
             let t = f();
@@ -58,8 +68,38 @@ fn main() {
 
     if ran == 0 {
         eprintln!(
-            "unknown experiment {which:?}; available: all e1 e2 e3 e4 e5 e7 e8 e9 a1 a2 a3 (E6 = `cargo bench -p ntx-bench`)"
+            "unknown experiment {which:?}; available: all e1 e2 e3 e4 e5 e7 e8 e9 a1 a2 a3 bseries (E6 = `cargo bench -p ntx-bench`)"
         );
         std::process::exit(2);
     }
+}
+
+/// Run B0–B3 (the multicore-scalability suite), print the markdown tables,
+/// and write the machine-readable results to `BENCH_runtime.json` in the
+/// current directory (run from the repo root to refresh the checked-in
+/// copy).
+fn run_bseries(full: bool) {
+    use ntx_bench::scaling::{
+        b0_uncontended, b1_thread_scaling, b2_read_fraction, b3_zipf_sweep, bench_json,
+    };
+
+    let (b0_iters, b1_txs, b23_txs) = if full {
+        (200_000, 1_500, 600)
+    } else {
+        (20_000, 150, 80)
+    };
+    let (t0, b0) = b0_uncontended(b0_iters);
+    println!("{}", t0.to_markdown());
+    let (t1, b1) = b1_thread_scaling(b1_txs);
+    println!("{}", t1.to_markdown());
+    let (t2, b2) = b2_read_fraction(b23_txs);
+    println!("{}", t2.to_markdown());
+    let (t3, b3) = b3_zipf_sweep(b23_txs);
+    println!("{}", t3.to_markdown());
+
+    let mode = if full { "full" } else { "quick" };
+    let doc = bench_json(mode, &b0, &b1, &b2, &b3);
+    let path = "BENCH_runtime.json";
+    std::fs::write(path, &doc).expect("write BENCH_runtime.json");
+    eprintln!("wrote {path} ({} bytes, mode={mode})", doc.len());
 }

@@ -7,12 +7,14 @@
 //! ```text
 //! cargo run -p ntx-bench --release --bin harness -- all
 //! cargo run -p ntx-bench --release --bin harness -- e3 --full
+//! cargo run -p ntx-bench --release --bin harness -- bseries   # + BENCH_runtime.json
 //! ```
 //!
 //! Criterion micro-benchmarks (E6 and serializer costs) live in `benches/`.
 
 pub mod model_exps;
 pub mod runtime_exps;
+pub mod scaling;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,675 @@
+//! B-series — multicore scalability of the sharded lock service.
+//!
+//! PR "shard the lock-service hot path" removed every global contention
+//! point from `ntx-runtime`'s access path (lock-free object slab, striped
+//! wait-for graph, striped stat counters, sharded trace buffer, targeted
+//! wakeups). These benchmarks are the proof obligation: throughput on
+//! disjoint working sets must scale with thread count, and the uncontended
+//! single-thread path must stay cheap.
+//!
+//! The host this repo is reproduced on has a **single CPU core**, so a
+//! CPU-bound workload cannot exhibit wall-clock speedup no matter how well
+//! the lock service scales. The B-series therefore measures the regime the
+//! lock service actually governs: **latency-bound** transactions that hold
+//! their locks across a simulated in-transaction latency (`hold_us` of
+//! sleep between acquiring locks and committing — think of it as the I/O or
+//! user think-time of Moss' long-lived nested transactions). With T threads
+//! the holds overlap, so aggregate throughput scales ≈ T× *unless something
+//! in the lock service serialises unrelated transactions*. A global lock on
+//! the object table, a global trace mutex, or broadcast wakeups would each
+//! flatten the curve; the sharded runtime must not.
+//!
+//! Alongside wall-clock numbers, B1 reports the **logical-time speedup** of
+//! the same shape of workload on `ntx_sim`'s parallel driver
+//! ([`ntx_sim::parallel_makespan`]) — the idealised machine limited only by
+//! the locking rules — as the model-level ceiling the runtime is chasing.
+//!
+//! Output goes two places: markdown tables (pasted into EXPERIMENTS.md) and
+//! machine-readable `BENCH_runtime.json` at the repo root (regenerate with
+//! `cargo run -p ntx-bench --release --bin harness -- bseries [--full]`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use ntx_runtime::{LockMode, ObjRef, RtConfig, TxError, TxManager};
+use ntx_sim::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::Table;
+
+/// Parameters for one latency-bound scaling workload.
+#[derive(Clone, Debug)]
+pub struct BWorkload {
+    /// Worker threads (one live top-level transaction each).
+    pub threads: usize,
+    /// Objects *per thread* when `disjoint`, total otherwise.
+    pub objects: usize,
+    /// `true`: thread t only touches its own partition of `objects`
+    /// objects (no lock conflicts possible — pure scaling test).
+    /// `false`: all threads share one pool of `objects` objects.
+    pub disjoint: bool,
+    /// Accesses per transaction.
+    pub ops_per_tx: usize,
+    /// Probability an access is a read.
+    pub read_fraction: f64,
+    /// Zipf skew over the shared pool (ignored when `disjoint`).
+    pub zipf_theta: f64,
+    /// Transactions each thread must commit.
+    pub txs_per_thread: usize,
+    /// Simulated in-transaction latency: microseconds slept while the
+    /// transaction HOLDS its locks (between the last acquire and commit).
+    pub hold_us: u64,
+    /// Acquire objects in canonical order (deadlock avoidance).
+    pub sorted_access: bool,
+}
+
+impl Default for BWorkload {
+    fn default() -> Self {
+        BWorkload {
+            threads: 8,
+            objects: 8,
+            disjoint: true,
+            ops_per_tx: 2,
+            read_fraction: 0.0,
+            zipf_theta: 0.0,
+            txs_per_thread: 150,
+            hold_us: 200,
+            sorted_access: true,
+        }
+    }
+}
+
+/// Aggregate outcome of one B-series run.
+#[derive(Clone, Debug)]
+pub struct BOutcome {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Committed top-level transactions.
+    pub committed: u64,
+    /// Commits per second (aggregate across threads).
+    pub throughput: f64,
+    /// Lock requests that blocked.
+    pub waits: u64,
+    /// Top-level restarts forced by deadlock/timeout.
+    pub restarts: u64,
+    /// Median per-access lock-acquisition latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-access lock-acquisition latency, microseconds.
+    pub p99_us: f64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64 / 1_000.0
+}
+
+/// Run one latency-bound workload: every thread commits `txs_per_thread`
+/// transactions over its partition (disjoint) or the shared pool,
+/// sleeping `hold_us` while holding each transaction's locks. Each lock
+/// acquisition is timed individually for the latency percentiles.
+pub fn run_b_workload(cfg: &BWorkload, seed: u64) -> BOutcome {
+    let mgr = TxManager::new(RtConfig {
+        mode: LockMode::MossRW,
+        wait_timeout: Duration::from_secs(10),
+        ..Default::default()
+    });
+    let total_objects = if cfg.disjoint {
+        cfg.objects * cfg.threads
+    } else {
+        cfg.objects
+    };
+    let objects: Arc<Vec<ObjRef<i64>>> = Arc::new(
+        (0..total_objects)
+            .map(|i| mgr.register(format!("o{i}"), 0))
+            .collect(),
+    );
+    let zipf = Arc::new(Zipf::new(cfg.objects, cfg.zipf_theta));
+    let barrier = Arc::new(Barrier::new(cfg.threads));
+    let restarts = Arc::new(AtomicU64::new(0));
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let hold = Duration::from_micros(cfg.hold_us);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..cfg.threads)
+        .map(|t| {
+            let mgr = mgr.clone();
+            let objects = objects.clone();
+            let zipf = zipf.clone();
+            let barrier = barrier.clone();
+            let restarts = restarts.clone();
+            let latencies = latencies.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+                let base = if cfg.disjoint { t * cfg.objects } else { 0 };
+                let mut lats: Vec<u64> = Vec::with_capacity(cfg.txs_per_thread * cfg.ops_per_tx);
+                barrier.wait();
+                for _ in 0..cfg.txs_per_thread {
+                    // Pre-draw the access list so retries replay the same tx.
+                    let mut accesses: Vec<(usize, bool)> = (0..cfg.ops_per_tx)
+                        .map(|_| {
+                            (
+                                base + zipf.sample(&mut rng),
+                                rng.gen_bool(cfg.read_fraction),
+                            )
+                        })
+                        .collect();
+                    if cfg.sorted_access {
+                        accesses.sort_unstable();
+                        accesses.dedup_by_key(|a| a.0);
+                    }
+                    'retry: loop {
+                        let tx = mgr.begin();
+                        for &(obj, is_read) in &accesses {
+                            let t0 = Instant::now();
+                            let r = if is_read {
+                                tx.read(&objects[obj], |v| *v).map(|_| ())
+                            } else {
+                                tx.write(&objects[obj], |v| *v += 1)
+                            };
+                            match r {
+                                Ok(()) => lats.push(t0.elapsed().as_nanos() as u64),
+                                Err(TxError::Deadlock | TxError::Timeout | TxError::Doomed) => {
+                                    tx.abort();
+                                    restarts.fetch_add(1, Ordering::Relaxed);
+                                    continue 'retry;
+                                }
+                                Err(e) => panic!("unexpected: {e}"),
+                            }
+                        }
+                        // The transaction now holds every lock it needs;
+                        // model its in-transaction latency (I/O, compute on
+                        // another tier) before committing. This is what
+                        // makes the workload latency-bound: T threads
+                        // overlap their holds, so throughput scales with T
+                        // unless the lock service serialises them.
+                        if cfg.hold_us > 0 {
+                            std::thread::sleep(hold);
+                        }
+                        match tx.commit() {
+                            Ok(()) => break 'retry,
+                            Err(_) => {
+                                restarts.fetch_add(1, Ordering::Relaxed);
+                                continue 'retry;
+                            }
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend_from_slice(&lats);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let stats = mgr.stats();
+    let committed = stats.top_level_commits;
+    let mut lats = Arc::try_unwrap(latencies)
+        .expect("all workers joined")
+        .into_inner()
+        .unwrap();
+    lats.sort_unstable();
+    BOutcome {
+        elapsed,
+        committed,
+        throughput: committed as f64 / elapsed.as_secs_f64(),
+        waits: stats.waits,
+        restarts: restarts.load(Ordering::Relaxed),
+        p50_us: percentile(&lats, 0.50),
+        p99_us: percentile(&lats, 0.99),
+    }
+}
+
+/// Median-of-3 wrapper (wall-clock noise on short runs).
+pub fn run_b_median(cfg: &BWorkload) -> BOutcome {
+    let mut outs: Vec<BOutcome> = (0..3).map(|i| run_b_workload(cfg, 11 + i)).collect();
+    outs.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+    outs.swap_remove(1)
+}
+
+/// One row of [`b1_thread_scaling`], kept structured for the JSON emitter.
+#[derive(Clone, Debug)]
+pub struct B1Row {
+    /// Worker threads.
+    pub threads: usize,
+    /// Measured outcome at that thread count.
+    pub out: BOutcome,
+    /// Throughput relative to the single-thread row.
+    pub speedup: f64,
+    /// Logical-time speedup of the same shape on the model's parallel
+    /// driver (idealised ceiling).
+    pub model_speedup: f64,
+}
+
+/// B1 — throughput scaling on DISJOINT working sets.
+///
+/// Each thread owns a private partition of `objects` objects; transactions
+/// write two of them and hold the locks for `hold_us` µs. Zero lock
+/// conflicts are possible, so any departure from linear scaling is overhead
+/// *inside the lock service itself*. The headline acceptance number is
+/// `speedup` at 8 threads ≥ 2×.
+pub fn b1_thread_scaling(txs_per_thread: usize) -> (Table, Vec<B1Row>) {
+    use ntx_sim::parallel_makespan;
+    use ntx_sim::workload::{Workload, WorkloadConfig};
+
+    let mut t = Table::new(
+        "B1 — aggregate throughput vs threads, disjoint working sets \
+         (2 writes/tx, 200µs simulated in-tx latency, median of 3 runs)",
+        &[
+            "threads",
+            "tx/s",
+            "speedup",
+            "model speedup",
+            "waits",
+            "acq p50 µs",
+            "acq p99 µs",
+        ],
+    );
+    let mut rows: Vec<B1Row> = Vec::new();
+    let mut base_tput = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = BWorkload {
+            threads,
+            txs_per_thread,
+            ..Default::default()
+        };
+        let out = run_b_median(&cfg);
+        if threads == 1 {
+            base_tput = out.throughput;
+        }
+        // Model-level ceiling: one access per top-level transaction on the
+        // logical-time parallel driver, so its speedup tracks the thread
+        // count exactly when accesses don't collide. A wide uniform pool
+        // (threads × 8 objects) keeps collisions about as rare as the
+        // disjoint runtime workload's (zero).
+        let mut model = 0.0f64;
+        const WORKLOADS: u64 = 5;
+        for seed in 0..WORKLOADS {
+            let wcfg = WorkloadConfig {
+                top_level: threads,
+                depth: 0,
+                fanout: 1,
+                accesses_per_leaf: 1,
+                objects: threads * cfg.objects,
+                read_fraction: 0.0,
+                zipf_theta: 0.0,
+                ..Default::default()
+            };
+            let w = Workload::generate(&wcfg, seed);
+            model += parallel_makespan(&w.spec, 100_000).speedup;
+        }
+        model /= WORKLOADS as f64;
+        let speedup = out.throughput / base_tput.max(1e-9);
+        t.row(vec![
+            threads.to_string(),
+            format!("{:.0}", out.throughput),
+            format!("{speedup:.2}x"),
+            format!("{model:.2}x"),
+            out.waits.to_string(),
+            format!("{:.1}", out.p50_us),
+            format!("{:.1}", out.p99_us),
+        ]);
+        rows.push(B1Row {
+            threads,
+            out,
+            speedup,
+            model_speedup: model,
+        });
+    }
+    (t, rows)
+}
+
+/// One row of [`b2_read_fraction`].
+#[derive(Clone, Debug)]
+pub struct B2Row {
+    /// Probability an access is a read.
+    pub read_fraction: f64,
+    /// Measured outcome.
+    pub out: BOutcome,
+}
+
+/// B2 — 8 threads on a SHARED skewed pool, sweeping the read fraction.
+///
+/// Contention is real here (θ = 0.9 over 16 objects); read locks should let
+/// throughput climb and wait latency fall as the mix shifts toward reads,
+/// with the all-read end approaching the disjoint (conflict-free) rate.
+pub fn b2_read_fraction(txs_per_thread: usize) -> (Table, Vec<B2Row>) {
+    let mut t = Table::new(
+        "B2 — 8 threads, shared pool of 16 objects (Zipf θ=0.9, 4 ops/tx, \
+         100µs in-tx latency): throughput and wait profile vs read fraction",
+        &[
+            "read frac",
+            "tx/s",
+            "waits/1k tx",
+            "acq p50 µs",
+            "acq p99 µs",
+        ],
+    );
+    let mut rows: Vec<B2Row> = Vec::new();
+    for rf in [0.0, 0.5, 0.9, 1.0] {
+        let cfg = BWorkload {
+            threads: 8,
+            objects: 16,
+            disjoint: false,
+            ops_per_tx: 4,
+            read_fraction: rf,
+            zipf_theta: 0.9,
+            txs_per_thread,
+            hold_us: 100,
+            sorted_access: true,
+        };
+        let out = run_b_median(&cfg);
+        t.row(vec![
+            format!("{rf:.1}"),
+            format!("{:.0}", out.throughput),
+            format!(
+                "{:.0}",
+                out.waits as f64 * 1000.0 / out.committed.max(1) as f64
+            ),
+            format!("{:.1}", out.p50_us),
+            format!("{:.1}", out.p99_us),
+        ]);
+        rows.push(B2Row {
+            read_fraction: rf,
+            out,
+        });
+    }
+    (t, rows)
+}
+
+/// One row of [`b3_zipf_sweep`].
+#[derive(Clone, Debug)]
+pub struct B3Row {
+    /// Zipf skew of object popularity.
+    pub theta: f64,
+    /// Single-thread outcome.
+    pub t1: BOutcome,
+    /// Eight-thread outcome.
+    pub t8: BOutcome,
+    /// t8 / t1 throughput.
+    pub scaling: f64,
+}
+
+/// B3 — scaling under skew: 1 vs 8 threads as hot-spot skew grows.
+///
+/// Read-heavy mix (80%) over a shared pool. At θ = 0 conflicts are rare and
+/// 8 threads should retain most of B1's scaling; as θ grows the hottest
+/// object serialises writers and the ratio must degrade *gracefully* (lock
+/// waits, not collapse).
+pub fn b3_zipf_sweep(txs_per_thread: usize) -> (Table, Vec<B3Row>) {
+    let mut t = Table::new(
+        "B3 — throughput scaling (8 threads vs 1) under Zipf skew \
+         (32 shared objects, 80% reads, 4 ops/tx, 100µs in-tx latency)",
+        &["zipf θ", "tx/s @1", "tx/s @8", "scaling", "waits/1k tx @8"],
+    );
+    let mut rows: Vec<B3Row> = Vec::new();
+    for theta in [0.0, 0.6, 0.9, 1.2] {
+        let mk = |threads: usize| BWorkload {
+            threads,
+            objects: 32,
+            disjoint: false,
+            ops_per_tx: 4,
+            read_fraction: 0.8,
+            zipf_theta: theta,
+            txs_per_thread,
+            hold_us: 100,
+            sorted_access: true,
+        };
+        let t1 = run_b_median(&mk(1));
+        let t8 = run_b_median(&mk(8));
+        let scaling = t8.throughput / t1.throughput.max(1e-9);
+        t.row(vec![
+            format!("{theta:.1}"),
+            format!("{:.0}", t1.throughput),
+            format!("{:.0}", t8.throughput),
+            format!("{scaling:.2}x"),
+            format!(
+                "{:.0}",
+                t8.waits as f64 * 1000.0 / t8.committed.max(1) as f64
+            ),
+        ]);
+        rows.push(B3Row {
+            theta,
+            t1,
+            t8,
+            scaling,
+        });
+    }
+    (t, rows)
+}
+
+/// B0 — uncontended single-thread hot-path costs, nanoseconds per op.
+#[derive(Clone, Copy, Debug)]
+pub struct B0Costs {
+    /// One `tx.read` on an object the tx already read (hot cache).
+    pub read_ns: f64,
+    /// One `tx.write` on an object the tx already wrote.
+    pub write_ns: f64,
+    /// One full `begin` + write + `commit` cycle.
+    pub tx_cycle_ns: f64,
+}
+
+/// Measure B0: tight single-thread loops over one object, no contention,
+/// no holds. This is the number the sharding work must NOT regress — the
+/// uncontended path pays for the striping exactly once (a thread-local
+/// stripe-index load) per counter bump.
+pub fn b0_uncontended(iters: u64) -> (Table, B0Costs) {
+    let mgr = TxManager::new(RtConfig::default());
+    let obj = mgr.register("b0", 0i64);
+
+    // Full transaction cycle.
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let tx = mgr.begin();
+        tx.write(&obj, |v| *v += 1).unwrap();
+        tx.commit().unwrap();
+    }
+    let tx_cycle_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Repeated reads inside one transaction.
+    let tx = mgr.begin();
+    tx.read(&obj, |v| *v).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(tx.read(&obj, |v| *v).unwrap());
+    }
+    let read_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Repeated writes inside one transaction.
+    tx.write(&obj, |v| *v += 1).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        tx.write(&obj, |v| *v += 1).unwrap();
+    }
+    let write_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    tx.commit().unwrap();
+
+    let costs = B0Costs {
+        read_ns,
+        write_ns,
+        tx_cycle_ns,
+    };
+    let mut t = Table::new(
+        "B0 — uncontended single-thread hot path (ns/op, one object, no holds)",
+        &["operation", "ns/op"],
+    );
+    t.row(vec!["read (lock held)".into(), format!("{read_ns:.0}")]);
+    t.row(vec!["write (lock held)".into(), format!("{write_ns:.0}")]);
+    t.row(vec![
+        "begin + write + commit".into(),
+        format!("{tx_cycle_ns:.0}"),
+    ]);
+    (t, costs)
+}
+
+fn json_outcome(out: &BOutcome) -> String {
+    format!(
+        "{{\"committed\": {}, \"elapsed_ms\": {:.1}, \"throughput_tps\": {:.1}, \
+         \"waits\": {}, \"restarts\": {}, \"acq_p50_us\": {:.2}, \"acq_p99_us\": {:.2}}}",
+        out.committed,
+        out.elapsed.as_secs_f64() * 1000.0,
+        out.throughput,
+        out.waits,
+        out.restarts,
+        out.p50_us,
+        out.p99_us,
+    )
+}
+
+/// Render the full B-series result set as the `BENCH_runtime.json` document
+/// (hand-rolled: the dependency policy vendors no JSON serializer).
+pub fn bench_json(mode: &str, b0: &B0Costs, b1: &[B1Row], b2: &[B2Row], b3: &[B3Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"suite\": \"ntx-runtime B-series (multicore scalability)\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    s.push_str(&format!(
+        "  \"b0_uncontended_ns_per_op\": {{\"read\": {:.1}, \"write\": {:.1}, \"tx_cycle\": {:.1}}},\n",
+        b0.read_ns, b0.write_ns, b0.tx_cycle_ns
+    ));
+
+    s.push_str("  \"b1_disjoint_thread_scaling\": {\n    \"rows\": [\n");
+    for (i, r) in b1.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"threads\": {}, \"speedup\": {:.3}, \"model_speedup\": {:.3}, \"outcome\": {}}}{}\n",
+            r.threads,
+            r.speedup,
+            r.model_speedup,
+            json_outcome(&r.out),
+            if i + 1 < b1.len() { "," } else { "" }
+        ));
+    }
+    let speedup_8 = b1.last().map_or(0.0, |r| r.speedup);
+    s.push_str(&format!(
+        "    ],\n    \"speedup_1_to_8\": {speedup_8:.3}\n  }},\n"
+    ));
+
+    s.push_str("  \"b2_read_fraction_sweep\": {\n    \"rows\": [\n");
+    for (i, r) in b2.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"read_fraction\": {:.2}, \"outcome\": {}}}{}\n",
+            r.read_fraction,
+            json_outcome(&r.out),
+            if i + 1 < b2.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ]\n  },\n");
+
+    s.push_str("  \"b3_zipf_sweep\": {\n    \"rows\": [\n");
+    for (i, r) in b3.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"zipf_theta\": {:.2}, \"scaling_1_to_8\": {:.3}, \"t1\": {}, \"t8\": {}}}{}\n",
+            r.theta,
+            r.scaling,
+            json_outcome(&r.t1),
+            json_outcome(&r.t8),
+            if i + 1 < b3.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ]\n  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b_runner_commits_exactly_requested() {
+        let cfg = BWorkload {
+            threads: 4,
+            txs_per_thread: 10,
+            hold_us: 0,
+            ..Default::default()
+        };
+        let out = run_b_workload(&cfg, 1);
+        assert_eq!(out.committed, 40);
+        assert_eq!(out.waits, 0, "disjoint partitions cannot conflict");
+        assert!(out.throughput > 0.0);
+        assert!(out.p99_us >= out.p50_us);
+    }
+
+    #[test]
+    fn shared_pool_draws_within_bounds() {
+        let cfg = BWorkload {
+            threads: 4,
+            objects: 4,
+            disjoint: false,
+            ops_per_tx: 3,
+            read_fraction: 0.5,
+            zipf_theta: 1.0,
+            txs_per_thread: 20,
+            hold_us: 0,
+            sorted_access: true,
+        };
+        let out = run_b_workload(&cfg, 2);
+        assert_eq!(out.committed, 80);
+    }
+
+    #[test]
+    fn percentile_picks_expected_ranks() {
+        let v: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert!((percentile(&v, 0.0) - 1.0).abs() < 1e-9);
+        assert!((percentile(&v, 1.0) - 100.0).abs() < 1e-9);
+        let p50 = percentile(&v, 0.5);
+        assert!((49.0..=52.0).contains(&p50), "{p50}");
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn b0_produces_positive_costs() {
+        let (t, c) = b0_uncontended(200);
+        assert_eq!(t.rows.len(), 3);
+        assert!(c.read_ns > 0.0 && c.write_ns > 0.0 && c.tx_cycle_ns > 0.0);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let b0 = B0Costs {
+            read_ns: 100.0,
+            write_ns: 200.0,
+            tx_cycle_ns: 900.0,
+        };
+        let out = BOutcome {
+            elapsed: Duration::from_millis(10),
+            committed: 40,
+            throughput: 4000.0,
+            waits: 0,
+            restarts: 0,
+            p50_us: 1.0,
+            p99_us: 2.0,
+        };
+        let b1 = vec![B1Row {
+            threads: 1,
+            out: out.clone(),
+            speedup: 1.0,
+            model_speedup: 1.0,
+        }];
+        let b2 = vec![B2Row {
+            read_fraction: 0.5,
+            out: out.clone(),
+        }];
+        let b3 = vec![B3Row {
+            theta: 0.9,
+            t1: out.clone(),
+            t8: out,
+            scaling: 1.0,
+        }];
+        let doc = bench_json("quick", &b0, &b1, &b2, &b3);
+        // Balanced braces/brackets and the headline key present.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert!(doc.contains("\"speedup_1_to_8\": 1.000"));
+        assert!(!doc.contains("NaN") && !doc.contains("inf"));
+    }
+}

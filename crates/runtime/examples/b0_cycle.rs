@@ -1,0 +1,40 @@
+//! Uncontended single-thread hot-path microbench (baseline comparison aid).
+use ntx_runtime::{RtConfig, TxManager};
+use std::time::Instant;
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000);
+    let mgr = TxManager::new(RtConfig::default());
+    let obj = mgr.register("b0", 0i64);
+    // Warm up.
+    for _ in 0..10_000 {
+        let tx = mgr.begin();
+        tx.write(&obj, |v| *v += 1).unwrap();
+        tx.commit().unwrap();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let tx = mgr.begin();
+        tx.write(&obj, |v| *v += 1).unwrap();
+        tx.commit().unwrap();
+    }
+    let cycle = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    let tx = mgr.begin();
+    tx.read(&obj, |v| *v).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(tx.read(&obj, |v| *v).unwrap());
+    }
+    let read = t0.elapsed().as_nanos() as f64 / iters as f64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        tx.write(&obj, |v| *v += 1).unwrap();
+    }
+    let write = t0.elapsed().as_nanos() as f64 / iters as f64;
+    tx.commit().unwrap();
+    println!("tx_cycle_ns={cycle:.1} read_ns={read:.1} write_ns={write:.1}");
+}

@@ -7,15 +7,31 @@
 //! that closes a cycle a victim is chosen by [`pick_victim`] and aborted —
 //! the requester itself failing fast with [`crate::TxError::Deadlock`] when
 //! it is the victim.
+//!
+//! The edge map is **striped** by waiter top-level id: the hot operations —
+//! publishing one waiter's edges and clearing them on grant — lock a single
+//! stripe, so unrelated transactions blocking on unrelated objects no
+//! longer serialise on one global mutex. Cycle *detection* needs a
+//! consistent view of every stripe; it locks all stripes in index order
+//! (deadlock-free among detectors) — acceptable because detection only
+//! runs on the already-blocked slow path.
 
 use std::collections::{HashMap, HashSet};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
-/// The global wait-for graph (transaction id → ids it waits for).
+use crate::shard::CachePadded;
+
+/// Number of edge-map stripes (power of two).
+pub(crate) const WFG_STRIPES: usize = 16;
+
+type EdgeMap = HashMap<u64, Vec<u64>>;
+
+/// The global wait-for graph (transaction id → ids it waits for), striped
+/// by waiter id.
 #[derive(Default)]
 pub(crate) struct WaitForGraph {
-    edges: Mutex<HashMap<u64, Vec<u64>>>,
+    stripes: [CachePadded<Mutex<EdgeMap>>; WFG_STRIPES],
 }
 
 /// Youngest-victim policy: among the members of a deadlock cycle, the
@@ -29,12 +45,18 @@ pub(crate) fn pick_victim(cycle: &[u64]) -> u64 {
         .expect("deadlock cycle cannot be empty")
 }
 
-fn reachable(edges: &HashMap<u64, Vec<u64>>, starts: &[u64]) -> HashSet<u64> {
+#[inline]
+fn stripe_of(waiter: u64) -> usize {
+    (waiter as usize) % WFG_STRIPES
+}
+
+/// Reachability over the union of all stripes (all guards held).
+fn reachable(stripes: &[MutexGuard<'_, EdgeMap>], starts: &[u64]) -> HashSet<u64> {
     let mut seen: HashSet<u64> = HashSet::new();
     let mut stack: Vec<u64> = starts.to_vec();
     while let Some(n) = stack.pop() {
         if seen.insert(n) {
-            if let Some(next) = edges.get(&n) {
+            if let Some(next) = stripes[stripe_of(n)].get(&n) {
                 stack.extend(next.iter().copied());
             }
         }
@@ -58,31 +80,36 @@ impl WaitForGraph {
     /// lock by committing/aborting, so edges point at the blocker ids that
     /// were actually observed holding the conflicting lock.
     pub fn wait_and_check(&self, waiter: u64, blockers: &[u64]) -> Option<Vec<u64>> {
-        let mut edges = self.edges.lock();
-        edges.insert(waiter, blockers.to_vec());
-        let downstream = reachable(&edges, blockers);
+        // Detection needs a consistent global view: lock every stripe in
+        // index order (a fixed order, so detectors never deadlock on each
+        // other).
+        let mut stripes: Vec<MutexGuard<'_, EdgeMap>> =
+            self.stripes.iter().map(|s| s.0.lock()).collect();
+        stripes[stripe_of(waiter)].insert(waiter, blockers.to_vec());
+        let downstream = reachable(&stripes, blockers);
         if !downstream.contains(&waiter) {
             return None;
         }
         // Cycle members: nodes downstream of the waiter that also reach it.
         let mut members: Vec<u64> = downstream
             .into_iter()
-            .filter(|&n| n == waiter || reachable(&edges, &[n]).contains(&waiter))
+            .filter(|&n| n == waiter || reachable(&stripes, &[n]).contains(&waiter))
             .collect();
         members.sort_unstable();
-        edges.remove(&waiter);
+        stripes[stripe_of(waiter)].remove(&waiter);
         Some(members)
     }
 
     /// Remove `waiter`'s out-edges (lock granted, or waiter gave up).
+    /// Touches only the waiter's stripe.
     pub fn clear(&self, waiter: u64) {
-        self.edges.lock().remove(&waiter);
+        self.stripes[stripe_of(waiter)].0.lock().remove(&waiter);
     }
 
     /// Number of currently waiting transactions (diagnostics).
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn waiting_count(&self) -> usize {
-        self.edges.lock().len()
+        self.stripes.iter().map(|s| s.0.lock().len()).sum()
     }
 }
 
@@ -118,6 +145,19 @@ mod tests {
         assert!(g.wait_and_check(2, &[3]).is_none());
         let cycle = g.wait_and_check(3, &[1]).expect("closes the 3-cycle");
         assert_eq!(cycle, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_detected_across_stripes() {
+        // Members chosen to land on distinct stripes (ids 1, 2, 3, 20 with
+        // 16 stripes) and to include two ids on the SAME stripe (4 and 20).
+        let g = WaitForGraph::new();
+        assert!(g.wait_and_check(1, &[2]).is_none());
+        assert!(g.wait_and_check(2, &[3]).is_none());
+        assert!(g.wait_and_check(3, &[20]).is_none());
+        assert!(g.wait_and_check(20, &[4]).is_none());
+        let cycle = g.wait_and_check(4, &[1]).expect("1→2→3→20→4→1");
+        assert_eq!(cycle, vec![1, 2, 3, 4, 20]);
     }
 
     #[test]
@@ -173,5 +213,26 @@ mod tests {
             g.wait_and_check(2, &[1]).is_none(),
             "no cycle: 1 no longer waits on 2"
         );
+    }
+
+    #[test]
+    fn concurrent_publish_and_clear_do_not_lose_edges() {
+        let g = std::sync::Arc::new(WaitForGraph::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let waiter = t * 1000 + i;
+                        assert!(g.wait_and_check(waiter, &[waiter + 1]).is_none());
+                        g.clear(waiter);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.waiting_count(), 0);
     }
 }

@@ -61,6 +61,8 @@ mod manager;
 mod node;
 mod object;
 mod savepoint;
+mod shard;
+mod slab;
 mod stats;
 mod trace;
 mod tx;

@@ -1,11 +1,17 @@
 //! The transaction manager: object store, lock service, statistics.
+//!
+//! The access path is engineered to have **no global contention point**:
+//! the object store is an append-only slab with lock-free lookup
+//! ([`crate::slab::Slab`]), the wait-for graph and the stat counters are
+//! striped ([`WaitForGraph`], [`Stats`]), the trace buffer is sharded with
+//! an atomic sequence stamp, and commit/abort wake only objects that
+//! actually have parked waiters. Two transactions touching disjoint
+//! objects share *nothing* on the hot path but the transaction-id counter.
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-
-use parking_lot::RwLock;
 
 use crate::config::{DeadlockPolicy, LockMode, RtConfig};
 use crate::deadlock::{pick_victim, WaitForGraph};
@@ -13,9 +19,16 @@ use crate::error::TxError;
 use crate::fault::{FaultAction, FaultContext, FaultPoint};
 use crate::node::TxNode;
 use crate::object::{AnyState, ObjectSlot};
-use crate::stats::{Stats, StatsSnapshot};
+use crate::slab::Slab;
+use crate::stats::{Ctr, Stats, StatsSnapshot};
 use crate::trace::RtEvent;
 use crate::tx::Tx;
+
+/// Upper bound of one bounded park while blocked on a lock. Wakeups are
+/// targeted (releasers notify whenever the slot has registered waiters),
+/// so this only bounds the staleness of the remaining unsignalled
+/// transitions — e.g. a waiter doomed between its doom check and its park.
+const PARK_CHUNK: std::time::Duration = std::time::Duration::from_millis(10);
 
 /// Typed handle to a registered object.
 ///
@@ -42,7 +55,7 @@ impl<T> std::fmt::Debug for ObjRef<T> {
 
 pub(crate) struct ManagerInner {
     pub config: RtConfig,
-    pub objects: RwLock<Vec<Arc<ObjectSlot>>>,
+    pub objects: Slab<ObjectSlot>,
     pub next_tx_id: AtomicU64,
     pub wait_graph: WaitForGraph,
     pub stats: Stats,
@@ -60,7 +73,7 @@ impl TxManager {
         TxManager {
             inner: Arc::new(ManagerInner {
                 config,
-                objects: RwLock::new(Vec::new()),
+                objects: Slab::new(),
                 next_tx_id: AtomicU64::new(1),
                 wait_graph: WaitForGraph::new(),
                 stats: Stats::default(),
@@ -74,9 +87,10 @@ impl TxManager {
         name: impl Into<String>,
         initial: T,
     ) -> ObjRef<T> {
-        let mut objects = self.inner.objects.write();
-        let idx = objects.len();
-        objects.push(Arc::new(ObjectSlot::new(name.into(), Box::new(initial))));
+        let idx = self
+            .inner
+            .objects
+            .push(ObjectSlot::new(name.into(), Box::new(initial)));
         ObjRef {
             idx,
             _marker: PhantomData,
@@ -86,7 +100,7 @@ impl TxManager {
     /// Begin a top-level transaction.
     pub fn begin(&self) -> Tx {
         let id = self.inner.next_tx_id.fetch_add(1, Ordering::Relaxed);
-        self.inner.stats.begun.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.bump(Ctr::Begun);
         self.inner.trace(RtEvent::Begin {
             tx: id,
             parent: None,
@@ -97,7 +111,7 @@ impl TxManager {
     /// Read the *committed* (top-level published) state of an object,
     /// outside any transaction.
     pub fn read_committed<T: 'static, R>(&self, obj: &ObjRef<T>, f: impl FnOnce(&T) -> R) -> R {
-        let slot = self.slot(obj.idx);
+        let slot = self.inner.slot(obj.idx);
         let guard = slot.inner.lock();
         f(guard
             .base
@@ -113,22 +127,21 @@ impl TxManager {
 
     /// Number of registered objects.
     pub fn object_count(&self) -> usize {
-        self.inner.objects.read().len()
+        self.inner.objects.len()
     }
 
     /// Name of an object (diagnostics).
     pub fn object_name<T>(&self, obj: &ObjRef<T>) -> String {
-        self.slot(obj.idx).name.clone()
-    }
-
-    pub(crate) fn slot(&self, idx: usize) -> Arc<ObjectSlot> {
-        self.inner.objects.read()[idx].clone()
+        self.inner.slot(obj.idx).name.clone()
     }
 }
 
 impl ManagerInner {
-    pub(crate) fn slot(&self, idx: usize) -> Arc<ObjectSlot> {
-        self.objects.read()[idx].clone()
+    /// Fetch an object slot: a lock-free slab lookup (no reader lock, no
+    /// `Arc` clone — the slot lives as long as the manager).
+    #[inline]
+    pub(crate) fn slot(&self, idx: usize) -> &ObjectSlot {
+        self.objects.get(idx)
     }
 
     /// Record a trace event if a recorder is configured (no-op otherwise).
@@ -163,16 +176,17 @@ impl ManagerInner {
     /// Apply a non-[`FaultAction::Continue`] injected fault at a lock
     /// request and return the error the request fails with. Must NOT be
     /// called while holding an object slot mutex — aborting a subtree
-    /// re-locks touched objects.
+    /// re-locks touched objects. `clear_edges` says whether the waiter has
+    /// published wait-for edges that must be withdrawn.
     fn apply_lock_fault(
         &self,
         action: FaultAction,
         node: &Arc<TxNode>,
         owner: &Arc<TxNode>,
         obj: usize,
-        waited: bool,
+        clear_edges: bool,
     ) -> TxError {
-        if waited {
+        if clear_edges {
             self.wait_graph.clear(owner.top_level_id());
         }
         self.trace(RtEvent::Fault {
@@ -190,11 +204,11 @@ impl ManagerInner {
                 TxError::Doomed
             }
             FaultAction::Timeout => {
-                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.stats.bump(Ctr::Timeouts);
                 TxError::Timeout
             }
             FaultAction::DeadlockVictim => {
-                self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+                self.stats.bump(Ctr::Deadlocks);
                 TxError::Deadlock
             }
             FaultAction::Continue => unreachable!("Continue is not a fault"),
@@ -231,6 +245,11 @@ impl ManagerInner {
         let slot = self.slot(obj_idx);
         let deadline = Instant::now() + self.config.wait_timeout;
         let mut waited = false;
+        // Whether this waiter currently has edges published in the
+        // wait-for graph. Only the DieOnCycle policy ever publishes; the
+        // WoundWait/TimeoutOnly paths must not pay a graph-stripe hit on
+        // grant or doom.
+        let mut edges_published = false;
         let wait_start = Instant::now();
         if self.config.fault.is_some() {
             let action = self.fault_decision(FaultPoint::LockRequest, node, Some(obj_idx), write);
@@ -241,7 +260,7 @@ impl ManagerInner {
         let mut guard = slot.inner.lock();
         loop {
             if node.is_doomed() {
-                if waited {
+                if edges_published {
                     self.wait_graph.clear(owner.top_level_id());
                 }
                 // A deadlock victim's doom is reported as Deadlock: the
@@ -254,18 +273,19 @@ impl ManagerInner {
                 });
             }
             if guard.grantable(&owner, lock_write) {
-                if waited {
+                if edges_published {
                     self.wait_graph.clear(owner.top_level_id());
+                }
+                if waited {
                     self.stats
-                        .wait_nanos
-                        .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        .add(Ctr::WaitNanos, wait_start.elapsed().as_nanos() as u64);
                 }
                 owner.touch(obj_idx);
                 let result = if lock_write {
                     // Declared writes, and reads in Exclusive mode (which
                     // take a write lock whose version equals its
                     // predecessor).
-                    self.stats.write_grants.fetch_add(1, Ordering::Relaxed);
+                    self.stats.bump(Ctr::WriteGrants);
                     let installs = !matches!(guard.chain.last(), Some(e) if e.owner.id == owner.id);
                     self.trace(RtEvent::WriteGrant {
                         tx: owner.id,
@@ -280,7 +300,7 @@ impl ManagerInner {
                     let st = guard.writable_state(&owner);
                     f(st.as_mut())
                 } else {
-                    self.stats.read_grants.fetch_add(1, Ordering::Relaxed);
+                    self.stats.bump(Ctr::ReadGrants);
                     self.trace(RtEvent::ReadGrant {
                         tx: owner.id,
                         obj: obj_idx,
@@ -301,7 +321,7 @@ impl ManagerInner {
             // Blocked.
             if !waited {
                 waited = true;
-                self.stats.waits.fetch_add(1, Ordering::Relaxed);
+                self.stats.bump(Ctr::Waits);
                 self.trace(RtEvent::Wait {
                     tx: owner.id,
                     obj: obj_idx,
@@ -314,7 +334,13 @@ impl ManagerInner {
                     // apply_lock_fault may abort subtrees, which re-locks
                     // touched slots — release this one first.
                     drop(guard);
-                    return Err(self.apply_lock_fault(action, node, &owner, obj_idx, true));
+                    return Err(self.apply_lock_fault(
+                        action,
+                        node,
+                        &owner,
+                        obj_idx,
+                        edges_published,
+                    ));
                 }
             }
             if self.config.deadlock == DeadlockPolicy::WoundWait {
@@ -339,7 +365,7 @@ impl ManagerInner {
                     // re-locks touched objects (including this one).
                     drop(guard);
                     for v in victims {
-                        self.stats.wounds.fetch_add(1, Ordering::Relaxed);
+                        self.stats.bump(Ctr::Wounds);
                         self.abort_subtree(&v);
                     }
                     guard = slot.inner.lock();
@@ -369,50 +395,70 @@ impl ManagerInner {
                     tops
                 };
                 if !blockers.is_empty() {
-                    if let Some(cycle) = self.wait_graph.wait_and_check(waiter_top, &blockers) {
-                        let victim = pick_victim(&cycle);
-                        self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
-                        self.trace(RtEvent::Deadlock {
-                            waiter: owner.id,
-                            victim,
-                            cycle_len: cycle.len(),
-                        });
-                        if victim == waiter_top {
-                            return Err(TxError::Deadlock);
-                        }
-                        // Youngest-victim: wound the victim if it holds a
-                        // lock right here (then retry); otherwise it is
-                        // unreachable from this slot and the requester dies
-                        // in its place — conservative but safe.
-                        let victim_node = guard
-                            .blockers(&owner, lock_write)
-                            .into_iter()
-                            .find(|b| b.top_level_id() == victim)
-                            .map(|b| b.top());
-                        match victim_node {
-                            Some(v) => {
-                                // abort_subtree re-locks touched slots.
-                                drop(guard);
-                                v.deadlock_victim.store(true, Ordering::SeqCst);
-                                self.abort_subtree(&v);
-                                guard = slot.inner.lock();
-                                continue;
+                    match self.wait_graph.wait_and_check(waiter_top, &blockers) {
+                        None => edges_published = true,
+                        Some(cycle) => {
+                            // Detection withdrew the waiter's edges.
+                            edges_published = false;
+                            let victim = pick_victim(&cycle);
+                            self.stats.bump(Ctr::Deadlocks);
+                            self.trace(RtEvent::Deadlock {
+                                waiter: owner.id,
+                                victim,
+                                cycle_len: cycle.len(),
+                            });
+                            if victim == waiter_top {
+                                return Err(TxError::Deadlock);
                             }
-                            None => return Err(TxError::Deadlock),
+                            // Youngest-victim: wound the victim if it holds
+                            // a lock right here (then retry); otherwise it
+                            // is unreachable from this slot and the
+                            // requester dies in its place — conservative
+                            // but safe.
+                            let victim_node = guard
+                                .blockers(&owner, lock_write)
+                                .into_iter()
+                                .find(|b| b.top_level_id() == victim)
+                                .map(|b| b.top());
+                            match victim_node {
+                                Some(v) => {
+                                    // abort_subtree re-locks touched slots.
+                                    drop(guard);
+                                    v.deadlock_victim.store(true, Ordering::SeqCst);
+                                    self.abort_subtree(&v);
+                                    guard = slot.inner.lock();
+                                    continue;
+                                }
+                                None => return Err(TxError::Deadlock),
+                            }
                         }
                     }
                 }
             }
             let now = Instant::now();
             if now >= deadline {
-                self.wait_graph.clear(owner.top_level_id());
-                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                if edges_published {
+                    self.wait_graph.clear(owner.top_level_id());
+                }
+                self.stats.bump(Ctr::Timeouts);
                 return Err(TxError::Timeout);
             }
             *node.waiting_on.lock() = Some(obj_idx);
-            // Bounded park: re-check every 50 ms as a missed-wakeup guard.
-            let chunk = std::cmp::min(deadline - now, std::time::Duration::from_millis(50));
+            // Bounded park: releasers wake us via the per-slot waiter
+            // registration below; the timeout only caps the staleness of
+            // unsignalled transitions (e.g. dooms that raced the park).
+            if lock_write {
+                guard.waiting_writers += 1;
+            } else {
+                guard.waiting_readers += 1;
+            }
+            let chunk = std::cmp::min(deadline - now, PARK_CHUNK);
             let _ = slot.cv.wait_for(&mut guard, chunk);
+            if lock_write {
+                guard.waiting_writers -= 1;
+            } else {
+                guard.waiting_readers -= 1;
+            }
             *node.waiting_on.lock() = None;
         }
     }
@@ -423,6 +469,7 @@ impl ManagerInner {
         let heir = node.parent.clone();
         for obj in touched {
             let slot = self.slot(obj);
+            let waiters;
             {
                 let mut guard = slot.inner.lock();
                 let moved = guard.inherit(
@@ -430,6 +477,10 @@ impl ManagerInner {
                     heir.as_ref(),
                     self.config.drop_read_lock_when_write_held,
                 );
+                // Wake only if the lock state changed and someone is
+                // parked; an untouched slot's waiters cannot have become
+                // grantable.
+                waiters = if moved.any() { guard.waiters() } else { 0 };
                 if moved.any() {
                     self.trace(RtEvent::Inherit {
                         tx: node.id,
@@ -438,7 +489,7 @@ impl ManagerInner {
                     });
                 }
             }
-            slot.cv.notify_all();
+            slot.wake_waiters(waiters);
             if let Some(h) = &heir {
                 h.touch(obj);
             }
@@ -457,9 +508,11 @@ impl ManagerInner {
                 newly_aborted += 1;
                 self.trace(RtEvent::Abort { tx: n.id });
             }
-            for o in n.touched.lock().iter() {
-                if !touched.contains(o) {
-                    touched.push(*o);
+            // Per-node `touched` sets are sorted; merge-dedup them into
+            // the (also sorted) union via binary-search inserts.
+            for &o in n.touched.lock().iter() {
+                if let Err(pos) = touched.binary_search(&o) {
+                    touched.insert(pos, o);
                 }
             }
             if let Some(o) = *n.waiting_on.lock() {
@@ -469,11 +522,17 @@ impl ManagerInner {
             }
             self.wait_graph.clear(n.top_level_id());
         });
-        for obj in touched {
+        for &obj in &touched {
             let slot = self.slot(obj);
+            let waiters;
             {
                 let mut guard = slot.inner.lock();
                 let (versions, readers) = guard.discard_subtree(root);
+                waiters = if versions + readers > 0 {
+                    guard.waiters()
+                } else {
+                    0
+                };
                 if versions + readers > 0 {
                     self.trace(RtEvent::Rollback {
                         tx: root.id,
@@ -483,14 +542,19 @@ impl ManagerInner {
                     });
                 }
             }
-            slot.cv.notify_all();
+            slot.wake_waiters(waiters);
         }
         for obj in waiting {
-            self.slot(obj).cv.notify_all();
+            // Deliver doom to the subtree's own parked waiters. Taking the
+            // slot mutex first serialises with a waiter between its doom
+            // check and its park: either it has already registered (we see
+            // the count and wake it) or it will re-check doom under the
+            // mutex before parking.
+            let slot = self.slot(obj);
+            let waiters = slot.inner.lock().waiters();
+            slot.wake_waiters(waiters);
         }
-        self.stats
-            .aborts
-            .fetch_add(newly_aborted as u64, Ordering::Relaxed);
+        self.stats.add(Ctr::Aborts, newly_aborted as u64);
         newly_aborted
     }
 }
@@ -528,5 +592,16 @@ mod tests {
         let mgr2 = mgr.clone();
         assert_eq!(mgr2.read_committed(&obj, |v| *v), 1);
         assert_eq!(mgr2.object_count(), 1);
+    }
+
+    #[test]
+    fn many_registrations_span_slab_chunks() {
+        let mgr = TxManager::new(RtConfig::default());
+        let refs: Vec<ObjRef<usize>> = (0..500).map(|i| mgr.register(format!("o{i}"), i)).collect();
+        assert_eq!(mgr.object_count(), 500);
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(mgr.read_committed(r, |v| *v), i);
+            assert_eq!(mgr.object_name(r), format!("o{i}"));
+        }
     }
 }

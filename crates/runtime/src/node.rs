@@ -36,7 +36,8 @@ pub(crate) struct TxNode {
     pub children_live: AtomicUsize,
     /// Children ever created (for subtree walks at abort time).
     pub children: Mutex<Vec<Weak<TxNode>>>,
-    /// Objects where this transaction may hold locks or versions.
+    /// Objects where this transaction may hold locks or versions, kept as
+    /// a sorted set so membership tests are binary searches, not scans.
     pub touched: Mutex<Vec<usize>>,
     /// Object this transaction is currently blocked on, if any.
     pub waiting_on: Mutex<Option<usize>>,
@@ -153,11 +154,13 @@ impl TxNode {
         false
     }
 
-    /// Record that this transaction touched object `obj`.
+    /// Record that this transaction touched object `obj`. The set stays
+    /// sorted, so the dedup test is a binary search — O(log n) instead of
+    /// the O(n) scan that made repeated touches quadratic.
     pub fn touch(&self, obj: usize) {
         let mut t = self.touched.lock();
-        if !t.contains(&obj) {
-            t.push(obj);
+        if let Err(pos) = t.binary_search(&obj) {
+            t.insert(pos, obj);
         }
     }
 
@@ -262,11 +265,13 @@ mod tests {
     }
 
     #[test]
-    fn touch_dedupes() {
+    fn touch_dedupes_and_stays_sorted() {
         let a = TxNode::top_level(1);
+        a.touch(6);
         a.touch(5);
         a.touch(5);
         a.touch(6);
-        assert_eq!(*a.touched.lock(), vec![5, 6]);
+        a.touch(2);
+        assert_eq!(*a.touched.lock(), vec![2, 5, 6]);
     }
 }

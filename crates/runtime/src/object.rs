@@ -49,9 +49,19 @@ pub(crate) struct ObjectInner {
     pub chain: Vec<ChainEntry>,
     /// Read-lock holders.
     pub readers: Vec<Arc<TxNode>>,
+    /// Requests currently parked on [`ObjectSlot::cv`] wanting a read
+    /// lock. Maintained by the wait loop around each park, so releasers
+    /// can skip the wakeup syscall entirely when nobody is parked.
+    pub waiting_readers: u32,
+    /// Requests currently parked wanting a write lock.
+    pub waiting_writers: u32,
 }
 
 impl ObjectInner {
+    /// Parked waiters of both modes.
+    pub fn waiters(&self) -> u32 {
+        self.waiting_readers + self.waiting_writers
+    }
     /// The current state: the deepest version, or the base.
     pub fn current(&self) -> &dyn AnyState {
         match self.chain.last() {
@@ -211,8 +221,28 @@ impl ObjectSlot {
                 base: initial,
                 chain: Vec::new(),
                 readers: Vec::new(),
+                waiting_readers: 0,
+                waiting_writers: 0,
             }),
             cv: Condvar::new(),
+        }
+    }
+
+    /// Wake parked waiters after a lock-state change, given the waiter
+    /// count observed under the slot mutex: no syscall when nobody is
+    /// parked, a targeted `notify_one` for a single waiter, `notify_all`
+    /// otherwise (Moss' ancestry-based grant rule makes "which waiter can
+    /// now proceed" owner-dependent, so a broadcast is the only safe
+    /// choice once several are parked).
+    pub fn wake_waiters(&self, waiters: u32) {
+        match waiters {
+            0 => {}
+            1 => {
+                self.cv.notify_one();
+            }
+            _ => {
+                self.cv.notify_all();
+            }
         }
     }
 }
@@ -234,6 +264,8 @@ mod tests {
             base: Box::new(0i64),
             chain: Vec::new(),
             readers: Vec::new(),
+            waiting_readers: 0,
+            waiting_writers: 0,
         }
     }
 

@@ -1,0 +1,211 @@
+//! Append-only chunked slab: lock-free reads, mutex-serialised appends.
+//!
+//! The object store used to be `RwLock<Vec<Arc<ObjectSlot>>>`, which put a
+//! reader–writer lock acquisition *and* an `Arc` clone (two contended
+//! atomic RMWs) on every `Tx::read`/`Tx::write`. Registration is rare and
+//! lookup is the hot path, so the store is now a classic lock-free growable
+//! array: a spine of chunk pointers where chunk `k` holds `BASE << k`
+//! slots. Chunks are allocated on demand, published with a release store,
+//! and **never moved or freed** until the slab is dropped — so `get`
+//! is two dependent loads and the returned reference stays valid for the
+//! slab's whole lifetime.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// log2 of the first chunk's capacity.
+const BASE_BITS: u32 = 6;
+/// Capacity of chunk 0; chunk `k` holds `BASE << k` entries.
+const BASE: usize = 1 << BASE_BITS;
+/// Spine length: 26 chunks cover `64 * (2^26 - 1)` ≈ 4 billion slots.
+const SPINE: usize = 26;
+
+/// Map a slot index to `(chunk, offset within chunk)`.
+#[inline]
+fn locate(idx: usize) -> (usize, usize) {
+    let n = idx + BASE;
+    let chunk = (usize::BITS - 1 - n.leading_zeros() - BASE_BITS) as usize;
+    (chunk, n - (BASE << chunk))
+}
+
+/// Append-only slab of boxed `T`s with lock-free `get`.
+pub(crate) struct Slab<T> {
+    /// `chunks[k]` points at an array of `BASE << k` entry pointers
+    /// (null until allocated).
+    chunks: [AtomicPtr<AtomicPtr<T>>; SPINE],
+    len: AtomicUsize,
+    /// Serialises appends (slow path only).
+    grow: Mutex<()>,
+}
+
+// The slab hands out `&T` from `&self`; entries are write-once and outlive
+// every reference handed out, so sharing is safe whenever `T` is Sync.
+unsafe impl<T: Send + Sync> Send for Slab<T> {}
+unsafe impl<T: Send + Sync> Sync for Slab<T> {}
+
+impl<T> Slab<T> {
+    pub fn new() -> Slab<T> {
+        Slab {
+            chunks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            len: AtomicUsize::new(0),
+            grow: Mutex::new(()),
+        }
+    }
+
+    /// Number of slots appended so far.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Append `value`, returning its index.
+    pub fn push(&self, value: T) -> usize {
+        let _guard = self.grow.lock();
+        let idx = self.len.load(Ordering::Relaxed);
+        let (chunk_idx, offset) = locate(idx);
+        assert!(chunk_idx < SPINE, "slab capacity exhausted");
+        let mut chunk = self.chunks[chunk_idx].load(Ordering::Acquire);
+        if chunk.is_null() {
+            let cap = BASE << chunk_idx;
+            let fresh: Box<[AtomicPtr<T>]> = (0..cap)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect();
+            chunk = Box::into_raw(fresh) as *mut AtomicPtr<T>;
+            self.chunks[chunk_idx].store(chunk, Ordering::Release);
+        }
+        let entry = Box::into_raw(Box::new(value));
+        // SAFETY: `offset < BASE << chunk_idx` by `locate`'s construction,
+        // and the chunk was just allocated with exactly that capacity.
+        unsafe { &*chunk.add(offset) }.store(entry, Ordering::Release);
+        self.len.store(idx + 1, Ordering::Release);
+        idx
+    }
+
+    /// Fetch slot `idx`. Lock-free: two dependent acquire loads.
+    ///
+    /// `idx` must come from a completed `push` (the runtime only mints
+    /// `ObjRef`s after registration returns). If the entry's publication
+    /// has not reached this thread yet, spin until it does.
+    pub fn get(&self, idx: usize) -> &T {
+        let (chunk_idx, offset) = locate(idx);
+        loop {
+            let chunk = self.chunks[chunk_idx].load(Ordering::Acquire);
+            if !chunk.is_null() {
+                // SAFETY: a non-null chunk pointer was published with
+                // release ordering after full allocation; `offset` is in
+                // bounds for chunk `chunk_idx`.
+                let entry = unsafe { &*chunk.add(offset) }.load(Ordering::Acquire);
+                if !entry.is_null() {
+                    // SAFETY: entries are published with release ordering
+                    // after construction and never freed before the slab.
+                    return unsafe { &*entry };
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl<T> Drop for Slab<T> {
+    fn drop(&mut self) {
+        for (chunk_idx, slot) in self.chunks.iter().enumerate() {
+            let chunk = slot.load(Ordering::Acquire);
+            if chunk.is_null() {
+                continue;
+            }
+            let cap = BASE << chunk_idx;
+            // SAFETY: the chunk was allocated as a boxed slice of `cap`
+            // entries in `push` and is dropped exactly once, here.
+            unsafe {
+                for i in 0..cap {
+                    let entry = (*chunk.add(i)).load(Ordering::Acquire);
+                    if !entry.is_null() {
+                        drop(Box::from_raw(entry));
+                    }
+                }
+                drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                    chunk, cap,
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn locate_maps_chunk_boundaries() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(63), (0, 63));
+        assert_eq!(locate(64), (1, 0));
+        assert_eq!(locate(191), (1, 127));
+        assert_eq!(locate(192), (2, 0));
+    }
+
+    #[test]
+    fn push_then_get_round_trips() {
+        let slab: Slab<String> = Slab::new();
+        for i in 0..300 {
+            assert_eq!(slab.push(format!("v{i}")), i);
+        }
+        assert_eq!(slab.len(), 300);
+        for i in 0..300 {
+            assert_eq!(slab.get(i), &format!("v{i}"));
+        }
+    }
+
+    #[test]
+    fn references_survive_growth() {
+        let slab: Slab<u64> = Slab::new();
+        slab.push(7);
+        let first = slab.get(0);
+        for i in 1..1000 {
+            slab.push(i);
+        }
+        assert_eq!(*first, 7, "early reference must survive later appends");
+    }
+
+    #[test]
+    fn drop_releases_entries() {
+        let sentinel = Arc::new(());
+        {
+            let slab: Slab<Arc<()>> = Slab::new();
+            for _ in 0..130 {
+                slab.push(sentinel.clone());
+            }
+            assert_eq!(Arc::strong_count(&sentinel), 131);
+        }
+        assert_eq!(Arc::strong_count(&sentinel), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_while_appending() {
+        let slab: Arc<Slab<usize>> = Arc::new(Slab::new());
+        let n = 2000;
+        let writer = {
+            let slab = slab.clone();
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    slab.push(i);
+                }
+            })
+        };
+        let reader = {
+            let slab = slab.clone();
+            std::thread::spawn(move || loop {
+                let len = slab.len();
+                for i in 0..len {
+                    assert_eq!(*slab.get(i), i);
+                }
+                if len == n {
+                    return;
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    }
+}

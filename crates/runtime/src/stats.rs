@@ -1,38 +1,85 @@
-//! Runtime counters.
+//! Runtime counters, striped to keep the hot path off shared cache lines.
+//!
+//! A single block of atomics is a real contention point at high thread
+//! counts: every grant bumps a counter, so every core keeps stealing the
+//! same cache line. Counters are therefore split into [`STAT_STRIPES`]
+//! cache-line-padded stripes; each thread increments its own stripe
+//! (round-robin by [`crate::shard::thread_index`]) and [`Stats::snapshot`]
+//! folds the stripes into totals.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Internal atomic counters (one instance per manager).
+use crate::shard::{thread_index, CachePadded};
+
+/// Number of counter stripes (power of two; ≥ typical core counts).
+pub(crate) const STAT_STRIPES: usize = 16;
+
+/// The individual counters tracked per stripe.
+#[derive(Clone, Copy, Debug)]
+#[repr(usize)]
+pub(crate) enum Ctr {
+    ReadGrants = 0,
+    WriteGrants,
+    Waits,
+    WaitNanos,
+    Deadlocks,
+    Wounds,
+    Timeouts,
+    Commits,
+    TopCommits,
+    Aborts,
+    Begun,
+}
+
+const NCTR: usize = 11;
+
+#[derive(Default)]
+struct Stripe {
+    counters: [AtomicU64; NCTR],
+}
+
+/// Striped atomic counters (one instance per manager).
 #[derive(Default)]
 pub(crate) struct Stats {
-    pub read_grants: AtomicU64,
-    pub write_grants: AtomicU64,
-    pub waits: AtomicU64,
-    pub wait_nanos: AtomicU64,
-    pub deadlocks: AtomicU64,
-    pub wounds: AtomicU64,
-    pub timeouts: AtomicU64,
-    pub commits: AtomicU64,
-    pub top_commits: AtomicU64,
-    pub aborts: AtomicU64,
-    pub begun: AtomicU64,
+    stripes: [CachePadded<Stripe>; STAT_STRIPES],
 }
 
 impl Stats {
+    /// Add `n` to counter `c` on the calling thread's stripe.
+    #[inline]
+    pub fn add(&self, c: Ctr, n: u64) {
+        self.stripes[thread_index() % STAT_STRIPES].0.counters[c as usize]
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment counter `c` by one.
+    #[inline]
+    pub fn bump(&self, c: Ctr) {
+        self.add(c, 1);
+    }
+
+    /// Sum of counter `c` across stripes.
+    pub fn total(&self, c: Ctr) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.counters[c as usize].load(Ordering::Relaxed))
+            .sum()
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            read_grants: self.read_grants.load(Ordering::Relaxed),
-            write_grants: self.write_grants.load(Ordering::Relaxed),
-            waits: self.waits.load(Ordering::Relaxed),
-            total_wait: Duration::from_nanos(self.wait_nanos.load(Ordering::Relaxed)),
-            deadlocks: self.deadlocks.load(Ordering::Relaxed),
-            wounds: self.wounds.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            top_level_commits: self.top_commits.load(Ordering::Relaxed),
-            aborts: self.aborts.load(Ordering::Relaxed),
-            transactions_begun: self.begun.load(Ordering::Relaxed),
+            read_grants: self.total(Ctr::ReadGrants),
+            write_grants: self.total(Ctr::WriteGrants),
+            waits: self.total(Ctr::Waits),
+            total_wait: Duration::from_nanos(self.total(Ctr::WaitNanos)),
+            deadlocks: self.total(Ctr::Deadlocks),
+            wounds: self.total(Ctr::Wounds),
+            timeouts: self.total(Ctr::Timeouts),
+            commits: self.total(Ctr::Commits),
+            top_level_commits: self.total(Ctr::TopCommits),
+            aborts: self.total(Ctr::Aborts),
+            transactions_begun: self.total(Ctr::Begun),
         }
     }
 }
@@ -82,9 +129,9 @@ mod tests {
     #[test]
     fn snapshot_reads_counters() {
         let s = Stats::default();
-        s.commits.fetch_add(3, Ordering::Relaxed);
-        s.waits.fetch_add(2, Ordering::Relaxed);
-        s.wait_nanos.fetch_add(1_000_000, Ordering::Relaxed);
+        s.add(Ctr::Commits, 3);
+        s.add(Ctr::Waits, 2);
+        s.add(Ctr::WaitNanos, 1_000_000);
         let snap = s.snapshot();
         assert_eq!(snap.commits, 3);
         assert_eq!(snap.waits, 2);
@@ -94,5 +141,25 @@ mod tests {
     #[test]
     fn mean_wait_zero_when_no_waits() {
         assert_eq!(StatsSnapshot::default().mean_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn totals_fold_across_thread_stripes() {
+        let s = std::sync::Arc::new(Stats::default());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.bump(Ctr::ReadGrants);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.total(Ctr::ReadGrants), 8000);
+        assert_eq!(s.snapshot().read_grants, 8000);
     }
 }

@@ -3,9 +3,20 @@
 //! A [`TraceRecorder`] plugged into [`crate::RtConfig::trace`] logs every
 //! lock grant, version install, inheritance, commit, abort, rollback and
 //! injected fault in one global sequence. Events touching an object are
-//! recorded while the object's mutex is held, and the recorder's own mutex
-//! linearises the rest, so the log is a valid linearisation of the
+//! recorded while the object's mutex is held, so conflicting events are
+//! stamped in their real order; the log is a valid linearisation of the
 //! execution — the runtime-side counterpart of the model's schedules.
+//!
+//! The recorder itself is **sharded**: a global atomic sequence counter
+//! stamps each event, and the stamped event is appended to a per-thread
+//! stripe buffer. Recording therefore never takes a lock shared with other
+//! threads (the stripe mutex is effectively thread-private), yet
+//! [`TraceRecorder::events`] still yields the totally ordered log the
+//! conformance layer requires, by merging the stripes on their stamps. The
+//! stamp is the linearisation point: it is drawn while the same object
+//! mutex is held that the pre-shard recorder serialised on, so order
+//! between causally related events is exactly what a single global buffer
+//! would have recorded.
 //!
 //! Two uses drive the design:
 //!
@@ -20,10 +31,15 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::fault::FaultAction;
+use crate::shard::{thread_index, CachePadded};
+
+/// Number of trace buffer stripes (power of two).
+const TRACE_SHARDS: usize = 16;
 
 /// One recorded runtime action.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -190,10 +206,14 @@ pub struct TxTraceStats {
     pub faults: u64,
 }
 
-/// Thread-safe accumulator for [`RtEvent`]s.
+/// One shard's buffer: events paired with their global sequence stamps.
+type StampedBuf = Mutex<Vec<(u64, RtEvent)>>;
+
+/// Thread-safe, sharded accumulator for [`RtEvent`]s (see module docs).
 #[derive(Default)]
 pub struct TraceRecorder {
-    events: Mutex<Vec<RtEvent>>,
+    seq: CachePadded<AtomicU64>,
+    shards: [CachePadded<StampedBuf>; TRACE_SHARDS],
 }
 
 impl TraceRecorder {
@@ -202,14 +222,21 @@ impl TraceRecorder {
         TraceRecorder::default()
     }
 
-    /// Append one event.
+    /// Append one event. The sequence stamp is drawn here — under whatever
+    /// locks the caller already holds — so it is the event's linearisation
+    /// point; the buffer append itself only touches the calling thread's
+    /// stripe.
     pub fn record(&self, ev: RtEvent) {
-        self.events.lock().push(ev);
+        let stamp = self.seq.0.fetch_add(1, Ordering::Relaxed);
+        self.shards[thread_index() % TRACE_SHARDS]
+            .0
+            .lock()
+            .push((stamp, ev));
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.shards.iter().map(|s| s.0.lock().len()).sum()
     }
 
     /// `true` when nothing has been recorded.
@@ -217,17 +244,24 @@ impl TraceRecorder {
         self.len() == 0
     }
 
-    /// Snapshot of the event log.
+    /// Snapshot of the event log, merged into stamp (= linearisation)
+    /// order. Call at quiescence for a complete log; concurrent recorders
+    /// may have drawn stamps they have not yet published.
     pub fn events(&self) -> Vec<RtEvent> {
-        self.events.lock().clone()
+        let mut stamped: Vec<(u64, RtEvent)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            stamped.extend(shard.0.lock().iter().copied());
+        }
+        stamped.sort_unstable_by_key(|&(stamp, _)| stamp);
+        stamped.into_iter().map(|(_, ev)| ev).collect()
     }
 
     /// Render the log one line per event, in a form stable across runs —
     /// two identical executions produce byte-identical output.
     pub fn render(&self) -> String {
-        let events = self.events.lock();
+        let events = self.events();
         let mut out = String::with_capacity(events.len() * 24);
-        for ev in events.iter() {
+        for ev in &events {
             ev.render_into(&mut out);
         }
         out
@@ -236,8 +270,8 @@ impl TraceRecorder {
     /// Fold the log into per-transaction counters (keyed by id, ordered).
     pub fn per_tx_stats(&self) -> BTreeMap<u64, TxTraceStats> {
         let mut map: BTreeMap<u64, TxTraceStats> = BTreeMap::new();
-        for ev in self.events.lock().iter() {
-            match *ev {
+        for ev in self.events() {
+            match ev {
                 RtEvent::Begin { tx, .. } => {
                     map.entry(tx).or_default();
                 }
@@ -337,5 +371,39 @@ mod tests {
         assert!(t
             .render()
             .contains("ROLLBACK tx=3 obj=1 versions=2 readers=1"));
+    }
+
+    #[test]
+    fn cross_thread_events_merge_in_stamp_order() {
+        let t = std::sync::Arc::new(TraceRecorder::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|tid| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        t.record(RtEvent::ReadGrant {
+                            tx: tid,
+                            obj: i as usize,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 400);
+        // Each thread's events appear in its program order after the merge.
+        for tid in 0..4u64 {
+            let objs: Vec<usize> = evs
+                .iter()
+                .filter_map(|e| match *e {
+                    RtEvent::ReadGrant { tx, obj } if tx == tid => Some(obj),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(objs, (0..100).collect::<Vec<_>>());
+        }
     }
 }

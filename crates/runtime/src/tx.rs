@@ -7,6 +7,7 @@ use crate::error::TxError;
 use crate::fault::{FaultAction, FaultPoint};
 use crate::manager::{ManagerInner, ObjRef};
 use crate::node::{TxNode, TxState};
+use crate::stats::Ctr;
 use crate::trace::RtEvent;
 
 /// A live (sub)transaction.
@@ -58,7 +59,7 @@ impl Tx {
     pub fn child(&self) -> Result<Tx, TxError> {
         self.check_usable()?;
         let id = self.mgr.next_tx_id.fetch_add(1, Ordering::Relaxed);
-        self.mgr.stats.begun.fetch_add(1, Ordering::Relaxed);
+        self.mgr.stats.bump(Ctr::Begun);
         self.mgr.trace(RtEvent::Begin {
             tx: id,
             parent: Some(self.node.id),
@@ -145,9 +146,9 @@ impl Tx {
             top: self.node.parent.is_none(),
         });
         self.mgr.inherit_locks(&self.node);
-        self.mgr.stats.commits.fetch_add(1, Ordering::Relaxed);
+        self.mgr.stats.bump(Ctr::Commits);
         if self.node.parent.is_none() {
-            self.mgr.stats.top_commits.fetch_add(1, Ordering::Relaxed);
+            self.mgr.stats.bump(Ctr::TopCommits);
         }
         self.decrement_parent_live();
         Ok(())
