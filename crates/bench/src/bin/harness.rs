@@ -80,7 +80,8 @@ fn main() {
 /// copy).
 fn run_bseries(full: bool) {
     use ntx_bench::scaling::{
-        b0_uncontended, b1_thread_scaling, b2_read_fraction, b3_zipf_sweep, bench_json,
+        b0_uncontended, b1_thread_scaling, b2_read_fraction, b3_zipf_sweep, b4_hot_key_handoff,
+        bench_json,
     };
 
     let (b0_iters, b1_txs, b23_txs) = if full {
@@ -96,9 +97,11 @@ fn run_bseries(full: bool) {
     println!("{}", t2.to_markdown());
     let (t3, b3) = b3_zipf_sweep(b23_txs);
     println!("{}", t3.to_markdown());
+    let (t4, b4) = b4_hot_key_handoff(b23_txs);
+    println!("{}", t4.to_markdown());
 
     let mode = if full { "full" } else { "quick" };
-    let doc = bench_json(mode, &b0, &b1, &b2, &b3);
+    let doc = bench_json(mode, &b0, &b1, &b2, &b3, &b4);
     let path = "BENCH_runtime.json";
     std::fs::write(path, &doc).expect("write BENCH_runtime.json");
     eprintln!("wrote {path} ({} bytes, mode={mode})", doc.len());

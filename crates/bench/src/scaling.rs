@@ -92,6 +92,10 @@ pub struct BOutcome {
     pub throughput: f64,
     /// Lock requests that blocked.
     pub waits: u64,
+    /// Blocked requests granted by direct handoff (the releasing thread
+    /// installed the waiter's lock state; the waiter never re-fought for
+    /// the slot).
+    pub handoffs: u64,
     /// Top-level restarts forced by deadlock/timeout.
     pub restarts: u64,
     /// Median per-access lock-acquisition latency, microseconds.
@@ -220,6 +224,7 @@ pub fn run_b_workload(cfg: &BWorkload, seed: u64) -> BOutcome {
         committed,
         throughput: committed as f64 / elapsed.as_secs_f64(),
         waits: stats.waits,
+        handoffs: stats.handoffs,
         restarts: restarts.load(Ordering::Relaxed),
         p50_us: percentile(&lats, 0.50),
         p99_us: percentile(&lats, 0.99),
@@ -444,6 +449,74 @@ pub fn b3_zipf_sweep(txs_per_thread: usize) -> (Table, Vec<B3Row>) {
     (t, rows)
 }
 
+/// One row of [`b4_hot_key_handoff`].
+#[derive(Clone, Debug)]
+pub struct B4Row {
+    /// Worker threads.
+    pub threads: usize,
+    /// Probability an access is a read.
+    pub read_fraction: f64,
+    /// Measured outcome.
+    pub out: BOutcome,
+    /// Direct handoffs per second (0 on the uncontended row).
+    pub handoffs_per_sec: f64,
+}
+
+/// B4 — hot-key handoff: every transaction hits the SAME single object.
+///
+/// This is the adversarial case for the wakeup path — the object's waiter
+/// queue is never empty, so every grant after the first is a handoff. The
+/// park/retry scheme paid a broadcast + re-fight per release here (a retry
+/// storm that put p99 acquisition in the milliseconds); direct handoff
+/// grants in the releaser and wakes exactly one chain, so p99 should sit
+/// near the scheduler's wakeup latency instead. The all-write row is the
+/// worst case; the 90%-read row shows batch reader waves riding one wakeup.
+pub fn b4_hot_key_handoff(txs_per_thread: usize) -> (Table, Vec<B4Row>) {
+    let mut t = Table::new(
+        "B4 — hot-key handoff: one shared object, 1 op/tx, 50µs in-tx \
+         latency (queue never drains at 8 threads)",
+        &[
+            "threads",
+            "read frac",
+            "tx/s",
+            "handoffs/s",
+            "acq p50 µs",
+            "acq p99 µs",
+        ],
+    );
+    let mut rows: Vec<B4Row> = Vec::new();
+    for (threads, rf) in [(1usize, 0.0f64), (8, 0.0), (8, 0.9)] {
+        let cfg = BWorkload {
+            threads,
+            objects: 1,
+            disjoint: false,
+            ops_per_tx: 1,
+            read_fraction: rf,
+            zipf_theta: 0.0,
+            txs_per_thread,
+            hold_us: 50,
+            sorted_access: true,
+        };
+        let out = run_b_median(&cfg);
+        let handoffs_per_sec = out.handoffs as f64 / out.elapsed.as_secs_f64();
+        t.row(vec![
+            threads.to_string(),
+            format!("{rf:.1}"),
+            format!("{:.0}", out.throughput),
+            format!("{handoffs_per_sec:.0}"),
+            format!("{:.1}", out.p50_us),
+            format!("{:.1}", out.p99_us),
+        ]);
+        rows.push(B4Row {
+            threads,
+            read_fraction: rf,
+            out,
+            handoffs_per_sec,
+        });
+    }
+    (t, rows)
+}
+
 /// B0 — uncontended single-thread hot-path costs, nanoseconds per op.
 #[derive(Clone, Copy, Debug)]
 pub struct B0Costs {
@@ -511,11 +584,13 @@ pub fn b0_uncontended(iters: u64) -> (Table, B0Costs) {
 fn json_outcome(out: &BOutcome) -> String {
     format!(
         "{{\"committed\": {}, \"elapsed_ms\": {:.1}, \"throughput_tps\": {:.1}, \
-         \"waits\": {}, \"restarts\": {}, \"acq_p50_us\": {:.2}, \"acq_p99_us\": {:.2}}}",
+         \"waits\": {}, \"handoffs\": {}, \"restarts\": {}, \"acq_p50_us\": {:.2}, \
+         \"acq_p99_us\": {:.2}}}",
         out.committed,
         out.elapsed.as_secs_f64() * 1000.0,
         out.throughput,
         out.waits,
+        out.handoffs,
         out.restarts,
         out.p50_us,
         out.p99_us,
@@ -524,7 +599,14 @@ fn json_outcome(out: &BOutcome) -> String {
 
 /// Render the full B-series result set as the `BENCH_runtime.json` document
 /// (hand-rolled: the dependency policy vendors no JSON serializer).
-pub fn bench_json(mode: &str, b0: &B0Costs, b1: &[B1Row], b2: &[B2Row], b3: &[B3Row]) -> String {
+pub fn bench_json(
+    mode: &str,
+    b0: &B0Costs,
+    b1: &[B1Row],
+    b2: &[B2Row],
+    b3: &[B3Row],
+    b4: &[B4Row],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"suite\": \"ntx-runtime B-series (multicore scalability)\",\n");
@@ -574,6 +656,19 @@ pub fn bench_json(mode: &str, b0: &B0Costs, b1: &[B1Row], b2: &[B2Row], b3: &[B3
             json_outcome(&r.t1),
             json_outcome(&r.t8),
             if i + 1 < b3.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ]\n  },\n");
+
+    s.push_str("  \"b4_hot_key_handoff\": {\n    \"rows\": [\n");
+    for (i, r) in b4.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"threads\": {}, \"read_fraction\": {:.2}, \"handoffs_per_sec\": {:.1}, \"outcome\": {}}}{}\n",
+            r.threads,
+            r.read_fraction,
+            r.handoffs_per_sec,
+            json_outcome(&r.out),
+            if i + 1 < b4.len() { "," } else { "" }
         ));
     }
     s.push_str("    ]\n  }\n}\n");
@@ -645,6 +740,7 @@ mod tests {
             committed: 40,
             throughput: 4000.0,
             waits: 0,
+            handoffs: 0,
             restarts: 0,
             p50_us: 1.0,
             p99_us: 2.0,
@@ -662,14 +758,21 @@ mod tests {
         let b3 = vec![B3Row {
             theta: 0.9,
             t1: out.clone(),
-            t8: out,
+            t8: out.clone(),
             scaling: 1.0,
         }];
-        let doc = bench_json("quick", &b0, &b1, &b2, &b3);
+        let b4 = vec![B4Row {
+            threads: 8,
+            read_fraction: 0.0,
+            out,
+            handoffs_per_sec: 0.0,
+        }];
+        let doc = bench_json("quick", &b0, &b1, &b2, &b3, &b4);
         // Balanced braces/brackets and the headline key present.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
         assert!(doc.contains("\"speedup_1_to_8\": 1.000"));
+        assert!(doc.contains("\"b4_hot_key_handoff\""));
         assert!(!doc.contains("NaN") && !doc.contains("inf"));
     }
 }

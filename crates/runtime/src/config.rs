@@ -48,7 +48,8 @@ pub struct RtConfig {
     /// Deadlock handling.
     pub deadlock: DeadlockPolicy,
     /// Maximum total time a single lock request may wait before failing
-    /// with [`crate::TxError::Timeout`]. Also bounds missed-wakeup windows.
+    /// with [`crate::TxError::Timeout`]. A request that times out cancels
+    /// its queued waiter node in place and withdraws.
     pub wait_timeout: Duration,
     /// Moss' footnote-8 optimisation: drop a transaction's read lock on an
     /// object once it holds a write lock there.

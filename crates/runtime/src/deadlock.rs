@@ -106,6 +106,21 @@ impl WaitForGraph {
         self.stripes[stripe_of(waiter)].0.lock().remove(&waiter);
     }
 
+    /// Replace `waiter`'s out-edges *without* running cycle detection —
+    /// a single-stripe operation for refreshing an already-published wait
+    /// set. Sound only when the new set is a subset of targets the waiter
+    /// has already checked through [`Self::wait_and_check`]: shrinking a
+    /// checked edge set can never close a new cycle. The release scan uses
+    /// this when queue movement retires some of a parked waiter's
+    /// predecessors (the remaining targets were all in the enqueue-time
+    /// set).
+    pub fn set_edges(&self, waiter: u64, edges: &[u64]) {
+        self.stripes[stripe_of(waiter)]
+            .0
+            .lock()
+            .insert(waiter, edges.to_vec());
+    }
+
     /// Number of currently waiting transactions (diagnostics).
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn waiting_count(&self) -> usize {
@@ -201,6 +216,22 @@ mod tests {
         assert!(g.wait_and_check(2, &[4]).is_none());
         assert!(g.wait_and_check(3, &[4]).is_none());
         assert_eq!(g.waiting_count(), 3);
+    }
+
+    #[test]
+    fn set_edges_replaces_without_detection() {
+        let g = WaitForGraph::new();
+        assert!(g.wait_and_check(1, &[2, 3]).is_none());
+        // Shrink 1's wait set to {3}: 3→1 closing an apparent 1→2→…
+        // cycle through 2 is now impossible.
+        g.set_edges(1, &[3]);
+        assert!(
+            g.wait_and_check(2, &[1]).is_none(),
+            "1 no longer waits on 2"
+        );
+        assert_eq!(g.waiting_count(), 2);
+        let cycle = g.wait_and_check(3, &[1]).expect("1→3→1 remains");
+        assert_eq!(cycle, vec![1, 3]);
     }
 
     #[test]

@@ -3,10 +3,22 @@
 //! The access path is engineered to have **no global contention point**:
 //! the object store is an append-only slab with lock-free lookup
 //! ([`crate::slab::Slab`]), the wait-for graph and the stat counters are
-//! striped ([`WaitForGraph`], [`Stats`]), the trace buffer is sharded with
-//! an atomic sequence stamp, and commit/abort wake only objects that
-//! actually have parked waiters. Two transactions touching disjoint
+//! striped ([`WaitForGraph`], [`Stats`]), and the trace buffer is sharded
+//! with an atomic sequence stamp. Two transactions touching disjoint
 //! objects share *nothing* on the hot path but the transaction-id counter.
+//!
+//! Contended objects use **queued direct handoff** instead of park/retry:
+//! a blocked request enqueues a [`Waiter`] on the object's FIFO queue,
+//! spins briefly, then parks on its own node. Whoever releases lock state
+//! (commit inheritance, abort rollback, a handed-off writer finishing its
+//! apply) runs [`ManagerInner::release_scan`] under the slot mutex: it
+//! cancels doomed waiters in place, then walks the queue head and *grants
+//! directly* — installing the waiter's lock state itself and waking exactly
+//! the granted threads, batch-granting a consecutive run of compatible
+//! readers in one wave. Waiters never wake to re-fight for the mutex, and
+//! the deadlock detector derives each waiter's wait-for edges from queue
+//! membership: one checked publish per enqueue, shrink-only refreshes as
+//! the queue moves (instead of one publish per retry).
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,17 +30,17 @@ use crate::deadlock::{pick_victim, WaitForGraph};
 use crate::error::TxError;
 use crate::fault::{FaultAction, FaultContext, FaultPoint};
 use crate::node::TxNode;
-use crate::object::{AnyState, ObjectSlot};
+use crate::object::{AnyState, ObjectInner, ObjectSlot, Waiter, W_CANCELLED, W_GRANTED, W_WAITING};
 use crate::slab::Slab;
 use crate::stats::{Ctr, Stats, StatsSnapshot};
 use crate::trace::RtEvent;
 use crate::tx::Tx;
 
-/// Upper bound of one bounded park while blocked on a lock. Wakeups are
-/// targeted (releasers notify whenever the slot has registered waiters),
-/// so this only bounds the staleness of the remaining unsignalled
-/// transitions — e.g. a waiter doomed between its doom check and its park.
-const PARK_CHUNK: std::time::Duration = std::time::Duration::from_millis(10);
+/// Spin iterations a blocked request burns on its waiter node before
+/// parking. Direct handoff under short hold times often lands within this
+/// window, saving the park/unpark round trip; kept small because a waiting
+/// thread that spins long only steals cycles from the holder it waits on.
+const SPIN_ITERS: u32 = 64;
 
 /// Typed handle to a registered object.
 ///
@@ -134,6 +146,55 @@ impl TxManager {
     pub fn object_name<T>(&self, obj: &ObjRef<T>) -> String {
         self.inner.slot(obj.idx).name.clone()
     }
+
+    /// Total lock waiters currently queued across all objects
+    /// (diagnostics; at quiescence this must be zero — cancelled and timed
+    /// out waiters are removed in place, never leaked).
+    pub fn queued_waiters(&self) -> usize {
+        (0..self.inner.objects.len())
+            .map(|i| self.inner.objects.get(i).inner.lock().waiters())
+            .sum()
+    }
+}
+
+/// The error a doomed requester reports: a deadlock victim's doom is
+/// retryable scheduling ([`TxError::Deadlock`]), anything else is
+/// [`TxError::Doomed`].
+fn doom_error(node: &TxNode) -> TxError {
+    if node.victim_flagged() {
+        TxError::Deadlock
+    } else {
+        TxError::Doomed
+    }
+}
+
+/// Wait-for edge targets for queued waiter `w`, derived from queue
+/// membership: the top-level ids of every conflicting lock holder plus
+/// every live waiter queued ahead of `w` (queue order is a wait too — the
+/// scan grants strictly from the head). Sorted and deduped so refreshes
+/// can compare sets cheaply; `w`'s own top is excluded.
+fn edge_targets(inner: &ObjectInner, w: &Arc<Waiter>) -> Vec<u64> {
+    let my_top = w.owner.top_level_id();
+    let mut tops: Vec<u64> = inner
+        .blockers(&w.owner, w.write)
+        .iter()
+        .map(|b| b.top_level_id())
+        .filter(|&t| t != my_top)
+        .collect();
+    for q in inner.queue.iter() {
+        if Arc::ptr_eq(q, w) {
+            break;
+        }
+        if q.state() == W_WAITING {
+            let t = q.owner.top_level_id();
+            if t != my_top {
+                tops.push(t);
+            }
+        }
+    }
+    tops.sort_unstable();
+    tops.dedup();
+    tops
 }
 
 impl ManagerInner {
@@ -176,19 +237,9 @@ impl ManagerInner {
     /// Apply a non-[`FaultAction::Continue`] injected fault at a lock
     /// request and return the error the request fails with. Must NOT be
     /// called while holding an object slot mutex — aborting a subtree
-    /// re-locks touched objects. `clear_edges` says whether the waiter has
-    /// published wait-for edges that must be withdrawn.
-    fn apply_lock_fault(
-        &self,
-        action: FaultAction,
-        node: &Arc<TxNode>,
-        owner: &Arc<TxNode>,
-        obj: usize,
-        clear_edges: bool,
-    ) -> TxError {
-        if clear_edges {
-            self.wait_graph.clear(owner.top_level_id());
-        }
+    /// re-locks touched objects. Faults are consulted only before a waiter
+    /// is enqueued, so there are never published wait-for edges to retract.
+    fn apply_lock_fault(&self, action: FaultAction, node: &Arc<TxNode>, obj: usize) -> TxError {
         self.trace(RtEvent::Fault {
             tx: node.id,
             obj: Some(obj),
@@ -229,6 +280,162 @@ impl ManagerInner {
         }
     }
 
+    /// Grant the lock inline (uncontended fast path) and run the closure.
+    /// Caller has verified `grantable` and the no-barge rule.
+    fn grant_inline<R>(
+        &self,
+        inner: &mut ObjectInner,
+        owner: &Arc<TxNode>,
+        obj_idx: usize,
+        lock_write: bool,
+        f: impl FnOnce(&mut dyn AnyState) -> R,
+    ) -> R {
+        owner.touch(obj_idx);
+        if lock_write {
+            // Declared writes, and reads in Exclusive mode (which take a
+            // write lock whose version equals its predecessor).
+            self.stats.bump(Ctr::WriteGrants);
+            let installs = !matches!(inner.chain.last(), Some(e) if e.owner.id == owner.id);
+            self.trace(RtEvent::WriteGrant {
+                tx: owner.id,
+                obj: obj_idx,
+            });
+            if installs {
+                self.trace(RtEvent::VersionInstall {
+                    tx: owner.id,
+                    obj: obj_idx,
+                });
+            }
+            let st = inner.writable_state(owner);
+            f(st.as_mut())
+        } else {
+            self.stats.bump(Ctr::ReadGrants);
+            self.trace(RtEvent::ReadGrant {
+                tx: owner.id,
+                obj: obj_idx,
+            });
+            // Read the current version in place. The closure receives a
+            // mutable reference for signature uniformity, but read paths
+            // only read (enforced by the public typed wrappers).
+            let r = match inner.chain.last_mut() {
+                Some(e) => f(e.state.as_mut()),
+                None => f(inner.base.as_mut()),
+            };
+            inner.add_reader(owner, self.config.drop_read_lock_when_write_held);
+            r
+        }
+    }
+
+    /// Install lock state for a queued waiter being handed the lock. Runs
+    /// on the *releasing* thread under the slot mutex, so the grant events
+    /// are stamped at their true linearisation point; the woken waiter only
+    /// applies its closure. A write handoff leaves `write_pending` set —
+    /// nothing else is grantable until the writer's apply clears it, so no
+    /// deeper version can land on top of the parked writer's.
+    fn apply_grant(&self, obj_idx: usize, inner: &mut ObjectInner, w: &Arc<Waiter>) {
+        if !w.grant() {
+            return; // lost a cancel race; the scan's doom pass removed it
+        }
+        if self.config.deadlock == DeadlockPolicy::DieOnCycle {
+            let mut e = w.edges.lock();
+            if !e.is_empty() {
+                self.wait_graph.clear(w.owner.top_level_id());
+                e.clear();
+            }
+        }
+        w.owner.touch(obj_idx);
+        self.stats.bump(Ctr::Handoffs);
+        self.trace(RtEvent::Handoff {
+            tx: w.owner.id,
+            obj: obj_idx,
+            write: w.write,
+        });
+        if w.write {
+            self.stats.bump(Ctr::WriteGrants);
+            let installs = !matches!(inner.chain.last(), Some(e) if e.owner.id == w.owner.id);
+            self.trace(RtEvent::WriteGrant {
+                tx: w.owner.id,
+                obj: obj_idx,
+            });
+            if installs {
+                self.trace(RtEvent::VersionInstall {
+                    tx: w.owner.id,
+                    obj: obj_idx,
+                });
+            }
+            let _ = inner.writable_state(&w.owner);
+            inner.write_pending = Some(w.owner.id);
+        } else {
+            self.stats.bump(Ctr::ReadGrants);
+            self.trace(RtEvent::ReadGrant {
+                tx: w.owner.id,
+                obj: obj_idx,
+            });
+            inner.add_reader(&w.owner, self.config.drop_read_lock_when_write_held);
+        }
+    }
+
+    /// Walk an object's waiter queue after lock state changed. Returns the
+    /// waiters to wake; callers wake them *after* dropping the slot mutex.
+    ///
+    /// Three passes:
+    /// 1. cancel doomed waiters anywhere in the queue (doom delivery —
+    ///    wounds and ancestor aborts reach parked waiters here);
+    /// 2. direct handoff from the head — grant while the head is
+    ///    compatible, batching a consecutive run of readers into one
+    ///    wakeup wave (a write handoff sets `write_pending`, which stops
+    ///    the wave by itself);
+    /// 3. under [`DeadlockPolicy::DieOnCycle`], refresh the remaining
+    ///    waiters' wait-for edges — republishing only the ones whose wait
+    ///    set actually changed, and without re-running detection (the
+    ///    refreshed set only ever shrinks relative to the enqueue-time
+    ///    checked set; see [`WaitForGraph::set_edges`]).
+    fn release_scan(&self, obj_idx: usize, inner: &mut ObjectInner) -> Vec<Arc<Waiter>> {
+        let mut wake: Vec<Arc<Waiter>> = Vec::new();
+        let mut i = 0;
+        while i < inner.queue.len() {
+            let w = inner.queue[i].clone();
+            if w.state() != W_WAITING {
+                // Cancelled/granted nodes are dequeued by their own
+                // transitions; drop any straggler defensively.
+                inner.queue.remove(i);
+                continue;
+            }
+            if w.node.is_doomed() && w.cancel() {
+                self.stats.bump(Ctr::CancelledWaiters);
+                inner.queue.remove(i);
+                wake.push(w);
+                continue;
+            }
+            i += 1;
+        }
+        while let Some(w) = inner.queue.front().cloned() {
+            if !inner.grantable(&w.owner, w.write) {
+                break;
+            }
+            inner.queue.pop_front();
+            self.apply_grant(obj_idx, inner, &w);
+            wake.push(w);
+        }
+        if self.config.deadlock == DeadlockPolicy::DieOnCycle {
+            for i in 0..inner.queue.len() {
+                let w = inner.queue[i].clone();
+                let targets = edge_targets(inner, &w);
+                let mut cur = w.edges.lock();
+                if *cur != targets {
+                    let top = w.owner.top_level_id();
+                    if targets.is_empty() {
+                        self.wait_graph.clear(top);
+                    } else {
+                        self.wait_graph.set_edges(top, &targets);
+                    }
+                    *cur = targets;
+                }
+            }
+        }
+        wake
+    }
+
     /// Acquire a lock on `obj_idx` for `node` and run `f` on the state
     /// under the object mutex. `write` is the *declared* kind; in
     /// [`LockMode::Exclusive`] reads lock like writes but still receive
@@ -244,81 +451,37 @@ impl ManagerInner {
         let owner = self.effective_owner(node);
         let slot = self.slot(obj_idx);
         let deadline = Instant::now() + self.config.wait_timeout;
-        let mut waited = false;
-        // Whether this waiter currently has edges published in the
-        // wait-for graph. Only the DieOnCycle policy ever publishes; the
-        // WoundWait/TimeoutOnly paths must not pay a graph-stripe hit on
-        // grant or doom.
-        let mut edges_published = false;
         let wait_start = Instant::now();
+        let mut waited = false;
         if self.config.fault.is_some() {
             let action = self.fault_decision(FaultPoint::LockRequest, node, Some(obj_idx), write);
             if action != FaultAction::Continue {
-                return Err(self.apply_lock_fault(action, node, &owner, obj_idx, false));
+                return Err(self.apply_lock_fault(action, node, obj_idx));
             }
         }
         let mut guard = slot.inner.lock();
+        // Phase 1 — inline grant, wound retries, fail-fast exits. Leaves
+        // the loop only to enqueue a waiter.
         loop {
             if node.is_doomed() {
-                if edges_published {
-                    self.wait_graph.clear(owner.top_level_id());
-                }
-                // A deadlock victim's doom is reported as Deadlock: the
-                // caller learns the abort was a retryable scheduling
-                // decision, not a failure of its own making.
-                return Err(if node.victim_flagged() {
-                    TxError::Deadlock
-                } else {
-                    TxError::Doomed
-                });
+                return Err(doom_error(node));
             }
-            if guard.grantable(&owner, lock_write) {
-                if edges_published {
-                    self.wait_graph.clear(owner.top_level_id());
-                }
+            // No-barge rule: an inline grant with waiters queued is allowed
+            // only when a current holder is an ancestor of the requester.
+            // Queueing such a request behind strangers it does not conflict
+            // with could deadlock (the stranger may be waiting on exactly
+            // that ancestor); any other grantable request found the queue
+            // stuck on a holder that must be its ancestor too, so the gate
+            // never starves FIFO waiters.
+            if guard.grantable(&owner, lock_write)
+                && (guard.queue.is_empty() || guard.holder_is_ancestor(&owner))
+            {
                 if waited {
                     self.stats
                         .add(Ctr::WaitNanos, wait_start.elapsed().as_nanos() as u64);
                 }
-                owner.touch(obj_idx);
-                let result = if lock_write {
-                    // Declared writes, and reads in Exclusive mode (which
-                    // take a write lock whose version equals its
-                    // predecessor).
-                    self.stats.bump(Ctr::WriteGrants);
-                    let installs = !matches!(guard.chain.last(), Some(e) if e.owner.id == owner.id);
-                    self.trace(RtEvent::WriteGrant {
-                        tx: owner.id,
-                        obj: obj_idx,
-                    });
-                    if installs {
-                        self.trace(RtEvent::VersionInstall {
-                            tx: owner.id,
-                            obj: obj_idx,
-                        });
-                    }
-                    let st = guard.writable_state(&owner);
-                    f(st.as_mut())
-                } else {
-                    self.stats.bump(Ctr::ReadGrants);
-                    self.trace(RtEvent::ReadGrant {
-                        tx: owner.id,
-                        obj: obj_idx,
-                    });
-                    // Read the current version in place. The closure
-                    // receives a mutable reference for signature
-                    // uniformity, but read paths only read (enforced by
-                    // the public typed wrappers).
-                    let r = match guard.chain.last_mut() {
-                        Some(e) => f(e.state.as_mut()),
-                        None => f(guard.base.as_mut()),
-                    };
-                    guard.add_reader(&owner, self.config.drop_read_lock_when_write_held);
-                    r
-                };
-                return Ok(result);
+                return Ok(self.grant_inline(&mut guard, &owner, obj_idx, lock_write, f));
             }
-            // Blocked.
             if !waited {
                 waited = true;
                 self.stats.bump(Ctr::Waits);
@@ -334,31 +497,20 @@ impl ManagerInner {
                     // apply_lock_fault may abort subtrees, which re-locks
                     // touched slots — release this one first.
                     drop(guard);
-                    return Err(self.apply_lock_fault(
-                        action,
-                        node,
-                        &owner,
-                        obj_idx,
-                        edges_published,
-                    ));
+                    return Err(self.apply_lock_fault(action, node, obj_idx));
                 }
             }
             if self.config.deadlock == DeadlockPolicy::WoundWait {
                 // Older requesters wound younger holders; younger
-                // requesters wait. Wait edges then only point young → old,
-                // so no cycle can form.
+                // requesters wait. Together with age-ordered queueing below
+                // this keeps every wait — on a holder or on a queue
+                // position — pointing young → old, so no cycle can form.
                 let my_top = owner.top_level_id();
                 let victims: Vec<Arc<TxNode>> = guard
                     .blockers(&owner, lock_write)
                     .into_iter()
                     .filter(|b| b.top_level_id() > my_top)
-                    .map(|b| {
-                        let mut top = b;
-                        while let Some(p) = top.parent.clone() {
-                            top = p;
-                        }
-                        top
-                    })
+                    .map(|b| b.top())
                     .collect();
                 if !victims.is_empty() {
                     // Release the slot mutex before purging: abort_subtree
@@ -372,94 +524,211 @@ impl ManagerInner {
                     continue;
                 }
             }
-            if self.config.deadlock == DeadlockPolicy::DieOnCycle {
-                // Wait-for edges are recorded at TOP-LEVEL transaction
-                // granularity: a lock held anywhere in top-level tx B's
-                // subtree is only fully released once B returns, so a
-                // subtransaction of A waiting on any part of B makes A wait
-                // on B. Child-level edges would miss cycles that pass
-                // through two different subtransactions of the same
-                // top-level transaction. Top-level edges are conservative —
-                // an intra-tree sibling wait could resolve on its own — but
-                // the victim just retries.
-                let waiter_top = owner.top_level_id();
-                let blockers: Vec<u64> = {
-                    let mut tops: Vec<u64> = guard
-                        .blockers(&owner, lock_write)
-                        .iter()
-                        .map(|b| b.top_level_id())
-                        .filter(|&t| t != waiter_top)
-                        .collect();
-                    tops.sort_unstable();
-                    tops.dedup();
-                    tops
-                };
-                if !blockers.is_empty() {
-                    match self.wait_graph.wait_and_check(waiter_top, &blockers) {
-                        None => edges_published = true,
-                        Some(cycle) => {
-                            // Detection withdrew the waiter's edges.
-                            edges_published = false;
-                            let victim = pick_victim(&cycle);
-                            self.stats.bump(Ctr::Deadlocks);
-                            self.trace(RtEvent::Deadlock {
-                                waiter: owner.id,
-                                victim,
-                                cycle_len: cycle.len(),
-                            });
-                            if victim == waiter_top {
-                                return Err(TxError::Deadlock);
+            if Instant::now() >= deadline {
+                // Fail fast without ever enqueueing — with a zero wait
+                // budget (the deterministic fuzz configuration) blocked
+                // requests take exactly this path.
+                self.stats.bump(Ctr::Timeouts);
+                return Err(TxError::Timeout);
+            }
+            break;
+        }
+        // Phase 2 — enqueue a waiter node. Wound–wait inserts in age order
+        // (oldest top first) so queue-position waits also point young→old;
+        // the other policies are plain FIFO.
+        let w = Waiter::new(node.clone(), owner.clone(), lock_write);
+        if self.config.deadlock == DeadlockPolicy::WoundWait {
+            let my_top = owner.top_level_id();
+            let pos = guard
+                .queue
+                .iter()
+                .position(|q| q.owner.top_level_id() > my_top)
+                .unwrap_or(guard.queue.len());
+            guard.queue.insert(pos, w.clone());
+        } else {
+            guard.queue.push_back(w.clone());
+        }
+        *node.waiting_on.lock() = Some(obj_idx);
+        // Self-scan under the same mutex hold: delivers a doom that raced
+        // the enqueue (the aborter either saw our waiting_on registration
+        // or we see its abort mark here — the slot mutex serialises the
+        // two), and grants the head wave, which may include us after an
+        // age-ordered insert or a wound.
+        let mut wake = self.release_scan(obj_idx, &mut guard);
+        // Phase 3 (DieOnCycle) — one checked edge publish per enqueue. The
+        // wait set is derived from queue membership (conflicting holders +
+        // queued predecessors); later queue movement only shrinks it, so
+        // the release scan can refresh without re-running detection.
+        if self.config.deadlock == DeadlockPolicy::DieOnCycle {
+            loop {
+                if w.state() != W_WAITING {
+                    break;
+                }
+                let targets = edge_targets(&guard, &w);
+                if targets.is_empty() {
+                    // Nothing to wait on (e.g. an ancestor's write handoff
+                    // is mid-apply): a grant is imminent, no edge needed.
+                    break;
+                }
+                let my_top = owner.top_level_id();
+                match self.wait_graph.wait_and_check(my_top, &targets) {
+                    None => {
+                        *w.edges.lock() = targets;
+                        break;
+                    }
+                    Some(cycle) => {
+                        // Detection withdrew the waiter's edges.
+                        let victim = pick_victim(&cycle);
+                        self.stats.bump(Ctr::Deadlocks);
+                        self.trace(RtEvent::Deadlock {
+                            waiter: owner.id,
+                            victim,
+                            cycle_len: cycle.len(),
+                        });
+                        if victim == my_top {
+                            w.cancel();
+                            guard.remove_waiter(&w);
+                            *node.waiting_on.lock() = None;
+                            wake.extend(self.release_scan(obj_idx, &mut guard));
+                            drop(guard);
+                            for x in wake {
+                                x.wake();
                             }
-                            // Youngest-victim: wound the victim if it holds
-                            // a lock right here (then retry); otherwise it
-                            // is unreachable from this slot and the
-                            // requester dies in its place — conservative
-                            // but safe.
-                            let victim_node = guard
-                                .blockers(&owner, lock_write)
-                                .into_iter()
-                                .find(|b| b.top_level_id() == victim)
-                                .map(|b| b.top());
-                            match victim_node {
-                                Some(v) => {
-                                    // abort_subtree re-locks touched slots.
-                                    drop(guard);
-                                    v.deadlock_victim.store(true, Ordering::SeqCst);
-                                    self.abort_subtree(&v);
-                                    guard = slot.inner.lock();
-                                    continue;
+                            return Err(TxError::Deadlock);
+                        }
+                        // Youngest-victim: wound the victim if it holds or
+                        // waits right here (then re-check); otherwise it is
+                        // unreachable from this slot and the requester dies
+                        // in its place — conservative but safe.
+                        let victim_node = guard
+                            .blockers(&owner, lock_write)
+                            .into_iter()
+                            .map(|b| b.top())
+                            .chain(guard.queue.iter().map(|q| q.owner.top()))
+                            .find(|t| t.id == victim);
+                        match victim_node {
+                            Some(v) => {
+                                // abort_subtree re-locks touched slots, and
+                                // its scan of this object may grant us
+                                // while the guard is down — the loop head
+                                // re-checks our state.
+                                drop(guard);
+                                for x in wake.drain(..) {
+                                    x.wake();
                                 }
-                                None => return Err(TxError::Deadlock),
+                                v.deadlock_victim.store(true, Ordering::SeqCst);
+                                self.abort_subtree(&v);
+                                guard = slot.inner.lock();
+                                continue;
+                            }
+                            None => {
+                                w.cancel();
+                                guard.remove_waiter(&w);
+                                *node.waiting_on.lock() = None;
+                                wake.extend(self.release_scan(obj_idx, &mut guard));
+                                drop(guard);
+                                for x in wake {
+                                    x.wake();
+                                }
+                                return Err(TxError::Deadlock);
                             }
                         }
                     }
                 }
             }
-            let now = Instant::now();
-            if now >= deadline {
-                if edges_published {
+        }
+        drop(guard);
+        for x in wake.drain(..) {
+            x.wake();
+        }
+        // Phase 4 — adaptive wait: spin briefly on our own node (direct
+        // handoff under short holds often lands here), then park on it.
+        let mut st = w.state();
+        if st == W_WAITING {
+            for _ in 0..SPIN_ITERS {
+                std::hint::spin_loop();
+                st = w.state();
+                if st != W_WAITING {
+                    break;
+                }
+            }
+            if st == W_GRANTED {
+                self.stats.bump(Ctr::SpinGrants);
+            } else if st == W_WAITING {
+                st = w.park_until(deadline);
+            }
+        }
+        // Phase 5 — classify. A timed-out wait withdraws its queue node in
+        // place unless a grant raced the wakeup, in which case take it.
+        if st == W_WAITING {
+            let mut guard = slot.inner.lock();
+            if w.state() == W_WAITING {
+                let cancelled = w.cancel();
+                debug_assert!(cancelled, "state is slot-mutex-protected");
+                guard.remove_waiter(&w);
+                *node.waiting_on.lock() = None;
+                if self.config.deadlock == DeadlockPolicy::DieOnCycle && !w.edges.lock().is_empty()
+                {
                     self.wait_graph.clear(owner.top_level_id());
+                }
+                self.stats.bump(Ctr::CancelledWaiters);
+                let wake = self.release_scan(obj_idx, &mut guard);
+                drop(guard);
+                for x in wake {
+                    x.wake();
                 }
                 self.stats.bump(Ctr::Timeouts);
                 return Err(TxError::Timeout);
             }
-            *node.waiting_on.lock() = Some(obj_idx);
-            // Bounded park: releasers wake us via the per-slot waiter
-            // registration below; the timeout only caps the staleness of
-            // unsignalled transitions (e.g. dooms that raced the park).
-            if lock_write {
-                guard.waiting_writers += 1;
-            } else {
-                guard.waiting_readers += 1;
-            }
-            let chunk = std::cmp::min(deadline - now, PARK_CHUNK);
-            let _ = slot.cv.wait_for(&mut guard, chunk);
-            if lock_write {
-                guard.waiting_writers -= 1;
-            } else {
-                guard.waiting_readers -= 1;
-            }
+            drop(guard);
+            st = w.state();
+        }
+        if st == W_CANCELLED {
+            // Doom was delivered to the queue node (wound, ancestor abort,
+            // or deadlock victim) — the canceller already dequeued us and
+            // cleared our graph edges via the abort path.
             *node.waiting_on.lock() = None;
+            return Err(doom_error(node));
+        }
+        // Granted by direct handoff: the releaser installed our lock state
+        // and dequeued us; we only apply the closure.
+        *node.waiting_on.lock() = None;
+        self.stats
+            .add(Ctr::WaitNanos, wait_start.elapsed().as_nanos() as u64);
+        let mut guard = slot.inner.lock();
+        if node.is_doomed() {
+            // Granted and doomed in the same window: the closure must not
+            // run. Lift the unapplied write latch; the abort's rollback
+            // pass reclaims the installed lock state itself.
+            if w.write && guard.write_pending == Some(owner.id) {
+                guard.write_pending = None;
+            }
+            let wake = self.release_scan(obj_idx, &mut guard);
+            drop(guard);
+            for x in wake {
+                x.wake();
+            }
+            return Err(doom_error(node));
+        }
+        if w.write {
+            let st_box = guard.write_target(&owner);
+            let r = f(st_box.as_mut());
+            debug_assert_eq!(guard.write_pending, Some(owner.id));
+            guard.write_pending = None;
+            // Clearing the latch is a release: the queue may have
+            // compatible waiters gated only on it.
+            let wake = self.release_scan(obj_idx, &mut guard);
+            drop(guard);
+            for x in wake {
+                x.wake();
+            }
+            Ok(r)
+        } else {
+            // The releaser recorded our read lock; read the deepest
+            // version owned by one of our ancestors (a stranger's version
+            // may have been granted on top since).
+            let r = f(guard.read_target(&owner).as_mut());
+            Ok(r)
         }
     }
 
@@ -469,7 +738,7 @@ impl ManagerInner {
         let heir = node.parent.clone();
         for obj in touched {
             let slot = self.slot(obj);
-            let waiters;
+            let wake;
             {
                 let mut guard = slot.inner.lock();
                 let moved = guard.inherit(
@@ -477,10 +746,6 @@ impl ManagerInner {
                     heir.as_ref(),
                     self.config.drop_read_lock_when_write_held,
                 );
-                // Wake only if the lock state changed and someone is
-                // parked; an untouched slot's waiters cannot have become
-                // grantable.
-                waiters = if moved.any() { guard.waiters() } else { 0 };
                 if moved.any() {
                     self.trace(RtEvent::Inherit {
                         tx: node.id,
@@ -488,8 +753,17 @@ impl ManagerInner {
                         obj,
                     });
                 }
+                // Hand off only if the lock state changed; an untouched
+                // slot's waiters cannot have become grantable.
+                wake = if moved.any() {
+                    self.release_scan(obj, &mut guard)
+                } else {
+                    Vec::new()
+                };
             }
-            slot.wake_waiters(waiters);
+            for w in wake {
+                w.wake();
+            }
             if let Some(h) = &heir {
                 h.touch(obj);
             }
@@ -497,8 +771,9 @@ impl ManagerInner {
     }
 
     /// Abort `root`'s whole subtree: mark nodes aborted, purge locks and
-    /// versions, wake every waiter that could be affected. Returns the
-    /// number of nodes newly aborted.
+    /// versions, hand freed locks to queued waiters, and cancel the
+    /// subtree's own parked waiters. Returns the number of nodes newly
+    /// aborted.
     pub(crate) fn abort_subtree(&self, root: &Arc<TxNode>) -> usize {
         let mut newly_aborted = 0usize;
         let mut touched: Vec<usize> = Vec::new();
@@ -520,19 +795,18 @@ impl ManagerInner {
                     waiting.push(o);
                 }
             }
+            // Top-granularity edge withdrawal: siblings of the aborted
+            // subtree sharing this top may transiently lose their edges;
+            // the release scan republishes on its next pass and timeouts
+            // backstop the rest.
             self.wait_graph.clear(n.top_level_id());
         });
         for &obj in &touched {
             let slot = self.slot(obj);
-            let waiters;
+            let wake;
             {
                 let mut guard = slot.inner.lock();
                 let (versions, readers) = guard.discard_subtree(root);
-                waiters = if versions + readers > 0 {
-                    guard.waiters()
-                } else {
-                    0
-                };
                 if versions + readers > 0 {
                     self.trace(RtEvent::Rollback {
                         tx: root.id,
@@ -541,18 +815,31 @@ impl ManagerInner {
                         readers,
                     });
                 }
+                // Scan unconditionally: even with nothing discarded the
+                // doom pass must cancel this subtree's queued waiters.
+                wake = self.release_scan(obj, &mut guard);
             }
-            slot.wake_waiters(waiters);
+            for w in wake {
+                w.wake();
+            }
         }
         for obj in waiting {
-            // Deliver doom to the subtree's own parked waiters. Taking the
-            // slot mutex first serialises with a waiter between its doom
-            // check and its park: either it has already registered (we see
-            // the count and wake it) or it will re-check doom under the
-            // mutex before parking.
+            if touched.binary_search(&obj).is_ok() {
+                continue; // already scanned above
+            }
+            // Deliver doom to parked waiters on objects the subtree waits
+            // on but never touched. Taking the slot mutex serialises with
+            // a waiter between its doom check and its park: either it has
+            // enqueued (the scan cancels it) or its post-enqueue self-scan
+            // will observe the abort mark.
             let slot = self.slot(obj);
-            let waiters = slot.inner.lock().waiters();
-            slot.wake_waiters(waiters);
+            let wake = {
+                let mut guard = slot.inner.lock();
+                self.release_scan(obj, &mut guard)
+            };
+            for w in wake {
+                w.wake();
+            }
         }
         self.stats.add(Ctr::Aborts, newly_aborted as u64);
         newly_aborted
@@ -562,6 +849,7 @@ impl ManagerInner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn register_and_read_committed() {
@@ -603,5 +891,43 @@ mod tests {
             assert_eq!(mgr.read_committed(r, |v| *v), i);
             assert_eq!(mgr.object_name(r), format!("o{i}"));
         }
+    }
+
+    /// Regression: a waiter that published wait-for edges and is then
+    /// wounded while parked must leave no stale edge in the graph (the
+    /// retry-loop scheme republished on every wakeup and could leave the
+    /// last set behind when the wound landed between retries).
+    #[test]
+    fn wound_while_parked_clears_published_edges() {
+        let mgr = TxManager::new(RtConfig {
+            wait_timeout: Duration::from_secs(10),
+            ..Default::default()
+        });
+        let x = mgr.register("x", 0i64);
+        let holder = mgr.begin();
+        holder.write(&x, |v| *v = 1).unwrap();
+        let waiter = mgr.begin();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| waiter.write(&x, |v| *v = 2));
+            // Wait until the blocked writer has enqueued and published its
+            // wait-for edge.
+            while mgr.inner.wait_graph.waiting_count() == 0 {
+                assert!(!h.is_finished(), "waiter finished without blocking");
+                std::thread::yield_now();
+            }
+            assert_eq!(mgr.queued_waiters(), 1);
+            // Wound the parked waiter (abort reaches its queue node).
+            waiter.abort();
+            let r = h.join().unwrap();
+            assert_eq!(r, Err(TxError::Doomed));
+        });
+        assert_eq!(
+            mgr.inner.wait_graph.waiting_count(),
+            0,
+            "stale wait-for edge left after wound"
+        );
+        assert_eq!(mgr.queued_waiters(), 0, "cancelled waiter leaked");
+        assert!(mgr.stats().cancelled_waiters >= 1);
+        holder.commit().unwrap();
     }
 }

@@ -39,7 +39,9 @@ pub(crate) struct TxNode {
     /// Objects where this transaction may hold locks or versions, kept as
     /// a sorted set so membership tests are binary searches, not scans.
     pub touched: Mutex<Vec<usize>>,
-    /// Object this transaction is currently blocked on, if any.
+    /// Object this transaction currently has a queued waiter node on, if
+    /// any. Set under that object's slot mutex while enqueued; abort paths
+    /// read it to find (and cancel) the subtree's parked waiters.
     pub waiting_on: Mutex<Option<usize>>,
     /// Set when this transaction was chosen as a deadlock victim, so its
     /// blocked accesses report [`crate::TxError::Deadlock`] (retryable)

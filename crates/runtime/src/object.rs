@@ -1,15 +1,21 @@
-//! Per-object lock tables and version chains.
+//! Per-object lock tables, version chains, and the handoff waiter queue.
 //!
 //! This is the runtime counterpart of the model's `M(X)`: each object keeps
 //! a *base* (top-level committed) state, a *chain* of uncommitted versions —
 //! one per write-lock holder, deepest last, `chain.last()` being the current
 //! state — and a set of read-lock holders. The grant rule, inheritance at
 //! commit and discard-at-abort follow Moss exactly; the difference from the
-//! model is operational: requests that cannot be granted *block* on a
-//! condition variable instead of staying pending in an automaton.
+//! model is operational: requests that cannot be granted enqueue a
+//! [`Waiter`] on the object's FIFO queue and park on their own node until a
+//! releasing thread *hands the lock over directly* (see
+//! `ManagerInner::release_scan` in the manager module). The queue is the
+//! single source of truth for "who is waiting" on an object.
 
 use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -40,6 +46,98 @@ pub(crate) struct ChainEntry {
     pub state: Box<dyn AnyState>,
 }
 
+/// Waiter is blocked, queued, parked (or spinning) on its node.
+pub(crate) const W_WAITING: u8 = 0;
+/// A releasing thread granted the lock and installed the lock state; the
+/// waiter wakes, applies its closure and proceeds.
+pub(crate) const W_GRANTED: u8 = 1;
+/// The wait was cancelled (doomed by an abort/wound); the waiter wakes and
+/// fails without retrying.
+pub(crate) const W_CANCELLED: u8 = 2;
+
+/// One blocked lock request, queued FIFO on its [`ObjectSlot`].
+///
+/// Each waiter parks on its *own* condvar (MCS-style local waiting), so a
+/// release wakes exactly the threads whose requests it granted — no
+/// broadcast, no re-fight for the slot mutex by waiters that cannot
+/// proceed. State transitions (`grant`/`cancel`) happen only under the slot
+/// mutex; the parked thread reads the state with plain atomic loads, so the
+/// brief pre-park spin costs no locks.
+pub(crate) struct Waiter {
+    /// The requesting node. Doom checks target the requester, not the lock
+    /// owner: under [`crate::LockMode::Flat2PL`] a subtree fault can doom
+    /// the node while the owning top level stays live.
+    pub node: Arc<TxNode>,
+    /// The lock-owner identity (equals `node` except under Flat2PL).
+    pub owner: Arc<TxNode>,
+    /// `true` for a write-mode request.
+    pub write: bool,
+    state: AtomicU8,
+    park: Mutex<()>,
+    cv: Condvar,
+    /// Wait-for edge targets currently published for this waiter
+    /// (DieOnCycle only), sorted. Release scans compare against this and
+    /// republish only when the wait set actually changed — one graph-stripe
+    /// hit per change instead of one per retry.
+    pub edges: Mutex<Vec<u64>>,
+}
+
+impl Waiter {
+    pub fn new(node: Arc<TxNode>, owner: Arc<TxNode>, write: bool) -> Arc<Waiter> {
+        Arc::new(Waiter {
+            node,
+            owner,
+            write,
+            state: AtomicU8::new(W_WAITING),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
+            edges: Mutex::new(Vec::new()),
+        })
+    }
+
+    #[inline]
+    pub fn state(&self) -> u8 {
+        self.state.load(Ordering::SeqCst)
+    }
+
+    /// WAITING → GRANTED. Callers hold the slot mutex; the CAS guards
+    /// against a cancel that raced in anyway.
+    pub fn grant(&self) -> bool {
+        self.state
+            .compare_exchange(W_WAITING, W_GRANTED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// WAITING → CANCELLED (doom delivery, timeout withdrawal).
+    pub fn cancel(&self) -> bool {
+        self.state
+            .compare_exchange(W_WAITING, W_CANCELLED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Wake the parked thread after a state transition. Taking the park
+    /// lock first closes the window between the waiter's last state check
+    /// and its wait — the notify cannot land in the gap.
+    pub fn wake(&self) {
+        let _gate = self.park.lock();
+        self.cv.notify_one();
+    }
+
+    /// Park until the state leaves [`W_WAITING`] or `deadline` passes;
+    /// returns the last observed state ([`W_WAITING`] on timeout).
+    pub fn park_until(&self, deadline: Instant) -> u8 {
+        let mut gate = self.park.lock();
+        while self.state() == W_WAITING {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let _ = self.cv.wait_for(&mut gate, deadline - now);
+        }
+        self.state()
+    }
+}
+
 /// Lock table + versions of one object (guarded by [`ObjectSlot::inner`]).
 pub(crate) struct ObjectInner {
     /// Top-level committed state.
@@ -49,19 +147,24 @@ pub(crate) struct ObjectInner {
     pub chain: Vec<ChainEntry>,
     /// Read-lock holders.
     pub readers: Vec<Arc<TxNode>>,
-    /// Requests currently parked on [`ObjectSlot::cv`] wanting a read
-    /// lock. Maintained by the wait loop around each park, so releasers
-    /// can skip the wakeup syscall entirely when nobody is parked.
-    pub waiting_readers: u32,
-    /// Requests currently parked wanting a write lock.
-    pub waiting_writers: u32,
+    /// Blocked requests in handoff order. FIFO under DieOnCycle and
+    /// TimeoutOnly; ordered by top-level id (oldest first) under WoundWait,
+    /// so queue-position waits also only ever point young → old.
+    pub queue: VecDeque<Arc<Waiter>>,
+    /// Owner id of a write grant handed off but not yet *applied*: the
+    /// releaser installed the version and woke the writer, which has not
+    /// reached its closure yet. While set, nothing else is grantable, so no
+    /// deeper version can land on top and swallow the parked writer's
+    /// update.
+    pub write_pending: Option<u64>,
 }
 
 impl ObjectInner {
-    /// Parked waiters of both modes.
-    pub fn waiters(&self) -> u32 {
-        self.waiting_readers + self.waiting_writers
+    /// Queued waiters (the queue is the only waiter book-keeping).
+    pub fn waiters(&self) -> usize {
+        self.queue.len()
     }
+
     /// The current state: the deepest version, or the base.
     pub fn current(&self) -> &dyn AnyState {
         match self.chain.last() {
@@ -90,13 +193,33 @@ impl ObjectInner {
         out
     }
 
-    /// Moss' grant rule.
+    /// Moss' grant rule, gated on no write handoff being in flight.
     pub fn grantable(&self, tx: &TxNode, write: bool) -> bool {
+        if self.write_pending.is_some() {
+            return false;
+        }
         let writes_ok = self.chain.iter().all(|e| e.owner.is_ancestor_of(tx));
         if !write {
             return writes_ok;
         }
         writes_ok && self.readers.iter().all(|r| r.is_ancestor_of(tx))
+    }
+
+    /// `true` when some current lock holder is an ancestor of `tx`. A
+    /// grantable request may then bypass a non-empty waiter queue: queueing
+    /// it behind a stranger that waits on its own ancestor would deadlock
+    /// (re-entrant and parent/child accesses must never queue behind
+    /// requests they themselves block).
+    pub fn holder_is_ancestor(&self, tx: &TxNode) -> bool {
+        self.chain.iter().any(|e| e.owner.is_ancestor_of(tx))
+            || self.readers.iter().any(|r| r.is_ancestor_of(tx))
+    }
+
+    /// Drop `w` from the queue, if still there (timeout withdrawal).
+    pub fn remove_waiter(&mut self, w: &Arc<Waiter>) {
+        if let Some(pos) = self.queue.iter().position(|q| Arc::ptr_eq(q, w)) {
+            self.queue.remove(pos);
+        }
     }
 
     /// Record a read lock for `owner`.
@@ -106,6 +229,31 @@ impl ObjectInner {
         }
         if !self.readers.iter().any(|r| r.id == owner.id) {
             self.readers.push(owner.clone());
+        }
+    }
+
+    /// The state a granted *read* by `tx` observes: the deepest version
+    /// owned by an ancestor of `tx`, else the base. On the fast path this
+    /// is exactly `chain.last()` (the grant rule makes every owner an
+    /// ancestor); after a queued handoff a deeper non-ancestor version may
+    /// already have been granted on top, and Moss' read semantics say the
+    /// reader sees its ancestors' state, not the stranger's.
+    pub fn read_target(&mut self, tx: &TxNode) -> &mut Box<dyn AnyState> {
+        match self.chain.iter().rposition(|e| e.owner.is_ancestor_of(tx)) {
+            Some(i) => &mut self.chain[i].state,
+            None => &mut self.base,
+        }
+    }
+
+    /// The version a handed-off *write* grant mutates: the entry the
+    /// releaser installed for `owner` (found by id — `writable_state`
+    /// would wrongly push a fresh entry above any descendant version
+    /// granted since). Falls back to installing one for exotic races where
+    /// the entry vanished without dooming the owner.
+    pub fn write_target(&mut self, owner: &Arc<TxNode>) -> &mut Box<dyn AnyState> {
+        match self.chain.iter().position(|e| e.owner.id == owner.id) {
+            Some(i) => &mut self.chain[i].state,
+            None => self.writable_state(owner),
         }
     }
 
@@ -185,6 +333,14 @@ impl ObjectInner {
         let (nv, nr) = (self.chain.len(), self.readers.len());
         self.chain.retain(|e| !tx.is_ancestor_of(&e.owner));
         self.readers.retain(|r| !tx.is_ancestor_of(r));
+        // If the discard swallowed an unapplied write handoff's version,
+        // lift the latch — the doomed writer will never apply, and leaving
+        // it set would wedge the object.
+        if let Some(pid) = self.write_pending {
+            if !self.chain.iter().any(|e| e.owner.id == pid) {
+                self.write_pending = None;
+            }
+        }
         (nv - self.chain.len(), nr - self.readers.len())
     }
 }
@@ -205,12 +361,10 @@ impl InheritOutcome {
     }
 }
 
-/// One object: its lock table plus the condition variable lock waiters park
-/// on.
+/// One object: its lock table plus the waiter handoff queue.
 pub(crate) struct ObjectSlot {
     pub name: String,
     pub inner: Mutex<ObjectInner>,
-    pub cv: Condvar,
 }
 
 impl ObjectSlot {
@@ -221,28 +375,9 @@ impl ObjectSlot {
                 base: initial,
                 chain: Vec::new(),
                 readers: Vec::new(),
-                waiting_readers: 0,
-                waiting_writers: 0,
+                queue: VecDeque::new(),
+                write_pending: None,
             }),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Wake parked waiters after a lock-state change, given the waiter
-    /// count observed under the slot mutex: no syscall when nobody is
-    /// parked, a targeted `notify_one` for a single waiter, `notify_all`
-    /// otherwise (Moss' ancestry-based grant rule makes "which waiter can
-    /// now proceed" owner-dependent, so a broadcast is the only safe
-    /// choice once several are parked).
-    pub fn wake_waiters(&self, waiters: u32) {
-        match waiters {
-            0 => {}
-            1 => {
-                self.cv.notify_one();
-            }
-            _ => {
-                self.cv.notify_all();
-            }
         }
     }
 }
@@ -264,8 +399,8 @@ mod tests {
             base: Box::new(0i64),
             chain: Vec::new(),
             readers: Vec::new(),
-            waiting_readers: 0,
-            waiting_writers: 0,
+            queue: VecDeque::new(),
+            write_pending: None,
         }
     }
 
@@ -322,6 +457,115 @@ mod tests {
         assert!(o2.grantable(&q, false));
         assert!(!o2.grantable(&q, true));
         assert!(o2.grantable(&g, true), "reader is an ancestor of g");
+    }
+
+    #[test]
+    fn write_pending_blocks_everyone() {
+        let (p, c, g, q) = nodes();
+        let mut o = inner();
+        let _ = o.writable_state(&c);
+        o.write_pending = Some(c.id);
+        assert!(!o.grantable(&g, true), "even descendants wait for apply");
+        assert!(!o.grantable(&q, false));
+        o.write_pending = None;
+        assert!(o.grantable(&g, true));
+        let _ = p;
+    }
+
+    #[test]
+    fn discard_clears_orphaned_write_pending() {
+        let (p, c, _, q) = nodes();
+        let mut o = inner();
+        let _ = o.writable_state(&c);
+        o.write_pending = Some(c.id);
+        o.discard_subtree(&p);
+        assert_eq!(o.write_pending, None, "doomed handoff must lift the latch");
+        // A surviving pending entry keeps the latch.
+        let _ = o.writable_state(&q);
+        o.write_pending = Some(q.id);
+        o.discard_subtree(&p);
+        assert_eq!(o.write_pending, Some(q.id));
+    }
+
+    #[test]
+    fn ancestor_holder_allows_queue_bypass() {
+        let (p, c, g, q) = nodes();
+        let mut o = inner();
+        let _ = o.writable_state(&c);
+        let w = Waiter::new(q.clone(), q.clone(), true);
+        o.queue.push_back(w);
+        assert!(o.holder_is_ancestor(&g), "write holder c is an ancestor");
+        assert!(!o.holder_is_ancestor(&q), "stranger must queue");
+        assert!(!o.holder_is_ancestor(&p), "parent of holder is not covered");
+        let mut o2 = inner();
+        o2.add_reader(&c, false);
+        assert!(o2.holder_is_ancestor(&g), "reader counts too");
+    }
+
+    #[test]
+    fn read_target_skips_non_ancestor_versions() {
+        let (p, c, _, q) = nodes();
+        let mut o = inner();
+        *o.writable_state(&p)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 7;
+        // Simulate a stranger's version granted deeper after p's (cannot
+        // happen while p holds, but read_target must not depend on that).
+        o.chain.push(ChainEntry {
+            owner: q.clone(),
+            state: Box::new(99i64),
+        });
+        assert_eq!(read_i64(o.read_target(&c).as_ref()), 7);
+        assert_eq!(read_i64(o.read_target(&q).as_ref()), 99);
+        let stranger = TxNode::top_level(8);
+        assert_eq!(read_i64(o.read_target(&stranger).as_ref()), 0, "base");
+    }
+
+    #[test]
+    fn write_target_finds_entry_by_id_not_top() {
+        let (p, c, ..) = nodes();
+        let mut o = inner();
+        *o.writable_state(&p)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 1;
+        *o.writable_state(&c)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 2;
+        // p's handed-off write must hit p's own entry, not push above c.
+        *o.write_target(&p)
+            .as_any_mut()
+            .downcast_mut::<i64>()
+            .unwrap() = 5;
+        assert_eq!(o.chain.len(), 2);
+        assert_eq!(read_i64(o.chain[0].state.as_ref()), 5);
+        assert_eq!(read_i64(o.current()), 2);
+    }
+
+    #[test]
+    fn waiter_state_machine_and_queue_removal() {
+        let (p, ..) = nodes();
+        let w = Waiter::new(p.clone(), p.clone(), false);
+        assert_eq!(w.state(), W_WAITING);
+        assert!(w.grant());
+        assert!(!w.cancel(), "granted waiter cannot be cancelled");
+        assert_eq!(w.state(), W_GRANTED);
+        let w2 = Waiter::new(p.clone(), p.clone(), true);
+        assert!(w2.cancel());
+        assert_eq!(w2.state(), W_CANCELLED);
+        let mut o = inner();
+        let q1 = Waiter::new(p.clone(), p.clone(), true);
+        let q2 = Waiter::new(p.clone(), p.clone(), false);
+        o.queue.push_back(q1.clone());
+        o.queue.push_back(q2.clone());
+        assert_eq!(o.waiters(), 2);
+        o.remove_waiter(&q1);
+        assert_eq!(o.waiters(), 1);
+        assert!(Arc::ptr_eq(&o.queue[0], &q2));
+        o.remove_waiter(&q1); // idempotent
+        assert_eq!(o.waiters(), 1);
     }
 
     #[test]

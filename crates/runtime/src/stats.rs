@@ -30,9 +30,12 @@ pub(crate) enum Ctr {
     TopCommits,
     Aborts,
     Begun,
+    Handoffs,
+    SpinGrants,
+    CancelledWaiters,
 }
 
-const NCTR: usize = 11;
+const NCTR: usize = 14;
 
 #[derive(Default)]
 struct Stripe {
@@ -80,6 +83,9 @@ impl Stats {
             top_level_commits: self.total(Ctr::TopCommits),
             aborts: self.total(Ctr::Aborts),
             transactions_begun: self.total(Ctr::Begun),
+            handoffs: self.total(Ctr::Handoffs),
+            spin_grants: self.total(Ctr::SpinGrants),
+            cancelled_waiters: self.total(Ctr::CancelledWaiters),
         }
     }
 }
@@ -109,6 +115,15 @@ pub struct StatsSnapshot {
     pub aborts: u64,
     /// Transactions ever begun (any level).
     pub transactions_begun: u64,
+    /// Locks granted by direct handoff: a releasing thread dequeued the
+    /// waiter and installed its lock state before waking it.
+    pub handoffs: u64,
+    /// Handed-off grants that arrived during the brief pre-park spin, so
+    /// the waiter never paid for a park/unpark round trip.
+    pub spin_grants: u64,
+    /// Queued waiters withdrawn without a grant (doomed, wounded, or timed
+    /// out) — cancelled in place rather than woken to re-poll.
+    pub cancelled_waiters: u64,
 }
 
 impl StatsSnapshot {

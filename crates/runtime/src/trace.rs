@@ -82,6 +82,19 @@ pub enum RtEvent {
         /// Whether a write lock was requested.
         write: bool,
     },
+    /// A releasing thread granted the queued request by `tx` on `obj` by
+    /// direct handoff (always immediately followed by the matching
+    /// [`RtEvent::ReadGrant`]/[`RtEvent::WriteGrant`], stamped under the
+    /// same object mutex). Never appears in single-threaded runs: a lone
+    /// thread is granted inline or fails fast, it cannot be handed to.
+    Handoff {
+        /// The waiter being granted.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+        /// Whether a write lock was handed over.
+        write: bool,
+    },
     /// `tx` committed (`top` marks a top-level, publishing commit).
     /// Recorded after the state transition, before lock inheritance.
     Commit {
@@ -152,6 +165,9 @@ impl RtEvent {
             RtEvent::Wait { tx, obj, write } => {
                 _ = writeln!(out, "WAIT tx={tx} obj={obj} write={write}");
             }
+            RtEvent::Handoff { tx, obj, write } => {
+                _ = writeln!(out, "HANDOFF tx={tx} obj={obj} write={write}");
+            }
             RtEvent::Commit { tx, top } => _ = writeln!(out, "COMMIT tx={tx} top={top}"),
             RtEvent::Inherit { tx, heir, obj } => match heir {
                 Some(h) => _ = writeln!(out, "INHERIT tx={tx} heir={h} obj={obj}"),
@@ -204,6 +220,8 @@ pub struct TxTraceStats {
     pub aborted: bool,
     /// Injected faults charged to this transaction.
     pub faults: u64,
+    /// Lock grants this transaction received by direct handoff.
+    pub handoffs: u64,
 }
 
 /// One shard's buffer: events paired with their global sequence stamps.
@@ -279,6 +297,7 @@ impl TraceRecorder {
                 RtEvent::WriteGrant { tx, .. } => map.entry(tx).or_default().writes += 1,
                 RtEvent::VersionInstall { tx, .. } => map.entry(tx).or_default().versions += 1,
                 RtEvent::Wait { tx, .. } => map.entry(tx).or_default().waits += 1,
+                RtEvent::Handoff { tx, .. } => map.entry(tx).or_default().handoffs += 1,
                 RtEvent::Commit { tx, .. } => map.entry(tx).or_default().committed = true,
                 RtEvent::Abort { tx } => map.entry(tx).or_default().aborted = true,
                 RtEvent::Fault { tx, .. } => map.entry(tx).or_default().faults += 1,
