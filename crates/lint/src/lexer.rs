@@ -1,0 +1,312 @@
+//! A small masking lexer for Rust source.
+//!
+//! The lint rules are substring checks over source lines; to keep them
+//! from firing on prose, the lexer produces a *masked* copy of the file in
+//! which every comment and every string/char-literal body is blanked to
+//! spaces (newlines preserved, so byte offsets and line numbers survive).
+//! Rules scan the masked text for code tokens and the original text for
+//! the comment markers they require (`// SAFETY:`, `// relaxed(tag):`).
+//!
+//! Handled: line comments, nested block comments, plain and raw (byte)
+//! string literals with any `#` count, char and byte-char literals, and
+//! the char-literal/lifetime ambiguity (`'a'` vs `'a`).
+
+/// Blank comments and literal bodies of `src` to spaces.
+///
+/// The result has exactly the bytes of `src` with every byte inside a
+/// comment or string/char literal (delimiters included) replaced by `b' '`
+/// — except newlines, which are kept so line structure is unchanged.
+pub fn mask(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        blank2(&mut out, &mut i, b);
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        blank2(&mut out, &mut i, b);
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        blank1(&mut out, &mut i, b);
+                    }
+                }
+            }
+            b'"' => mask_string(&mut out, &mut i, b),
+            b'r' | b'b' if !prev_is_ident(b, i) => {
+                // Possible raw/byte literal prefix: r" r#" br" b" b' br#"
+                let mut j = i;
+                if b[j] == b'b' {
+                    j += 1;
+                    if b.get(j) == Some(&b'\'') {
+                        // byte-char literal b'x'
+                        blank1(&mut out, &mut i, b); // the b
+                        mask_char(&mut out, &mut i, b);
+                        continue;
+                    }
+                }
+                let raw = b.get(j) == Some(&b'r');
+                if raw {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while raw && b.get(j + hashes) == Some(&b'#') {
+                    hashes += 1;
+                }
+                let j = j + hashes;
+                if b.get(j) == Some(&b'"') && (raw || b[i] == b'b') {
+                    while i <= j {
+                        blank1(&mut out, &mut i, b);
+                    }
+                    if raw {
+                        mask_raw_tail(&mut out, &mut i, b, hashes);
+                    } else {
+                        // b"..." body: same escape rules as a plain string,
+                        // whose opening quote was already blanked above.
+                        mask_string_tail(&mut out, &mut i, b);
+                    }
+                } else {
+                    i += 1; // ordinary identifier start
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'\...'` and `'x'` are
+                // literals; `'ident` (no closing quote right after one
+                // char) is a lifetime and stays as code.
+                let is_literal = match b.get(i + 1) {
+                    Some(&b'\\') => true,
+                    Some(_) => {
+                        // find the char's byte length (UTF-8 aware)
+                        let s = &src[i + 1..];
+                        let ch_len = s.chars().next().map_or(0, |c| c.len_utf8());
+                        b.get(i + 1 + ch_len) == Some(&b'\'')
+                    }
+                    None => false,
+                };
+                if is_literal {
+                    mask_char(&mut out, &mut i, b);
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // The byte-level blanking never splits a UTF-8 sequence in code
+    // position (multibyte chars only appear inside comments/strings, which
+    // are blanked whole), so this cannot fail.
+    String::from_utf8(out).expect("masking preserved UTF-8")
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+fn blank1(out: &mut [u8], i: &mut usize, b: &[u8]) {
+    if b[*i] != b'\n' {
+        out[*i] = b' ';
+    }
+    *i += 1;
+}
+
+fn blank2(out: &mut [u8], i: &mut usize, b: &[u8]) {
+    blank1(out, i, b);
+    if *i < b.len() {
+        blank1(out, i, b);
+    }
+}
+
+fn mask_string(out: &mut [u8], i: &mut usize, b: &[u8]) {
+    blank1(out, i, b); // opening quote
+    mask_string_tail(out, i, b);
+}
+
+fn mask_string_tail(out: &mut [u8], i: &mut usize, b: &[u8]) {
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => blank2(out, i, b),
+            b'"' => {
+                blank1(out, i, b);
+                return;
+            }
+            _ => blank1(out, i, b),
+        }
+    }
+}
+
+fn mask_raw_tail(out: &mut [u8], i: &mut usize, b: &[u8], hashes: usize) {
+    while *i < b.len() {
+        if b[*i] == b'"' {
+            let close = (1..=hashes).all(|k| b.get(*i + k) == Some(&b'#'));
+            if close {
+                for _ in 0..=hashes {
+                    if *i < b.len() {
+                        blank1(out, i, b);
+                    }
+                }
+                return;
+            }
+        }
+        blank1(out, i, b);
+    }
+}
+
+fn mask_char(out: &mut [u8], i: &mut usize, b: &[u8]) {
+    blank1(out, i, b); // opening quote
+    if *i < b.len() && b[*i] == b'\\' {
+        blank1(out, i, b);
+        // Escape body runs to the closing quote (covers \n, \', \u{..}).
+        while *i < b.len() && b[*i] != b'\'' {
+            blank1(out, i, b);
+        }
+    } else {
+        // One (possibly multibyte) char.
+        while *i < b.len() && b[*i] != b'\'' {
+            blank1(out, i, b);
+        }
+    }
+    if *i < b.len() {
+        blank1(out, i, b); // closing quote
+    }
+}
+
+/// 0-based line ranges (inclusive) of items gated behind a `test` cfg —
+/// `#[cfg(test)]`, `#[cfg(all(loom, test))]`, and friends.
+///
+/// Scans the *masked* source: each `#[...]` attribute whose text contains
+/// both `cfg` and `test` marks the following item; the item's extent is the
+/// matching `{`..`}` block (or up to the first `;` for block-less items).
+pub fn test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let b = masked.as_bytes();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'#' && b.get(i + 1) == Some(&b'[') {
+            let start = i;
+            let mut j = i + 2;
+            while j < b.len() && b[j] != b']' {
+                j += 1;
+            }
+            let attr = &masked[i + 2..j.min(masked.len())];
+            // `test` must appear outside a `not(test)` — production items
+            // gated on `#[cfg(not(test))]`/`cfg_attr(not(test), ..)` are
+            // not test code.
+            let positive_test = attr.replace("not(test)", "").contains("test");
+            if attr.contains("cfg") && positive_test {
+                // Find the item body: first `{` before any `;`.
+                let mut k = j;
+                let end;
+                loop {
+                    k += 1;
+                    if k >= b.len() || b[k] == b';' {
+                        end = k.min(b.len().saturating_sub(1));
+                        break;
+                    }
+                    if b[k] == b'{' {
+                        let mut depth = 1usize;
+                        while depth > 0 {
+                            k += 1;
+                            if k >= b.len() {
+                                break;
+                            }
+                            match b[k] {
+                                b'{' => depth += 1,
+                                b'}' => depth -= 1,
+                                _ => {}
+                            }
+                        }
+                        end = k.min(b.len().saturating_sub(1));
+                        break;
+                    }
+                }
+                regions.push((line_of(masked, start), line_of(masked, end)));
+                i = end + 1;
+                continue;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+fn line_of(s: &str, byte: usize) -> usize {
+    s.as_bytes()[..byte.min(s.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = mask("let a = 1; // std::sync here\n/* unsafe /* nested */ still */ let b;");
+        assert!(!m.contains("std::sync"));
+        assert!(!m.contains("unsafe"));
+        assert!(m.contains("let a = 1;"));
+        assert!(m.contains("let b;"));
+    }
+
+    #[test]
+    fn masks_strings_and_raw_strings() {
+        let m = mask(r###"let s = "std::sync"; let r = r#"unsafe " quote"#; done();"###);
+        assert!(!m.contains("std::sync"));
+        assert!(!m.contains("unsafe"));
+        assert!(m.contains("done();"));
+    }
+
+    #[test]
+    fn distinguishes_char_literals_from_lifetimes() {
+        let m = mask("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; g(x) }");
+        assert!(m.contains("<'a>"), "lifetime must survive: {m}");
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains('"'), "quote char literal must be blanked");
+        assert!(m.contains("g(x)"));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal_early() {
+        let m = mask(r#"let s = "a\"unsafe\""; h();"#);
+        assert!(!m.contains("unsafe"));
+        assert!(m.contains("h();"));
+    }
+
+    #[test]
+    fn finds_cfg_test_module_extent() {
+        let src = "mod a {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nmod z {}\n";
+        let masked = mask(src);
+        assert_eq!(test_regions(&masked), vec![(1, 4)]);
+    }
+
+    #[test]
+    fn finds_cfg_all_loom_test_region() {
+        let src = "#[cfg(all(loom, test))]\nmod loom_models;\nfn f() {}\n";
+        let masked = mask(src);
+        assert_eq!(test_regions(&masked), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_a_region() {
+        let src = "#[cfg(feature = \"x\")]\nmod m {\n}\n";
+        // The cfg text is inside a string... but attr contents are masked
+        // too, so only the `cfg` ident survives — no `test`, no region.
+        assert!(test_regions(&mask(src)).is_empty());
+    }
+}

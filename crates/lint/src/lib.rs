@@ -1,0 +1,327 @@
+//! `ntx-lint`: the workspace's lock-discipline lint.
+//!
+//! Four rules keep the sharded runtime honest about its concurrency
+//! contract (each is documented on [`Rule`]):
+//!
+//! - **R1 sync-import** — synchronisation primitives come only from the
+//!   `crate::sync` shim, so `RUSTFLAGS="--cfg loom"` really swaps *every*
+//!   primitive under the model checker.
+//! - **R2 safety-comment** — every `unsafe` carries a `// SAFETY:`.
+//! - **R3 relaxed-ordering** — `Ordering::Relaxed` only at sites with a
+//!   `// relaxed(tag): justification` marker whose tag is recorded in
+//!   `crates/runtime/relaxed-allowlist.txt`; stale allowlist entries fail
+//!   too, so the audit can never rot in either direction.
+//! - **R4 lock-order** — the documented order (object-slot mutex ≺
+//!   wait-graph stripes, stripes in index order) is structurally enforced:
+//!   wait-graph code never touches slots, stripe access goes through
+//!   `stripe_of(`/`.iter()`, and no public function leaks a `MutexGuard`.
+//!
+//! There is no `syn` in this offline workspace, so the lint runs on a
+//! small masking lexer ([`lexer`]) rather than a full parse: comments and
+//! string bodies are blanked, then the rules are line-based token checks.
+//! That makes the lint auditable and fast, at the cost of being
+//! best-effort — it is a tripwire for discipline drift, not a verifier.
+//!
+//! It runs as a normal `cargo test -p ntx-lint`: unit tests prove each
+//! rule fires on seeded violations, and the `runtime_tree` integration
+//! test lints the real `crates/runtime` sources.
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+pub use rules::{Config, FileReport, Rule, Violation};
+
+/// Aggregate result of linting a crate tree.
+#[derive(Debug, Default)]
+pub struct TreeReport {
+    /// Violations across all files, plus one per stale allowlist entry.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files linted.
+    pub files: usize,
+}
+
+impl std::fmt::Display for TreeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for v in &self.violations {
+            writeln!(f, "{v}")?;
+        }
+        write!(
+            f,
+            "{} violation(s) across {} file(s)",
+            self.violations.len(),
+            self.files
+        )
+    }
+}
+
+/// Parse a `relaxed-allowlist.txt`: one `tag: justification` per line,
+/// `#` comments and blank lines ignored.
+pub fn parse_allowlist(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.split_once(':'))
+        .map(|(tag, _)| tag.trim().to_string())
+        .collect()
+}
+
+/// Lint every `.rs` file under `crate_root/src` (recursively) against the
+/// crate's `relaxed-allowlist.txt`, including the staleness check: a tag
+/// allowlisted but no longer used anywhere is itself a violation.
+pub fn lint_crate(crate_root: &Path) -> std::io::Result<TreeReport> {
+    let allow_path = crate_root.join("relaxed-allowlist.txt");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => BTreeSet::new(),
+    };
+    let config = Config::workspace(allow.clone());
+
+    let mut files = Vec::new();
+    collect_rs(&crate_root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut report = TreeReport::default();
+    let mut used = BTreeSet::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path)?;
+        let label = path.display().to_string();
+        let fr = rules::lint_source(&label, &src, &config);
+        report.violations.extend(fr.violations);
+        used.extend(fr.used_relaxed_tags);
+        report.files += 1;
+    }
+    for stale in allow.difference(&used) {
+        report.violations.push(Violation {
+            file: allow_path.display().to_string(),
+            line: 0,
+            rule: Rule::RelaxedOrdering,
+            msg: format!("allowlisted tag `{stale}` is no longer used by any source file"),
+        });
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::lint_source;
+
+    fn cfg_with(tags: &[&str]) -> Config {
+        Config::workspace(tags.iter().map(|t| t.to_string()).collect())
+    }
+
+    fn rules_hit(report: &FileReport) -> Vec<Rule> {
+        report.violations.iter().map(|v| v.rule).collect()
+    }
+
+    // ---- R1: sync imports --------------------------------------------
+
+    #[test]
+    fn r1_flags_direct_std_sync_import() {
+        let r = lint_source(
+            "src/foo.rs",
+            "use std::sync::Mutex;\nfn f() {}\n",
+            &cfg_with(&[]),
+        );
+        assert_eq!(rules_hit(&r), vec![Rule::SyncImport]);
+        assert_eq!(r.violations[0].line, 1);
+    }
+
+    #[test]
+    fn r1_flags_parking_lot_and_qualified_loom() {
+        let src = "use parking_lot::RwLock;\nfn f() { loom::model(|| {}); }\n";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert_eq!(rules_hit(&r), vec![Rule::SyncImport, Rule::SyncImport]);
+    }
+
+    #[test]
+    fn r1_exempts_the_shim_and_loom_models() {
+        let src = "use std::sync::Mutex;\nuse loom::sync::Condvar;\n";
+        for file in [
+            "crates/runtime/src/sync.rs",
+            "crates/runtime/src/loom_models.rs",
+        ] {
+            let r = lint_source(file, src, &cfg_with(&[]));
+            assert!(r.violations.is_empty(), "{file} must be exempt");
+        }
+    }
+
+    #[test]
+    fn r1_exempts_cfg_test_modules() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::Barrier;\n}\n";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn r1_ignores_comments_and_strings() {
+        let src = "// std::sync is banned here\nfn f() { g(\"parking_lot\"); }\n";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    // ---- R2: SAFETY comments -----------------------------------------
+
+    #[test]
+    fn r2_flags_unsafe_without_safety_comment() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert_eq!(rules_hit(&r), vec![Rule::SafetyComment]);
+        assert_eq!(r.violations[0].line, 2);
+    }
+
+    #[test]
+    fn r2_accepts_safety_comment_above_or_inline() {
+        let src = "\
+fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid.
+    unsafe { *p }
+}
+// SAFETY: no shared state.
+unsafe impl Send for F {}
+struct F;
+";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn r2_applies_inside_test_modules_too() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(p: *const u8) -> u8 { unsafe { *p } }\n}\n";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert_eq!(rules_hit(&r), vec![Rule::SafetyComment]);
+    }
+
+    #[test]
+    fn r2_ignores_unsafe_in_prose() {
+        let src = "// this API is unsafe to misuse\nfn f() { g(\"unsafe\"); }\n";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    // ---- R3: Relaxed allowlist ---------------------------------------
+
+    #[test]
+    fn r3_flags_unmarked_relaxed() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&["ctr"]));
+        assert_eq!(rules_hit(&r), vec![Rule::RelaxedOrdering]);
+    }
+
+    #[test]
+    fn r3_flags_unknown_tag() {
+        let src = "// relaxed(mystery): trust me\nlet x = c.load(Ordering::Relaxed);\n";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&["ctr"]));
+        assert_eq!(rules_hit(&r), vec![Rule::RelaxedOrdering]);
+        assert!(r.violations[0].msg.contains("mystery"));
+    }
+
+    #[test]
+    fn r3_accepts_allowlisted_tag_and_records_usage() {
+        let src = "\
+fn f(c: &AtomicU64) {
+    // relaxed(ctr): pure counter, atomicity is enough.
+    let _ = c
+        .fetch_add(1, Ordering::Relaxed);
+}
+";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&["ctr"]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.used_relaxed_tags.contains("ctr"));
+    }
+
+    #[test]
+    fn r3_marker_does_not_leak_across_statements() {
+        let src = "\
+// relaxed(ctr): covers only the next statement.
+let a = c.load(Ordering::Relaxed);
+let b = c.load(Ordering::Relaxed);
+";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&["ctr"]));
+        assert_eq!(rules_hit(&r), vec![Rule::RelaxedOrdering]);
+        assert_eq!(r.violations[0].line, 3);
+    }
+
+    #[test]
+    fn r3_skips_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { c.load(Ordering::Relaxed); }\n}\n";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    // ---- R4: lock order ----------------------------------------------
+
+    #[test]
+    fn r4_flags_slot_access_from_wait_graph_code() {
+        let src = "fn bad(&self, m: &M) { let g = m.slot(3).inner.lock(); drop(g); }\n";
+        let r = lint_source("src/deadlock.rs", src, &cfg_with(&[]));
+        assert!(
+            rules_hit(&r).contains(&Rule::LockOrder),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn r4_flags_ad_hoc_stripe_index() {
+        let src = "fn bad(&self) { self.stripes[w as usize % N].0.lock(); }\n";
+        let r = lint_source("src/deadlock.rs", src, &cfg_with(&[]));
+        // Trips both the indexing and the unordered-lock sub-rule.
+        assert!(!r.violations.is_empty());
+        assert!(rules_hit(&r).iter().all(|&x| x == Rule::LockOrder));
+    }
+
+    #[test]
+    fn r4_flags_unordered_multi_stripe_lock() {
+        let src = "fn bad(&self) { let g = self.stripes.last().unwrap().0.lock(); }\n";
+        let r = lint_source("src/deadlock.rs", src, &cfg_with(&[]));
+        assert_eq!(rules_hit(&r), vec![Rule::LockOrder]);
+    }
+
+    #[test]
+    fn r4_accepts_disciplined_stripe_access() {
+        let src = "\
+fn good(&self, w: u64) {
+    self.stripes[stripe_of(w)].0.lock().remove(&w);
+    let all: Vec<_> = self.stripes.iter().map(|s| s.0.lock()).collect();
+    drop(all);
+}
+";
+        let r = lint_source("src/deadlock.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn r4_flags_public_guard_escape_anywhere() {
+        let src = "pub fn guard(&self) -> MutexGuard<'_, State> { self.m.lock() }\n";
+        let r = lint_source("src/object.rs", src, &cfg_with(&[]));
+        assert_eq!(rules_hit(&r), vec![Rule::LockOrder]);
+    }
+
+    // ---- allowlist parsing -------------------------------------------
+
+    #[test]
+    fn allowlist_parses_tags_and_skips_comments() {
+        let tags = parse_allowlist("# header\n\nctr: why\n  other-tag : because\n");
+        assert_eq!(
+            tags.into_iter().collect::<Vec<_>>(),
+            vec!["ctr".to_string(), "other-tag".to_string()]
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! The four lock-discipline rules.
+//!
+//! All rules are line-based best-effort checks over the masked source (see
+//! [`crate::lexer`]): precise enough to catch every realistic violation in
+//! this workspace, simple enough to audit by eye. Each rule documents the
+//! invariant it protects and the escape hatch for legitimate exceptions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::lexer::{mask, test_regions};
+
+/// Which rule a [`Violation`] broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// R1: synchronisation primitives are imported only through the
+    /// `crate::sync` shim — never `std::sync`, `parking_lot`, or `loom`
+    /// directly. The shim is what makes the crate model-checkable: a
+    /// direct import would silently escape loom's schedule exploration.
+    SyncImport,
+    /// R2: every `unsafe` block or impl carries a `// SAFETY:` comment on
+    /// it or immediately above it.
+    SafetyComment,
+    /// R3: `Ordering::Relaxed` appears only next to a
+    /// `// relaxed(<tag>): <justification>` marker whose tag is in the
+    /// crate's `relaxed-allowlist.txt`.
+    RelaxedOrdering,
+    /// R4: the documented lock order — object-slot mutex ≺ wait-graph
+    /// stripes, stripes in index order — is never inverted: wait-graph
+    /// code (which holds stripe locks) must not reach into object slots,
+    /// single-stripe access goes through `stripe_of(`, and whole-graph
+    /// acquisition walks the stripes in index order via `.iter()`.
+    LockOrder,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::SyncImport => "R1/sync-import",
+            Rule::SafetyComment => "R2/safety-comment",
+            Rule::RelaxedOrdering => "R3/relaxed-ordering",
+            Rule::LockOrder => "R4/lock-order",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One finding: file, 1-based line, rule, and a human message.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// File the violation is in (as labelled by the caller).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule broken.
+    pub rule: Rule,
+    /// What is wrong and how to fix it.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Lint configuration: exemptions and the Relaxed tag allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// File-name suffixes exempt from R1 (the shim itself, and the loom
+    /// models that must name `loom::` APIs).
+    pub sync_exempt: Vec<String>,
+    /// Tags allowed in `// relaxed(tag):` markers.
+    pub relaxed_tags: BTreeSet<String>,
+}
+
+impl Config {
+    /// The workspace's standard configuration, with the given allowlist.
+    pub fn workspace(relaxed_tags: BTreeSet<String>) -> Config {
+        Config {
+            sync_exempt: vec!["src/sync.rs".into(), "src/loom_models.rs".into()],
+            relaxed_tags,
+        }
+    }
+}
+
+/// Result of linting one file: findings plus the relaxed tags it used
+/// (for allowlist staleness checks across the tree).
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// All violations found, in line order.
+    pub violations: Vec<Violation>,
+    /// Every allowlisted tag referenced by a `// relaxed(tag):` marker.
+    pub used_relaxed_tags: BTreeSet<String>,
+}
+
+/// True if `line` contains `word` bounded by non-identifier characters.
+fn has_token(line: &str, word: &str) -> bool {
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || !(b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_');
+        let right_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Extract the tag of a `relaxed(<tag>)` marker on `raw`, if any.
+fn relaxed_marker(raw: &str) -> Option<&str> {
+    let at = raw.find("relaxed(")?;
+    let rest = &raw[at + "relaxed(".len()..];
+    let close = rest.find(')')?;
+    Some(rest[..close].trim())
+}
+
+/// How far up a marker/SAFETY comment search walks before giving up.
+const LOOKBACK: usize = 8;
+
+/// Search `raw_lines[line]` and the preceding lines of the same statement
+/// (stopping at `;`, `{`, or `}` in masked code) for `pred`.
+fn find_upward<'a, T>(
+    raw_lines: &'a [&str],
+    masked_lines: &[&str],
+    line: usize,
+    pred: impl Fn(&'a str) -> Option<T>,
+) -> Option<T> {
+    if let Some(t) = pred(raw_lines[line]) {
+        return Some(t);
+    }
+    for back in 1..=LOOKBACK.min(line) {
+        let i = line - back;
+        if let Some(t) = pred(raw_lines[i]) {
+            return Some(t);
+        }
+        // A statement/item boundary ends the search — but only after the
+        // line itself was checked (markers may trail the boundary line).
+        if masked_lines[i].contains([';', '{', '}']) {
+            break;
+        }
+    }
+    None
+}
+
+fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+/// Lint one file's source text. `file` is the label used in findings and
+/// for per-file rules (R1 exemptions match on suffix; R4 applies to
+/// `deadlock.rs`).
+pub fn lint_source(file: &str, src: &str, config: &Config) -> FileReport {
+    let masked = mask(src);
+    let tests = test_regions(&masked);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let mut report = FileReport::default();
+
+    let sync_exempt = config
+        .sync_exempt
+        .iter()
+        .any(|s| file.ends_with(s.as_str()));
+    let is_wait_graph = file.ends_with("deadlock.rs");
+
+    for (i, code) in masked_lines.iter().enumerate() {
+        let in_test = in_regions(&tests, i);
+
+        // R1: imports and qualified paths outside the shim.
+        if !sync_exempt && !in_test {
+            for needle in ["std::sync", "parking_lot", "loom::"] {
+                if code.contains(needle) {
+                    report.violations.push(Violation {
+                        file: file.into(),
+                        line: i + 1,
+                        rule: Rule::SyncImport,
+                        msg: format!(
+                            "`{needle}` referenced directly; import synchronisation \
+                             primitives through `crate::sync` so loom builds stay exhaustive"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // R2: unsafe needs SAFETY. Applies everywhere, tests included —
+        // test unsafe is no safer.
+        if has_token(code, "unsafe")
+            && find_upward(&raw_lines, &masked_lines, i, |raw| {
+                raw.contains("SAFETY:").then_some(())
+            })
+            .is_none()
+        {
+            report.violations.push(Violation {
+                file: file.into(),
+                line: i + 1,
+                rule: Rule::SafetyComment,
+                msg: "`unsafe` without a `// SAFETY:` comment on or above it".into(),
+            });
+        }
+
+        // R3: Relaxed needs an allowlisted marker (production code only;
+        // test-module atomics are not part of the audited surface).
+        if !in_test && has_token(code, "Relaxed") {
+            match find_upward(&raw_lines, &masked_lines, i, relaxed_marker) {
+                None => report.violations.push(Violation {
+                    file: file.into(),
+                    line: i + 1,
+                    rule: Rule::RelaxedOrdering,
+                    msg: "`Ordering::Relaxed` without a `// relaxed(tag): justification` \
+                          marker; use an allowlisted tag or a stronger ordering"
+                        .into(),
+                }),
+                Some(tag) if !config.relaxed_tags.contains(tag) => {
+                    report.violations.push(Violation {
+                        file: file.into(),
+                        line: i + 1,
+                        rule: Rule::RelaxedOrdering,
+                        msg: format!("relaxed tag `{tag}` is not in relaxed-allowlist.txt"),
+                    });
+                }
+                Some(tag) => {
+                    report.used_relaxed_tags.insert(tag.to_string());
+                }
+            }
+        }
+
+        // R4: lock-order discipline.
+        if is_wait_graph {
+            for needle in [".inner.lock()", "slot(", "objects.get("] {
+                if code.contains(needle) {
+                    report.violations.push(Violation {
+                        file: file.into(),
+                        line: i + 1,
+                        rule: Rule::LockOrder,
+                        msg: format!(
+                            "wait-graph code must not touch object slots (`{needle}`): \
+                             stripe locks are acquired after slot mutexes, never before"
+                        ),
+                    });
+                }
+            }
+            if code.contains("stripes[") && !code.contains("stripe_of(") {
+                report.violations.push(Violation {
+                    file: file.into(),
+                    line: i + 1,
+                    rule: Rule::LockOrder,
+                    msg: "stripe indexing must go through `stripe_of(` — ad-hoc indices \
+                          break the single-stripe locking contract"
+                        .into(),
+                });
+            }
+            if code.contains(".lock()")
+                && code.contains("stripes")
+                && !code.contains("stripe_of(")
+                && !code.contains(".iter()")
+            {
+                report.violations.push(Violation {
+                    file: file.into(),
+                    line: i + 1,
+                    rule: Rule::LockOrder,
+                    msg: "multi-stripe acquisition must walk `stripes.iter()` (index \
+                          order) — any other order can deadlock against a detector"
+                        .into(),
+                });
+            }
+        }
+
+        // R4 (all files): lock guards must not escape through public
+        // signatures — a caller holding a guard is outside the discipline.
+        if !in_test && code.contains("pub fn") && code.contains("->") && code.contains("MutexGuard")
+        {
+            report.violations.push(Violation {
+                file: file.into(),
+                line: i + 1,
+                rule: Rule::LockOrder,
+                msg: "public function returns a `MutexGuard`; guards must stay inside \
+                      the module that owns the lock order"
+                    .into(),
+            });
+        }
+    }
+    report
+}

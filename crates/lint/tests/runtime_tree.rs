@@ -1,0 +1,44 @@
+//! The lint's reason for existing: `cargo test -p ntx-lint` checks the
+//! real `crates/runtime` sources against the lock discipline. CI runs it
+//! as a required job; a direct `std::sync` import, a bare `unsafe`, an
+//! unmarked `Relaxed`, or a lock-order inversion fails the build here.
+
+use std::path::Path;
+
+#[test]
+fn runtime_tree_is_clean() {
+    let runtime = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates/")
+        .join("runtime");
+    let report = ntx_lint::lint_crate(&runtime).expect("read runtime sources");
+    assert!(
+        report.files >= 10,
+        "expected to lint the whole runtime crate"
+    );
+    assert!(report.violations.is_empty(), "\n{report}");
+}
+
+#[test]
+fn runtime_allowlist_tags_are_all_in_use() {
+    // Covered by `runtime_tree_is_clean` (stale tags are violations), but
+    // asserted separately so a staleness regression names itself.
+    let runtime = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates/")
+        .join("runtime");
+    let allow = std::fs::read_to_string(runtime.join("relaxed-allowlist.txt"))
+        .expect("crates/runtime/relaxed-allowlist.txt");
+    let tags = ntx_lint::parse_allowlist(&allow);
+    assert!(
+        !tags.is_empty(),
+        "allowlist should document the audited sites"
+    );
+    let report = ntx_lint::lint_crate(&runtime).expect("read runtime sources");
+    for v in &report.violations {
+        assert!(
+            !v.msg.contains("no longer used"),
+            "stale allowlist entry: {v}"
+        );
+    }
+}

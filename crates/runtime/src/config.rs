@@ -1,6 +1,6 @@
 //! Runtime configuration.
 
-use std::sync::Arc;
+use crate::sync::Arc;
 use std::time::Duration;
 
 use crate::fault::FaultInjector;

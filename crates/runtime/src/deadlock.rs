@@ -18,7 +18,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use parking_lot::{Mutex, MutexGuard};
+use crate::sync::{Mutex, MutexGuard};
 
 use crate::shard::CachePadded;
 

@@ -57,6 +57,8 @@ mod config;
 mod deadlock;
 mod error;
 mod fault;
+#[cfg(all(loom, test))]
+mod loom_models;
 mod manager;
 mod node;
 mod object;
@@ -64,6 +66,7 @@ mod savepoint;
 mod shard;
 mod slab;
 mod stats;
+mod sync;
 mod trace;
 mod tx;
 

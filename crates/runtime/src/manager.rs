@@ -20,9 +20,9 @@
 //! membership: one checked publish per enqueue, shrink-only refreshes as
 //! the queue moves (instead of one publish per retry).
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Arc;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
 
 use crate::config::{DeadlockPolicy, LockMode, RtConfig};
@@ -40,7 +40,13 @@ use crate::tx::Tx;
 /// parking. Direct handoff under short hold times often lands within this
 /// window, saving the park/unpark round trip; kept small because a waiting
 /// thread that spins long only steals cycles from the holder it waits on.
+#[cfg(not(loom))]
 const SPIN_ITERS: u32 = 64;
+/// Under loom every spin iteration is a schedule yield point; a single
+/// iteration keeps the state space tractable while still exercising the
+/// spin-then-park path.
+#[cfg(loom)]
+const SPIN_ITERS: u32 = 1;
 
 /// Typed handle to a registered object.
 ///
@@ -111,6 +117,8 @@ impl TxManager {
 
     /// Begin a top-level transaction.
     pub fn begin(&self) -> Tx {
+        // relaxed(tx-id): id allocation only needs uniqueness, which the
+        // atomic RMW provides; ids carry no ordering obligations.
         let id = self.inner.next_tx_id.fetch_add(1, Ordering::Relaxed);
         self.inner.stats.bump(Ctr::Begun);
         self.inner.trace(RtEvent::Begin {
@@ -390,7 +398,10 @@ impl ManagerInner {
     ///    set actually changed, and without re-running detection (the
     ///    refreshed set only ever shrinks relative to the enqueue-time
     ///    checked set; see [`WaitForGraph::set_edges`]).
-    fn release_scan(&self, obj_idx: usize, inner: &mut ObjectInner) -> Vec<Arc<Waiter>> {
+    ///
+    /// `pub(crate)` so the loom models can race spurious rescans against
+    /// the real release/apply paths.
+    pub(crate) fn release_scan(&self, obj_idx: usize, inner: &mut ObjectInner) -> Vec<Arc<Waiter>> {
         let mut wake: Vec<Arc<Waiter>> = Vec::new();
         let mut i = 0;
         while i < inner.queue.len() {
@@ -434,6 +445,72 @@ impl ManagerInner {
             }
         }
         wake
+    }
+
+    /// Phase 2 of [`Self::access`]: create `node`'s waiter, insert it in
+    /// policy order (age order under wound–wait — oldest top first, so
+    /// queue-position waits also point young→old; plain FIFO otherwise),
+    /// and register the node's `waiting_on` entry. Callers hold the slot
+    /// mutex for `obj_idx`. Exposed `pub(crate)` so the loom models race
+    /// the real enqueue path, not a copy.
+    pub(crate) fn enqueue_waiter(
+        &self,
+        inner: &mut ObjectInner,
+        node: &Arc<TxNode>,
+        owner: &Arc<TxNode>,
+        obj_idx: usize,
+        lock_write: bool,
+    ) -> Arc<Waiter> {
+        let w = Waiter::new(node.clone(), owner.clone(), lock_write);
+        if self.config.deadlock == DeadlockPolicy::WoundWait {
+            let my_top = owner.top_level_id();
+            let pos = inner
+                .queue
+                .iter()
+                .position(|q| q.owner.top_level_id() > my_top)
+                .unwrap_or(inner.queue.len());
+            inner.queue.insert(pos, w.clone());
+        } else {
+            inner.queue.push_back(w.clone());
+        }
+        *node.waiting_on.lock() = Some(obj_idx);
+        w
+    }
+
+    /// Phase 5 of [`Self::access`]: a timed-out wait withdraws its queue
+    /// node under the slot mutex — unless a grant or doom raced the wakeup
+    /// and won the `state` CAS first, in which case nothing is withdrawn
+    /// and the caller classifies the waiter's (now final) state. Returns
+    /// `true` when the waiter was withdrawn (the request fails with
+    /// [`TxError::Timeout`]). Exposed `pub(crate)` so the loom models race
+    /// the real withdrawal against a concurrent releaser's grant.
+    pub(crate) fn timeout_withdraw(
+        &self,
+        obj_idx: usize,
+        w: &Arc<Waiter>,
+        node: &Arc<TxNode>,
+        owner: &Arc<TxNode>,
+    ) -> bool {
+        let slot = self.slot(obj_idx);
+        let mut guard = slot.inner.lock();
+        if w.state() != W_WAITING {
+            return false;
+        }
+        let cancelled = w.cancel();
+        debug_assert!(cancelled, "state is slot-mutex-protected");
+        guard.remove_waiter(w);
+        *node.waiting_on.lock() = None;
+        if self.config.deadlock == DeadlockPolicy::DieOnCycle && !w.edges.lock().is_empty() {
+            self.wait_graph.clear(owner.top_level_id());
+        }
+        self.stats.bump(Ctr::CancelledWaiters);
+        let wake = self.release_scan(obj_idx, &mut guard);
+        drop(guard);
+        for x in wake {
+            x.wake();
+        }
+        self.stats.bump(Ctr::Timeouts);
+        true
     }
 
     /// Acquire a lock on `obj_idx` for `node` and run `f` on the state
@@ -533,22 +610,8 @@ impl ManagerInner {
             }
             break;
         }
-        // Phase 2 — enqueue a waiter node. Wound–wait inserts in age order
-        // (oldest top first) so queue-position waits also point young→old;
-        // the other policies are plain FIFO.
-        let w = Waiter::new(node.clone(), owner.clone(), lock_write);
-        if self.config.deadlock == DeadlockPolicy::WoundWait {
-            let my_top = owner.top_level_id();
-            let pos = guard
-                .queue
-                .iter()
-                .position(|q| q.owner.top_level_id() > my_top)
-                .unwrap_or(guard.queue.len());
-            guard.queue.insert(pos, w.clone());
-        } else {
-            guard.queue.push_back(w.clone());
-        }
-        *node.waiting_on.lock() = Some(obj_idx);
+        // Phase 2 — enqueue a waiter node.
+        let w = self.enqueue_waiter(&mut guard, node, &owner, obj_idx, lock_write);
         // Self-scan under the same mutex hold: delivers a doom that raced
         // the enqueue (the aborter either saw our waiting_on registration
         // or we see its abort mark here — the slot mutex serialises the
@@ -646,7 +709,7 @@ impl ManagerInner {
         let mut st = w.state();
         if st == W_WAITING {
             for _ in 0..SPIN_ITERS {
-                std::hint::spin_loop();
+                crate::sync::hint::spin_loop();
                 st = w.state();
                 if st != W_WAITING {
                     break;
@@ -661,26 +724,9 @@ impl ManagerInner {
         // Phase 5 — classify. A timed-out wait withdraws its queue node in
         // place unless a grant raced the wakeup, in which case take it.
         if st == W_WAITING {
-            let mut guard = slot.inner.lock();
-            if w.state() == W_WAITING {
-                let cancelled = w.cancel();
-                debug_assert!(cancelled, "state is slot-mutex-protected");
-                guard.remove_waiter(&w);
-                *node.waiting_on.lock() = None;
-                if self.config.deadlock == DeadlockPolicy::DieOnCycle && !w.edges.lock().is_empty()
-                {
-                    self.wait_graph.clear(owner.top_level_id());
-                }
-                self.stats.bump(Ctr::CancelledWaiters);
-                let wake = self.release_scan(obj_idx, &mut guard);
-                drop(guard);
-                for x in wake {
-                    x.wake();
-                }
-                self.stats.bump(Ctr::Timeouts);
+            if self.timeout_withdraw(obj_idx, &w, node, &owner) {
                 return Err(TxError::Timeout);
             }
-            drop(guard);
             st = w.state();
         }
         if st == W_CANCELLED {
@@ -835,6 +881,23 @@ impl ManagerInner {
             let slot = self.slot(obj);
             let wake = {
                 let mut guard = slot.inner.lock();
+                // Discard here too, not just on touched objects: a release
+                // scan that passed its doom check before our abort mark
+                // landed may still hand this subtree a grant (installing a
+                // version and the write latch) after the touched set was
+                // collected above. The waiter registration is older than
+                // any such grant, so this pass runs after it (slot-mutex
+                // order) and reclaims whatever it installed. Found by the
+                // loom model `loom_doomed_waiter_never_granted`.
+                let (versions, readers) = guard.discard_subtree(root);
+                if versions + readers > 0 {
+                    self.trace(RtEvent::Rollback {
+                        tx: root.id,
+                        obj,
+                        versions,
+                        readers,
+                    });
+                }
                 self.release_scan(obj, &mut guard)
             };
             for w in wake {
@@ -929,5 +992,57 @@ mod tests {
         assert_eq!(mgr.queued_waiters(), 0, "cancelled waiter leaked");
         assert!(mgr.stats().cancelled_waiters >= 1);
         holder.commit().unwrap();
+    }
+
+    /// Regression for the leak found by the loom model
+    /// `loom_doomed_waiter_never_granted`: a release scan hands a queued
+    /// writer the lock (installing its version and the write-pending
+    /// latch), but the winning transaction is aborted before its thread
+    /// ever wakes to apply — so `touched` never records the object and the
+    /// abort's touched pass misses it. The waiting-objects pass of
+    /// `abort_subtree` must reclaim the installed state; before the fix it
+    /// only re-scanned, leaving the version and latch wedged forever.
+    #[test]
+    fn abort_reclaims_grant_installed_before_waiter_wakes() {
+        let mgr = TxManager::new(RtConfig {
+            deadlock: DeadlockPolicy::TimeoutOnly,
+            ..Default::default()
+        });
+        let inner = &mgr.inner;
+        let holder = TxNode::top_level(inner.next_tx_id.fetch_add(1, Ordering::Relaxed));
+        let waiter_tx = TxNode::top_level(inner.next_tx_id.fetch_add(1, Ordering::Relaxed));
+        let obj = inner
+            .objects
+            .push(ObjectSlot::new("x".into(), Box::new(0i64)));
+        let w = {
+            let mut g = inner.slot(obj).inner.lock();
+            let _ = g.writable_state(&holder);
+            holder.touch(obj);
+            inner.enqueue_waiter(&mut g, &waiter_tx, &waiter_tx, obj, true)
+        };
+        // The holder aborts: the release scan grants `w` directly,
+        // installing waiter_tx's version and the write-pending latch. No
+        // thread plays the woken waiter, so waiter_tx.touched stays empty —
+        // exactly the window the race exposes.
+        inner.abort_subtree(&holder);
+        assert_eq!(w.state(), W_GRANTED);
+        {
+            let g = inner.slot(obj).inner.lock();
+            assert_eq!(g.write_pending, Some(waiter_tx.id));
+            assert_eq!(g.chain.len(), 1);
+        }
+        // Abort the granted-but-never-applied transaction. Its touched set
+        // is empty; only the waiting-objects pass knows about `obj`.
+        inner.abort_subtree(&waiter_tx);
+        let g = inner.slot(obj).inner.lock();
+        assert!(
+            !g.chain.iter().any(|e| e.owner.id == waiter_tx.id),
+            "aborted transaction still owns a version"
+        );
+        assert!(
+            g.write_pending.is_none(),
+            "write latch wedged by aborted writer"
+        );
+        assert!(g.queue.is_empty());
     }
 }

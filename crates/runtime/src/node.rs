@@ -6,10 +6,10 @@
 //! path, so the ancestor tests at the heart of Moss' locking rule are O(1)
 //! array probes with no global locks.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Weak};
+use crate::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use crate::sync::{Arc, Weak};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 /// Lifecycle states of a runtime transaction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -11,13 +11,13 @@
 //! `ManagerInner::release_scan` in the manager module). The queue is the
 //! single source of truth for "who is waiting" on an object.
 
+use crate::sync::atomic::{AtomicU8, Ordering};
+use crate::sync::Arc;
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 use crate::node::TxNode;
 
@@ -132,7 +132,13 @@ impl Waiter {
             if now >= deadline {
                 break;
             }
-            let _ = self.cv.wait_for(&mut gate, deadline - now);
+            let timed_out = self.cv.wait_for(&mut gate, deadline - now).timed_out();
+            // Under loom, wall clocks barely advance between yield points,
+            // so the `deadline` check above would spin forever; the model's
+            // timed-wait rescue reports the timeout instead — honour it.
+            if cfg!(loom) && timed_out {
+                break;
+            }
         }
         self.state()
     }

@@ -7,8 +7,8 @@
 //! share) and a cheap per-thread stripe index (so a thread keeps hitting
 //! the same stripe instead of bouncing lines between cores).
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Pads and aligns `T` to 128 bytes so adjacent array elements land on
 /// distinct cache lines (128 covers the spatial-prefetcher pair on x86).
@@ -27,6 +27,8 @@ pub(crate) fn thread_index() -> usize {
     INDEX.with(|slot| {
         let mut idx = slot.get();
         if idx == usize::MAX {
+            // relaxed(thread-index): the RMW guarantees distinct indices;
+            // stripe choice is a performance hint with no ordering role.
             idx = NEXT.fetch_add(1, Ordering::Relaxed);
             slot.set(idx);
         }

@@ -10,9 +10,9 @@
 //! is two dependent loads and the returned reference stays valid for the
 //! slab's whole lifetime.
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 /// log2 of the first chunk's capacity.
 const BASE_BITS: u32 = 6;
@@ -39,9 +39,13 @@ pub(crate) struct Slab<T> {
     grow: Mutex<()>,
 }
 
-// The slab hands out `&T` from `&self`; entries are write-once and outlive
-// every reference handed out, so sharing is safe whenever `T` is Sync.
+// SAFETY: the raw chunk pointers bar the auto-impls, but the slab hands out
+// only `&T` from `&self`; entries are write-once, never moved, and outlive
+// every reference handed out, so sending or sharing the slab is safe
+// whenever `T` itself is `Send + Sync`.
 unsafe impl<T: Send + Sync> Send for Slab<T> {}
+// SAFETY: as above — concurrent `get`/`push` are synchronised by the grow
+// mutex and release/acquire publication; no `&mut T` ever escapes.
 unsafe impl<T: Send + Sync> Sync for Slab<T> {}
 
 impl<T> Slab<T> {
@@ -61,6 +65,8 @@ impl<T> Slab<T> {
     /// Append `value`, returning its index.
     pub fn push(&self, value: T) -> usize {
         let _guard = self.grow.lock();
+        // relaxed(slab-len-reserve): only writers store `len`, and every
+        // writer holds the grow mutex here — the lock orders the loads.
         let idx = self.len.load(Ordering::Relaxed);
         let (chunk_idx, offset) = locate(idx);
         assert!(chunk_idx < SPINE, "slab capacity exhausted");
@@ -101,7 +107,7 @@ impl<T> Slab<T> {
                     return unsafe { &*entry };
                 }
             }
-            std::hint::spin_loop();
+            crate::sync::hint::spin_loop();
         }
     }
 }

@@ -7,7 +7,7 @@
 //! (round-robin by [`crate::shard::thread_index`]) and [`Stats::snapshot`]
 //! folds the stripes into totals.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::shard::{thread_index, CachePadded};
@@ -52,6 +52,8 @@ impl Stats {
     /// Add `n` to counter `c` on the calling thread's stripe.
     #[inline]
     pub fn add(&self, c: Ctr, n: u64) {
+        // relaxed(stats-add): pure counter RMW — atomicity alone keeps the
+        // count exact; no other memory is published through it.
         self.stripes[thread_index() % STAT_STRIPES].0.counters[c as usize]
             .fetch_add(n, Ordering::Relaxed);
     }
@@ -64,6 +66,10 @@ impl Stats {
 
     /// Sum of counter `c` across stripes.
     pub fn total(&self, c: Ctr) -> u64 {
+        // relaxed(stats-fold): a statistical snapshot — each stripe's load
+        // is atomic, and callers that need exactness (tests) read at
+        // quiescence, where every increment already happened-before via
+        // thread join.
         self.stripes
             .iter()
             .map(|s| s.0.counters[c as usize].load(Ordering::Relaxed))

@@ -29,11 +29,11 @@
 //! When [`crate::RtConfig::trace`] is `None` every hook is a single branch
 //! on an `Option`; nothing is allocated or locked.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::fault::FaultAction;
 use crate::shard::{thread_index, CachePadded};
@@ -245,6 +245,9 @@ impl TraceRecorder {
     /// point; the buffer append itself only touches the calling thread's
     /// stripe.
     pub fn record(&self, ev: RtEvent) {
+        // relaxed(trace-stamp): `fetch_add` is an atomic RMW, so stamps are
+        // unique and totally ordered even relaxed; the merge in `events()`
+        // sorts by stamp and runs at quiescence.
         let stamp = self.seq.0.fetch_add(1, Ordering::Relaxed);
         self.shards[thread_index() % TRACE_SHARDS]
             .0

@@ -1,7 +1,7 @@
 //! Transaction handles.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 
 use crate::error::TxError;
 use crate::fault::{FaultAction, FaultPoint};
@@ -58,6 +58,8 @@ impl Tx {
     /// Begin a child transaction.
     pub fn child(&self) -> Result<Tx, TxError> {
         self.check_usable()?;
+        // relaxed(tx-id): id allocation only needs uniqueness, which the
+        // atomic RMW provides; ids carry no ordering obligations.
         let id = self.mgr.next_tx_id.fetch_add(1, Ordering::Relaxed);
         self.mgr.stats.bump(Ctr::Begun);
         self.mgr.trace(RtEvent::Begin {

@@ -1,0 +1,7 @@
+//! Model-aware spin hints.
+
+/// Spin-loop hint: a deprioritising yield point, so a model spinning on a
+/// condition lets the thread that will satisfy it make progress.
+pub fn spin_loop() {
+    crate::thread::yield_now();
+}

@@ -1,0 +1,48 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! This workspace builds with no crates.io access, so the real `loom` is
+//! replaced by this self-contained checker. It keeps loom's programming
+//! model — write a closure over `loom::thread` / `loom::sync` primitives,
+//! hand it to [`model`], and every assertion in it is checked under *all*
+//! explored thread interleavings — while simplifying the machinery:
+//!
+//! * **Sequentially consistent exploration.** Every atomic operation is
+//!   executed with `SeqCst` semantics regardless of the `Ordering`
+//!   argument; the checker explores interleavings of operations, not weak
+//!   memory reorderings. Races that require `Relaxed`/`Acquire` weakness to
+//!   manifest are out of scope (run ThreadSanitizer for those); races that
+//!   are wrong under *any* ordering — double grants, lost wakeups, torn
+//!   state machines, use-before-publish on an SC machine — are found
+//!   exhaustively.
+//! * **Real threads, one at a time.** Each execution spawns the model's
+//!   threads as OS threads but gates them through a cooperative scheduler:
+//!   exactly one runs between *yield points* (every atomic op, lock, unlock
+//!   wait, notify, spawn, join, `spin_loop`). The scheduler records each
+//!   decision and backtracks depth-first over the untried alternatives.
+//! * **Bounded preemptions.** Switching away from a thread that could have
+//!   continued counts against a per-execution preemption budget
+//!   ([`Builder::preemption_bound`], default 2, env
+//!   `LOOM_MAX_PREEMPTIONS`). Voluntary switches — blocking, finishing,
+//!   [`thread::yield_now`] — are free. Most concurrency bugs manifest
+//!   within two preemptions (CHESS); the bound keeps exploration finite
+//!   and fast.
+//! * **Deadlock and livelock detection.** If every thread is blocked the
+//!   execution panics with a thread dump — unless a timed
+//!   [`sync::Condvar::wait_for`] waiter exists, in which case it is woken
+//!   with `timed_out() == true` (modelling "the timeout eventually
+//!   fires"). Executions exceeding [`Builder::max_branches`] yield points
+//!   abort as livelocks.
+//!
+//! On a failing execution the checker prints the schedule (which thread ran
+//! at each decision point) before propagating the panic, so a counter-
+//! example can be read off the test output.
+
+#![deny(missing_docs)]
+
+pub mod hint;
+pub mod model;
+pub mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, Builder};

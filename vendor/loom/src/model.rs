@@ -1,0 +1,130 @@
+//! The exploration driver: re-runs a model closure under every schedule
+//! reachable within the preemption bound, depth-first.
+
+use std::panic;
+use std::sync::Arc;
+
+use crate::rt::{self, Choice, Execution};
+
+/// Configures a model-checking run (loom-compatible subset).
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum context switches away from a thread that could have kept
+    /// running, per execution. `None` removes the bound (full DFS — only
+    /// viable for tiny models). Overridable via `LOOM_MAX_PREEMPTIONS`.
+    pub preemption_bound: Option<usize>,
+    /// Yield points allowed per execution before the run is declared a
+    /// livelock.
+    pub max_branches: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        let bound = std::env::var("LOOM_MAX_PREEMPTIONS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(2);
+        Builder {
+            preemption_bound: Some(bound),
+            max_branches: 50_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default preemption bound.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Exhaustively check `f` under this configuration. Panics (with the
+    /// failing schedule on stderr) if any explored execution panics.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let bound = self.preemption_bound.unwrap_or(usize::MAX);
+        let max_branches = self.max_branches;
+        let mut replay: Vec<usize> = Vec::new();
+        let mut executions: u64 = 0;
+        loop {
+            executions += 1;
+            let exec = Arc::new(Execution::new(replay.clone(), bound, max_branches));
+            let exec0 = exec.clone();
+            let f0 = f.clone();
+            let t0 = std::thread::Builder::new()
+                .name("loom-model-0".into())
+                .spawn(move || {
+                    rt::run_thread(&exec0, 0, move || f0(), |_| {});
+                })
+                .expect("spawn model thread");
+            let (choices, panic_payload) = exec.wait_outcome();
+            let _ = t0.join();
+            if let Some(p) = panic_payload {
+                eprintln!(
+                    "loom: model failed on execution {executions}; schedule (thread per step):"
+                );
+                eprintln!("  {}", render_schedule(&choices));
+                panic::resume_unwind(p);
+            }
+            match next_replay(&choices) {
+                Some(r) => replay = r,
+                None => break,
+            }
+        }
+        if std::env::var_os("LOOM_LOG").is_some() {
+            eprintln!("loom: explored {executions} executions");
+        }
+    }
+}
+
+/// Render a schedule as the sequence of thread ids that ran, compressing
+/// runs (`3x t0` = three consecutive steps on thread 0).
+fn render_schedule(choices: &[Choice]) -> String {
+    let mut out = String::new();
+    let mut run: Option<(usize, usize)> = None;
+    let flush = |run: &mut Option<(usize, usize)>, out: &mut String| {
+        if let Some((t, n)) = run.take() {
+            if !out.is_empty() {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{n}x t{t}"));
+        }
+    };
+    for c in choices {
+        let t = c.eligible[c.picked];
+        match run {
+            Some((rt, n)) if rt == t => run = Some((rt, n + 1)),
+            _ => {
+                flush(&mut run, &mut out);
+                run = Some((t, 1));
+            }
+        }
+    }
+    flush(&mut run, &mut out);
+    out
+}
+
+/// The deepest not-yet-exhausted decision, advanced by one; `None` when
+/// the whole tree has been explored.
+fn next_replay(choices: &[Choice]) -> Option<Vec<usize>> {
+    let mut i = choices.len();
+    while i > 0 {
+        i -= 1;
+        if choices[i].picked + 1 < choices[i].eligible.len() {
+            let mut r: Vec<usize> = choices[..i].iter().map(|c| c.picked).collect();
+            r.push(choices[i].picked + 1);
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// Exhaustively check `f` under the default [`Builder`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

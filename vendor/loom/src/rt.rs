@@ -1,0 +1,552 @@
+//! The cooperative scheduler: one execution = one schedule of the model's
+//! threads; the driver in [`crate::model`] re-runs the model until every
+//! schedule reachable within the preemption bound has been explored.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (another thread panicked, or the scheduler detected a deadlock).
+pub(crate) struct AbortExecution;
+
+/// Global resource-id allocator (mutex/condvar identity). Ids are unique
+/// for the process lifetime, so model objects recreated across executions
+/// never collide.
+static NEXT_RESOURCE_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// Allocate a fresh resource id (see [`NEXT_RESOURCE_ID`]).
+pub(crate) fn fresh_resource_id() -> usize {
+    NEXT_RESOURCE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Install the executing thread's scheduler registration.
+pub(crate) fn set_current(exec: Arc<Execution>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+/// The calling OS thread's execution handle, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Run `f` at a scheduler yield point if inside a model; plain call
+/// otherwise (loom types used outside [`crate::model`] degrade to direct,
+/// unexplored execution).
+pub(crate) fn branch() {
+    if let Some((exec, tid)) = current() {
+        exec.yield_point(tid);
+    }
+}
+
+/// What a logical thread is currently able to do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    /// Can run now.
+    Runnable,
+    /// Asked not to run until no runnable thread remains
+    /// ([`crate::thread::yield_now`] / [`crate::hint::spin_loop`]).
+    Yielded,
+    /// Waiting for the mutex with this resource id.
+    BlockedMutex(usize),
+    /// Waiting on the condvar with this resource id.
+    BlockedCondvar(usize),
+    /// Waiting for the thread with this index to finish.
+    BlockedJoin(usize),
+    /// Done; never scheduled again.
+    Finished,
+}
+
+struct Th {
+    status: Status,
+    /// The in-progress condvar wait is a `wait_for` (rescue-eligible).
+    timed: bool,
+    /// The rescue mechanism ended the thread's timed wait.
+    timed_out: bool,
+}
+
+impl Th {
+    fn new() -> Th {
+        Th {
+            status: Status::Runnable,
+            timed: false,
+            timed_out: false,
+        }
+    }
+}
+
+/// One scheduling decision: which of the eligible threads ran.
+pub(crate) struct Choice {
+    /// Thread ids that could have been picked, in exploration order.
+    pub eligible: Vec<usize>,
+    /// Index into `eligible` actually picked this execution.
+    pub picked: usize,
+}
+
+#[derive(Default)]
+struct MutexState {
+    held_by: Option<usize>,
+}
+
+struct Sched {
+    threads: Vec<Th>,
+    active: usize,
+    choices: Vec<Choice>,
+    replay: Vec<usize>,
+    preemptions: usize,
+    bound: usize,
+    branches: u64,
+    max_branches: u64,
+    mutexes: HashMap<usize, MutexState>,
+    aborting: bool,
+    panic: Option<Box<dyn Any + Send>>,
+    done: bool,
+}
+
+/// Shared state of one model execution (one schedule being run).
+pub(crate) struct Execution {
+    sched: StdMutex<Sched>,
+    cv: StdCondvar,
+}
+
+impl Execution {
+    pub(crate) fn new(replay: Vec<usize>, bound: usize, max_branches: u64) -> Execution {
+        Execution {
+            sched: StdMutex::new(Sched {
+                threads: vec![Th::new()],
+                active: 0,
+                choices: Vec::new(),
+                replay,
+                preemptions: 0,
+                bound,
+                branches: 0,
+                max_branches,
+                mutexes: HashMap::new(),
+                aborting: false,
+                panic: None,
+                done: false,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> StdGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Park the calling model thread until it is the active one. Panics
+    /// with [`AbortExecution`] if the execution is being torn down.
+    fn park_until_active<'a>(
+        &'a self,
+        mut g: StdGuard<'a, Sched>,
+        tid: usize,
+    ) -> StdGuard<'a, Sched> {
+        while g.active != tid {
+            if g.aborting {
+                drop(g);
+                panic::panic_any(AbortExecution);
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.aborting {
+            drop(g);
+            panic::panic_any(AbortExecution);
+        }
+        g
+    }
+
+    /// Pick the next thread to run. `cur` is the thread giving up control
+    /// (it may itself be eligible). Returns the picked tid, or `None` when
+    /// the execution is complete (every thread finished).
+    fn pick_next(&self, g: &mut StdGuard<'_, Sched>, cur: usize) -> Option<usize> {
+        g.branches += 1;
+        if g.branches > g.max_branches {
+            self.abort_with(g, format!("livelock: exceeded {} branches", g.max_branches));
+            return None;
+        }
+        let mut runnable: Vec<usize> = Vec::new();
+        let mut yielded: Vec<usize> = Vec::new();
+        for (i, t) in g.threads.iter().enumerate() {
+            match t.status {
+                Status::Runnable => runnable.push(i),
+                Status::Yielded => yielded.push(i),
+                _ => {}
+            }
+        }
+        let mut eligible = if runnable.is_empty() {
+            yielded
+        } else {
+            runnable
+        };
+        if eligible.is_empty() {
+            // Everything is blocked. Wake the lowest-tid timed condvar
+            // waiter as "timed out" — a real clock would eventually fire
+            // its deadline — and schedule only it (forced, no branching).
+            let rescue = g.threads.iter().position(|t| {
+                matches!(t.status, Status::BlockedCondvar(_)) && t.timed && !t.timed_out
+            });
+            match rescue {
+                Some(t) => {
+                    g.threads[t].status = Status::Runnable;
+                    g.threads[t].timed_out = true;
+                    eligible = vec![t];
+                }
+                None => {
+                    if g.threads.iter().all(|t| t.status == Status::Finished) {
+                        g.done = true;
+                        self.cv.notify_all();
+                        return None;
+                    }
+                    let dump: Vec<String> = g
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| format!("thread {i}: {:?}", t.status))
+                        .collect();
+                    self.abort_with(g, format!("deadlock detected:\n  {}", dump.join("\n  ")));
+                    return None;
+                }
+            }
+        }
+        let cur_runnable = g.threads.get(cur).map(|t| t.status) == Some(Status::Runnable);
+        if cur_runnable && g.preemptions >= g.bound {
+            // Budget exhausted: the current thread must keep running.
+            eligible = vec![cur];
+        } else if let Some(pos) = eligible.iter().position(|&t| t == cur) {
+            // Explore "keep running" first; alternatives are preemptions.
+            eligible.swap(0, pos);
+        }
+        let depth = g.choices.len();
+        let picked_idx = if depth < g.replay.len() {
+            let idx = g.replay[depth];
+            assert!(
+                idx < eligible.len(),
+                "replay diverged: choice {depth} wants index {idx} of {eligible:?}"
+            );
+            idx
+        } else {
+            0
+        };
+        let next = eligible[picked_idx];
+        g.choices.push(Choice {
+            eligible,
+            picked: picked_idx,
+        });
+        if cur_runnable && next != cur {
+            g.preemptions += 1;
+        }
+        if g.threads[next].status == Status::Yielded {
+            g.threads[next].status = Status::Runnable;
+        }
+        g.active = next;
+        self.cv.notify_all();
+        Some(next)
+    }
+
+    fn abort_with(&self, g: &mut StdGuard<'_, Sched>, msg: String) {
+        if g.panic.is_none() {
+            g.panic = Some(Box::new(msg));
+        }
+        g.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// A plain yield point: offer the scheduler a chance to run another
+    /// thread, then continue when re-picked.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut g = self.lock();
+        if g.aborting {
+            drop(g);
+            panic::panic_any(AbortExecution);
+        }
+        match self.pick_next(&mut g, tid) {
+            Some(next) if next == tid => {}
+            Some(_) => {
+                let _g = self.park_until_active(g, tid);
+            }
+            None => {
+                drop(g);
+                panic::panic_any(AbortExecution);
+            }
+        }
+    }
+
+    /// Yield point that deprioritises the caller
+    /// ([`crate::thread::yield_now`] / spin hints).
+    pub(crate) fn yield_deprioritised(&self, tid: usize) {
+        let mut g = self.lock();
+        if g.aborting {
+            drop(g);
+            panic::panic_any(AbortExecution);
+        }
+        g.threads[tid].status = Status::Yielded;
+        match self.pick_next(&mut g, tid) {
+            Some(next) if next == tid => {
+                g.threads[tid].status = Status::Runnable;
+            }
+            Some(_) => {
+                let _g = self.park_until_active(g, tid);
+            }
+            None => {
+                drop(g);
+                panic::panic_any(AbortExecution);
+            }
+        }
+    }
+
+    /// Block `tid` with `status`, schedule others, and return once `tid`
+    /// has been made runnable and re-picked.
+    fn block_and_wait(&self, tid: usize, status: Status) {
+        let mut g = self.lock();
+        if g.aborting {
+            drop(g);
+            panic::panic_any(AbortExecution);
+        }
+        g.threads[tid].status = status;
+        match self.pick_next(&mut g, tid) {
+            Some(next) if next == tid => {}
+            Some(_) => {
+                let _g = self.park_until_active(g, tid);
+            }
+            None => {
+                drop(g);
+                panic::panic_any(AbortExecution);
+            }
+        }
+    }
+
+    /// Acquire the model mutex `mid` for `tid`, blocking (logically) while
+    /// it is held. The acquire attempt itself is a yield point.
+    pub(crate) fn mutex_acquire(&self, mid: usize, tid: usize) {
+        self.yield_point(tid);
+        loop {
+            {
+                let mut g = self.lock();
+                if g.aborting {
+                    drop(g);
+                    panic::panic_any(AbortExecution);
+                }
+                let m = g.mutexes.entry(mid).or_default();
+                if m.held_by.is_none() {
+                    m.held_by = Some(tid);
+                    return;
+                }
+                assert_ne!(m.held_by, Some(tid), "model mutex is not reentrant");
+            }
+            self.block_and_wait(tid, Status::BlockedMutex(mid));
+        }
+    }
+
+    /// Try to acquire `mid` without blocking.
+    pub(crate) fn mutex_try_acquire(&self, mid: usize, tid: usize) -> bool {
+        self.yield_point(tid);
+        let mut g = self.lock();
+        let m = g.mutexes.entry(mid).or_default();
+        if m.held_by.is_none() {
+            m.held_by = Some(tid);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release `mid`; every thread blocked on it becomes runnable (they
+    /// re-race for the lock when scheduled).
+    pub(crate) fn mutex_release(&self, mid: usize) {
+        let mut g = self.lock();
+        if let Some(m) = g.mutexes.get_mut(&mid) {
+            m.held_by = None;
+        }
+        for t in g.threads.iter_mut() {
+            if t.status == Status::BlockedMutex(mid) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Atomically release `mid` and wait on condvar `cvid`; reacquires
+    /// `mid` before returning. Returns `true` when the wait ended via the
+    /// timed-wait rescue rather than a notify.
+    pub(crate) fn condvar_wait(&self, cvid: usize, mid: usize, tid: usize, timed: bool) -> bool {
+        {
+            let mut g = self.lock();
+            if g.aborting {
+                drop(g);
+                panic::panic_any(AbortExecution);
+            }
+            if let Some(m) = g.mutexes.get_mut(&mid) {
+                m.held_by = None;
+            }
+            for t in g.threads.iter_mut() {
+                if t.status == Status::BlockedMutex(mid) {
+                    t.status = Status::Runnable;
+                }
+            }
+            g.threads[tid].timed = timed;
+            g.threads[tid].timed_out = false;
+        }
+        self.block_and_wait(tid, Status::BlockedCondvar(cvid));
+        let timed_out = {
+            let mut g = self.lock();
+            g.threads[tid].timed = false;
+            g.threads[tid].timed_out
+        };
+        // Reacquire the mutex (without the extra leading yield point — the
+        // wakeup scheduling decision already provided one).
+        loop {
+            {
+                let mut g = self.lock();
+                if g.aborting {
+                    drop(g);
+                    panic::panic_any(AbortExecution);
+                }
+                let m = g.mutexes.entry(mid).or_default();
+                if m.held_by.is_none() {
+                    m.held_by = Some(tid);
+                    break;
+                }
+            }
+            self.block_and_wait(tid, Status::BlockedMutex(mid));
+        }
+        timed_out
+    }
+
+    /// Wake the lowest-tid waiter blocked on condvar `cvid`, if any.
+    pub(crate) fn notify_one(&self, cvid: usize, tid: usize) {
+        self.yield_point(tid);
+        let mut g = self.lock();
+        if let Some(t) = g
+            .threads
+            .iter_mut()
+            .find(|t| t.status == Status::BlockedCondvar(cvid))
+        {
+            t.status = Status::Runnable;
+        }
+    }
+
+    /// Wake every waiter blocked on condvar `cvid`.
+    pub(crate) fn notify_all(&self, cvid: usize, tid: usize) {
+        self.yield_point(tid);
+        let mut g = self.lock();
+        for t in g.threads.iter_mut() {
+            if t.status == Status::BlockedCondvar(cvid) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Register a new logical thread; returns its tid.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut g = self.lock();
+        g.threads.push(Th::new());
+        g.threads.len() - 1
+    }
+
+    /// Park a freshly spawned OS thread until the scheduler first picks it.
+    pub(crate) fn wait_first_schedule(&self, tid: usize) {
+        let g = self.lock();
+        let _g = self.park_until_active(g, tid);
+    }
+
+    /// Block `tid` until thread `target` finishes.
+    pub(crate) fn join_wait(&self, target: usize, tid: usize) {
+        self.yield_point(tid);
+        loop {
+            {
+                let g = self.lock();
+                if g.aborting {
+                    drop(g);
+                    panic::panic_any(AbortExecution);
+                }
+                if g.threads[target].status == Status::Finished {
+                    return;
+                }
+            }
+            self.block_and_wait(tid, Status::BlockedJoin(target));
+        }
+    }
+
+    /// Mark `tid` finished (normally or with a user panic) and schedule a
+    /// successor. Called by the thread's own wrapper as its last act.
+    pub(crate) fn finish_thread(&self, tid: usize, panic_payload: Option<Box<dyn Any + Send>>) {
+        let mut g = self.lock();
+        g.threads[tid].status = Status::Finished;
+        for t in g.threads.iter_mut() {
+            if t.status == Status::BlockedJoin(tid) {
+                t.status = Status::Runnable;
+            }
+        }
+        if let Some(p) = panic_payload {
+            if g.panic.is_none() {
+                g.panic = Some(p);
+            }
+            g.aborting = true;
+            self.cv.notify_all();
+            return;
+        }
+        if g.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        let _ = self.pick_next(&mut g, tid);
+    }
+
+    /// Driver side: block until the execution completes or aborts. Returns
+    /// the recorded schedule and the panic payload, if any.
+    pub(crate) fn wait_outcome(&self) -> (Vec<Choice>, Option<Box<dyn Any + Send>>) {
+        let mut g = self.lock();
+        while !g.done && g.panic.is_none() {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        let panic_payload = g.panic.take();
+        if panic_payload.is_some() {
+            // Wake blocked threads so their OS threads unwind and exit.
+            g.aborting = true;
+            for t in g.threads.iter_mut() {
+                if !matches!(t.status, Status::Finished) {
+                    t.status = Status::Runnable;
+                }
+            }
+            self.cv.notify_all();
+        }
+        let choices = std::mem::take(&mut g.choices);
+        (choices, panic_payload)
+    }
+}
+
+/// Run a model closure as logical thread `tid` of `exec`, converting
+/// panics into execution aborts. `publish` receives the closure's outcome
+/// *before* the thread is marked finished, so a joiner woken by
+/// [`Execution::finish_thread`] always finds the result already stored.
+pub(crate) fn run_thread<T>(
+    exec: &Arc<Execution>,
+    tid: usize,
+    f: impl FnOnce() -> T,
+    publish: impl FnOnce(std::thread::Result<T>),
+) {
+    set_current(exec.clone(), tid);
+    exec.wait_first_schedule(tid);
+    let r = panic::catch_unwind(AssertUnwindSafe(f));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    match r {
+        Ok(v) => {
+            publish(Ok(v));
+            exec.finish_thread(tid, None);
+        }
+        Err(p) => {
+            if p.is::<AbortExecution>() {
+                exec.finish_thread(tid, None);
+            } else {
+                publish(Err(Box::new("model thread panicked")));
+                exec.finish_thread(tid, Some(p));
+            }
+        }
+    }
+}

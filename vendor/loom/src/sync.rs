@@ -1,0 +1,470 @@
+//! Model-aware synchronisation primitives.
+//!
+//! Shapes follow the workspace's `parking_lot` stand-in (non-poisoning
+//! `lock()`, `Condvar::wait(&mut guard)`), not `std::sync`, because the
+//! runtime's sync shim swaps this module in for `parking_lot` under
+//! `cfg(loom)`. Outside a model execution the types degrade to real
+//! `std::sync` locking, so incidental use in test harness setup still
+//! behaves correctly.
+//!
+//! `Arc`/`Weak` are re-exported from `std`: reference-count updates are not
+//! explored as yield points, which is sound for schedule exploration (the
+//! counts are internally synchronised and carry no model-visible state).
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard, OnceLock};
+use std::time::Duration;
+
+pub use std::sync::{Arc, Weak};
+
+use crate::rt;
+
+/// Model-aware atomics: every operation is a scheduler yield point and
+/// executes with `SeqCst` semantics regardless of the requested ordering.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    /// An atomic fence. A yield point; the fence itself is a no-op because
+    /// all model atomics are already sequentially consistent.
+    pub fn fence(_order: Ordering) {
+        rt::branch();
+    }
+
+    macro_rules! atomic_int {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $t:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                /// Create a new atomic with the given initial value.
+                pub const fn new(v: $t) -> Self {
+                    Self(std::sync::atomic::$std::new(v))
+                }
+
+                /// Load the value (yield point; always `SeqCst`).
+                pub fn load(&self, _order: Ordering) -> $t {
+                    rt::branch();
+                    self.0.load(Ordering::SeqCst)
+                }
+
+                /// Store a value (yield point; always `SeqCst`).
+                pub fn store(&self, v: $t, _order: Ordering) {
+                    rt::branch();
+                    self.0.store(v, Ordering::SeqCst)
+                }
+
+                /// Swap in a value, returning the previous one.
+                pub fn swap(&self, v: $t, _order: Ordering) -> $t {
+                    rt::branch();
+                    self.0.swap(v, Ordering::SeqCst)
+                }
+
+                /// Compare-and-exchange (yield point; always `SeqCst`).
+                pub fn compare_exchange(
+                    &self,
+                    current: $t,
+                    new: $t,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$t, $t> {
+                    rt::branch();
+                    self.0
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Weak compare-and-exchange; the model never fails
+                /// spuriously, so this is the strong variant.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $t,
+                    new: $t,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$t, $t> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consume the atomic, returning the inner value.
+                pub fn into_inner(self) -> $t {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! atomic_arith {
+        ($name:ident, $t:ty) => {
+            impl $name {
+                /// Add, returning the previous value (yield point).
+                pub fn fetch_add(&self, v: $t, _order: Ordering) -> $t {
+                    rt::branch();
+                    self.0.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Subtract, returning the previous value (yield point).
+                pub fn fetch_sub(&self, v: $t, _order: Ordering) -> $t {
+                    rt::branch();
+                    self.0.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                /// Bitwise-or, returning the previous value (yield point).
+                pub fn fetch_or(&self, v: $t, _order: Ordering) -> $t {
+                    rt::branch();
+                    self.0.fetch_or(v, Ordering::SeqCst)
+                }
+
+                /// Bitwise-and, returning the previous value (yield point).
+                pub fn fetch_and(&self, v: $t, _order: Ordering) -> $t {
+                    rt::branch();
+                    self.0.fetch_and(v, Ordering::SeqCst)
+                }
+
+                /// Maximum, returning the previous value (yield point).
+                pub fn fetch_max(&self, v: $t, _order: Ordering) -> $t {
+                    rt::branch();
+                    self.0.fetch_max(v, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_int!(
+        /// Model-aware `AtomicBool`.
+        AtomicBool,
+        AtomicBool,
+        bool
+    );
+    atomic_int!(
+        /// Model-aware `AtomicU8`.
+        AtomicU8,
+        AtomicU8,
+        u8
+    );
+    atomic_int!(
+        /// Model-aware `AtomicU32`.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    atomic_int!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    atomic_int!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    atomic_arith!(AtomicU8, u8);
+    atomic_arith!(AtomicU32, u32);
+    atomic_arith!(AtomicU64, u64);
+    atomic_arith!(AtomicUsize, usize);
+
+    impl AtomicBool {
+        /// Bitwise-or, returning the previous value (yield point).
+        pub fn fetch_or(&self, v: bool, _order: Ordering) -> bool {
+            rt::branch();
+            self.0.fetch_or(v, Ordering::SeqCst)
+        }
+
+        /// Bitwise-and, returning the previous value (yield point).
+        pub fn fetch_and(&self, v: bool, _order: Ordering) -> bool {
+            rt::branch();
+            self.0.fetch_and(v, Ordering::SeqCst)
+        }
+    }
+
+    /// Model-aware `AtomicPtr`.
+    #[derive(Debug)]
+    pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+    impl<T> AtomicPtr<T> {
+        /// Create a new atomic pointer.
+        pub const fn new(p: *mut T) -> Self {
+            Self(std::sync::atomic::AtomicPtr::new(p))
+        }
+
+        /// Load the pointer (yield point; always `SeqCst`).
+        pub fn load(&self, _order: Ordering) -> *mut T {
+            rt::branch();
+            self.0.load(Ordering::SeqCst)
+        }
+
+        /// Store a pointer (yield point; always `SeqCst`).
+        pub fn store(&self, p: *mut T, _order: Ordering) {
+            rt::branch();
+            self.0.store(p, Ordering::SeqCst)
+        }
+
+        /// Swap in a pointer, returning the previous one.
+        pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+            rt::branch();
+            self.0.swap(p, Ordering::SeqCst)
+        }
+
+        /// Compare-and-exchange (yield point; always `SeqCst`).
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            rt::branch();
+            self.0
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        }
+
+        /// Consume the atomic, returning the inner pointer.
+        pub fn into_inner(self) -> *mut T {
+            self.0.into_inner()
+        }
+    }
+
+    impl<T> Default for AtomicPtr<T> {
+        fn default() -> Self {
+            Self::new(std::ptr::null_mut())
+        }
+    }
+}
+
+/// A model-aware mutex with the `parking_lot` shape (non-poisoning).
+pub struct Mutex<T: ?Sized> {
+    id: OnceLock<usize>,
+    /// Real lock used only outside a model execution; inside one, the
+    /// scheduler serialises access so this is never contended.
+    raw: StdMutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the data is only reachable through a guard, and guard creation is
+// mutually excluded either by the model scheduler (inside an execution) or
+// by `raw` (outside one).
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above — `&Mutex<T>` only hands out exclusive access.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(t: T) -> Mutex<T> {
+        Mutex {
+            id: OnceLock::new(),
+            raw: StdMutex::new(()),
+            data: UnsafeCell::new(t),
+        }
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn id(&self) -> usize {
+        *self.id.get_or_init(rt::fresh_resource_id)
+    }
+
+    /// Acquire the mutex, blocking (logically, inside a model) until it is
+    /// available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match rt::current() {
+            Some((exec, tid)) => {
+                exec.mutex_acquire(self.id(), tid);
+                MutexGuard {
+                    lock: self,
+                    raw: None,
+                }
+            }
+            None => MutexGuard {
+                lock: self,
+                raw: Some(self.raw.lock().unwrap_or_else(|e| e.into_inner())),
+            },
+        }
+    }
+
+    /// Acquire the mutex if it is free.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match rt::current() {
+            Some((exec, tid)) => {
+                if exec.mutex_try_acquire(self.id(), tid) {
+                    Some(MutexGuard {
+                        lock: self,
+                        raw: None,
+                    })
+                } else {
+                    None
+                }
+            }
+            None => self.raw.try_lock().ok().map(|g| MutexGuard {
+                lock: self,
+                raw: Some(g),
+            }),
+        }
+    }
+
+    /// Mutable access without locking (the borrow checker guarantees
+    /// exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases the lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// `Some` when the lock was taken outside a model execution.
+    raw: Option<StdGuard<'a, ()>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard's existence proves exclusive logical ownership
+        // (scheduler-serialised inside a model, `raw` outside).
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the guard grants exclusive access.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.raw.is_none() {
+            // No yield point here: drops also run while unwinding from an
+            // aborted execution, where scheduling again would double-panic.
+            // The release itself just flips scheduler state.
+            if let Some((exec, _tid)) = rt::current() {
+                exec.mutex_release(self.lock.id());
+            }
+        }
+    }
+}
+
+/// Result of a timed condvar wait; mirrors `parking_lot::WaitTimeoutResult`.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A model-aware condition variable with the `parking_lot` shape.
+pub struct Condvar {
+    id: OnceLock<usize>,
+    raw: StdCondvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Condvar {
+        Condvar {
+            id: OnceLock::new(),
+            raw: StdCondvar::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self.id.get_or_init(rt::fresh_resource_id)
+    }
+
+    /// Atomically release the guard's mutex and wait for a notification;
+    /// the mutex is reacquired before returning.
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        match rt::current() {
+            Some((exec, tid)) => {
+                debug_assert!(guard.raw.is_none(), "guard taken outside the model");
+                let _ = exec.condvar_wait(self.id(), guard.lock.id(), tid, false);
+            }
+            None => {
+                let g = guard.raw.take().expect("guard taken inside a model");
+                guard.raw = Some(self.raw.wait(g).unwrap_or_else(|e| e.into_inner()));
+            }
+        }
+    }
+
+    /// Timed variant of [`Condvar::wait`]. Inside a model the duration is
+    /// not simulated: the wait times out exactly when the scheduler would
+    /// otherwise deadlock (the "timeout eventually fires" abstraction).
+    pub fn wait_for<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        match rt::current() {
+            Some((exec, tid)) => {
+                debug_assert!(guard.raw.is_none(), "guard taken outside the model");
+                let timed_out = exec.condvar_wait(self.id(), guard.lock.id(), tid, true);
+                WaitTimeoutResult(timed_out)
+            }
+            None => {
+                let g = guard.raw.take().expect("guard taken inside a model");
+                let (g, r) = self
+                    .raw
+                    .wait_timeout(g, timeout)
+                    .unwrap_or_else(|e| e.into_inner());
+                guard.raw = Some(g);
+                WaitTimeoutResult(r.timed_out())
+            }
+        }
+    }
+
+    /// Wake one waiter (the lowest-tid one, inside a model).
+    pub fn notify_one(&self) {
+        match rt::current() {
+            Some((exec, tid)) => exec.notify_one(self.id(), tid),
+            None => self.raw.notify_one(),
+        }
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        match rt::current() {
+            Some((exec, tid)) => exec.notify_all(self.id(), tid),
+            None => self.raw.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

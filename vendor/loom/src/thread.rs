@@ -1,0 +1,67 @@
+//! Model-aware threads (loom-compatible subset of `std::thread`).
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt;
+
+/// Handle to join a model thread (see [`spawn`]).
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result. Blocks only
+    /// logically: the scheduler keeps exploring other threads.
+    pub fn join(mut self) -> std::thread::Result<T> {
+        let (exec, tid) = rt::current().expect("join outside a loom model");
+        exec.join_wait(self.tid, tid);
+        let r = self
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined thread left no result");
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        r
+    }
+}
+
+/// Spawn a model thread. Must be called from inside a model execution.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, tid) = rt::current().expect("spawn outside a loom model");
+    let child = exec.register_thread();
+    let result: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::new(StdMutex::new(None));
+    let exec2 = exec.clone();
+    let result2 = result.clone();
+    let os = std::thread::Builder::new()
+        .name(format!("loom-model-{child}"))
+        .spawn(move || {
+            rt::run_thread(&exec2, child, f, move |r| {
+                *result2.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        })
+        .expect("spawn model thread");
+    // The child is now eligible; give the scheduler the chance to run it
+    // before the spawner's next step.
+    exec.yield_point(tid);
+    JoinHandle {
+        tid: child,
+        result,
+        os: Some(os),
+    }
+}
+
+/// Deprioritise the calling thread until no other thread can run.
+pub fn yield_now() {
+    if let Some((exec, tid)) = rt::current() {
+        exec.yield_deprioritised(tid);
+    }
+}

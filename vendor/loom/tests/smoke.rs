@@ -1,0 +1,170 @@
+//! Self-tests for the loom stand-in: the checker must actually explore
+//! interleavings, find seeded races, detect deadlocks, and rescue timed
+//! waits — otherwise the runtime's models prove nothing.
+
+use std::collections::HashSet;
+use std::sync::Mutex as StdMutex;
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::thread;
+
+/// Two racing stores: the checker must visit executions where each store
+/// lands last, i.e. it genuinely explores more than one schedule.
+#[test]
+fn explores_both_store_orders() {
+    let seen: Arc<StdMutex<HashSet<usize>>> = Arc::new(StdMutex::new(HashSet::new()));
+    let seen2 = seen.clone();
+    loom::model(move || {
+        let a = Arc::new(AtomicUsize::new(0));
+        let a1 = a.clone();
+        let a2 = a.clone();
+        let t1 = thread::spawn(move || a1.store(1, Ordering::SeqCst));
+        let t2 = thread::spawn(move || a2.store(2, Ordering::SeqCst));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        seen2.lock().unwrap().insert(a.load(Ordering::SeqCst));
+    });
+    let seen = seen.lock().unwrap();
+    assert!(
+        seen.contains(&1) && seen.contains(&2),
+        "checker failed to explore both store orders: saw {seen:?}"
+    );
+}
+
+/// A classic lost-update race on load-then-store must be found: some
+/// schedule makes the final value 1, and the model's assertion panics.
+#[test]
+#[should_panic(expected = "lost update")]
+fn finds_lost_update_race() {
+    loom::model(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let a = a.clone();
+                thread::spawn(move || {
+                    let v = a.load(Ordering::SeqCst);
+                    a.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+    });
+}
+
+/// Mutexes serialise their critical sections: the same load-then-store
+/// pattern under a lock never loses an update, in any schedule.
+#[test]
+fn mutex_excludes() {
+    loom::model(|| {
+        let m = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m = m.clone();
+                thread::spawn(move || {
+                    let mut g = m.lock();
+                    let v = *g;
+                    *g = v + 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 2);
+    });
+}
+
+/// ABBA lock ordering must be reported as a deadlock, not hang the test.
+#[test]
+#[should_panic(expected = "deadlock detected")]
+fn detects_abba_deadlock() {
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        t.join().unwrap();
+    });
+}
+
+/// A `wait_for` with no notifier must be rescued as timed-out instead of
+/// being reported as a deadlock.
+#[test]
+fn timed_wait_rescued_as_timeout() {
+    loom::model(|| {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let mut timed_out = false;
+        while !*g {
+            if cv
+                .wait_for(&mut g, std::time::Duration::from_millis(1))
+                .timed_out()
+            {
+                timed_out = true;
+                break;
+            }
+        }
+        assert!(timed_out);
+    });
+}
+
+/// Condvar handoff: a waiter parked before the notify still sees the
+/// flag; a notify sent while the waiter holds the lock is not lost
+/// either, because the re-check loop runs under the mutex.
+#[test]
+fn condvar_no_lost_wakeup() {
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            *g = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        t.join().unwrap();
+    });
+}
+
+/// Same replay prefix ⇒ same schedule: exploration is deterministic, so a
+/// failure's printed schedule can be re-run. We check determinism
+/// indirectly: two identical runs visit the same number of final values.
+#[test]
+fn exploration_is_deterministic() {
+    let count = |_run: usize| {
+        let seen: Arc<StdMutex<Vec<usize>>> = Arc::new(StdMutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        loom::model(move || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let a1 = a.clone();
+            let t1 = thread::spawn(move || {
+                a1.fetch_add(1, Ordering::SeqCst);
+                a1.fetch_add(1, Ordering::SeqCst);
+            });
+            a.fetch_add(10, Ordering::SeqCst);
+            t1.join().unwrap();
+            seen2.lock().unwrap().push(a.load(Ordering::SeqCst));
+        });
+        let v = seen.lock().unwrap();
+        v.len()
+    };
+    assert_eq!(count(0), count(1));
+}
