@@ -40,6 +40,18 @@ pub enum TraceEvent {
         /// The post-write value the runtime returned.
         value: i64,
     },
+    /// A lock-free snapshot read outside any transaction: observed
+    /// `value` on `obj` through a [`ntx_runtime::Snapshot`] handle opened
+    /// at the current commit timestamp. The checker validates it as a
+    /// synthetic top-level read-only transaction placed at the point of
+    /// the last top-level commit that published `obj` (the §4 read
+    /// condition for a committed-state read).
+    SnapshotRead {
+        /// Object index.
+        obj: usize,
+        /// The value the snapshot read returned.
+        value: i64,
+    },
     /// The transaction committed.
     Commit {
         /// Committing transaction.
@@ -164,6 +176,20 @@ impl ConformanceSession {
             value,
         });
         Ok(value)
+    }
+
+    /// Traced lock-free snapshot read of counter `obj` (no transaction).
+    ///
+    /// The log mutex is held across the snapshot open *and* the read, so
+    /// the recorded position linearises the snapshot's timestamp against
+    /// the surrounding commits — the property the checker's splice-point
+    /// translation relies on.
+    pub fn snapshot_read(&self, obj: usize) -> i64 {
+        let mut log = self.log.lock();
+        let snap = self.mgr.snapshot();
+        let value = snap.read(&self.objects[obj], |v| *v);
+        log.push(TraceEvent::SnapshotRead { obj, value });
+        value
     }
 
     /// Traced commit.

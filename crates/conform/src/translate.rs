@@ -43,6 +43,7 @@ pub fn trace_to_model(
         .collect();
     let mut node_of: HashMap<u64, TxId> = HashMap::new();
     let mut leaf_of_event: Vec<Option<TxId>> = Vec::with_capacity(trace.events.len());
+    let mut snap_of_event: HashMap<usize, (TxId, TxId)> = HashMap::new();
     for (i, ev) in trace.events.iter().enumerate() {
         match *ev {
             TraceEvent::Begin { tx, parent } => {
@@ -73,21 +74,50 @@ pub fn trace_to_model(
                 );
                 leaf_of_event.push(Some(leaf));
             }
+            TraceEvent::SnapshotRead { obj, .. } => {
+                // A snapshot read becomes a synthetic top-level read-only
+                // transaction: one internal node with a single read leaf.
+                // Pass 2 splices its whole lifetime at the point of the
+                // last top-level commit that published `obj` — the paper's
+                // §4 justification for returning committed state without a
+                // lock is exactly that the read is serializable *there*.
+                let s_top = b.internal(TxTree::ROOT, format!("snap{i}"));
+                let leaf = b.access(
+                    s_top,
+                    format!("sr{i}"),
+                    objects[obj],
+                    AccessKind::Read,
+                    0,
+                    0,
+                );
+                snap_of_event.insert(i, (s_top, leaf));
+                leaf_of_event.push(None);
+            }
             _ => leaf_of_event.push(None),
         }
     }
     let tree = Arc::new(b.build());
 
-    // Pass 2: the operation sequence.
+    // Pass 2: the operation sequence. Alongside it, track which objects
+    // each transaction has (transitively, via committed children) written,
+    // and where in the action sequence each object's last *top-level
+    // publishing* commit landed — the splice points for snapshot reads.
     let mut actions = vec![Action::Create(TxTree::ROOT)];
+    let mut parent_of: HashMap<u64, Option<u64>> = HashMap::new();
+    let mut writes: HashMap<u64, Vec<usize>> = HashMap::new();
+    // Position just after the last top-level commit that published each
+    // object; position 1 (right after `Create(ROOT)`) when never
+    // published, where the object still has its initial value.
+    let mut last_pub: Vec<usize> = vec![1; trace.objects];
     for (i, ev) in trace.events.iter().enumerate() {
         match *ev {
-            TraceEvent::Begin { tx, .. } => {
+            TraceEvent::Begin { tx, parent } => {
                 let node = node_of[&tx];
+                parent_of.insert(tx, parent);
                 actions.push(Action::RequestCreate(node));
                 actions.push(Action::Create(node));
             }
-            TraceEvent::Read { obj, value, .. } | TraceEvent::Add { obj, value, .. } => {
+            TraceEvent::Read { tx, obj, value } | TraceEvent::Add { tx, obj, value, .. } => {
                 let leaf = leaf_of_event[i].expect("access events have leaves");
                 let x = objects[obj];
                 actions.push(Action::RequestCreate(leaf));
@@ -96,6 +126,12 @@ pub fn trace_to_model(
                 actions.push(Action::Commit(leaf));
                 actions.push(Action::InformCommit(x, leaf));
                 actions.push(Action::ReportCommit(leaf, Value(value)));
+                if matches!(ev, TraceEvent::Add { .. }) {
+                    let w = writes.entry(tx).or_default();
+                    if !w.contains(&obj) {
+                        w.push(obj);
+                    }
+                }
             }
             TraceEvent::Commit { tx } => {
                 let node = node_of[&tx];
@@ -105,6 +141,64 @@ pub fn trace_to_model(
                     actions.push(Action::InformCommit(x, node));
                 }
                 actions.push(Action::ReportCommit(node, Value(0)));
+                let written = writes.remove(&tx).unwrap_or_default();
+                match parent_of.get(&tx).copied().flatten() {
+                    // A subtransaction's writes become the parent's
+                    // (version inheritance): they publish when the
+                    // top-level ancestor eventually commits.
+                    Some(p) => {
+                        let pw = writes.entry(p).or_default();
+                        for obj in written {
+                            if !pw.contains(&obj) {
+                                pw.push(obj);
+                            }
+                        }
+                    }
+                    // Top-level commit: these objects are now published
+                    // here — snapshot reads of them splice after this
+                    // commit block.
+                    None => {
+                        for obj in written {
+                            last_pub[obj] = actions.len();
+                        }
+                    }
+                }
+            }
+            TraceEvent::SnapshotRead { obj, value } => {
+                // Splice the synthetic reader's entire lifetime at the
+                // last publication point of `obj`. The write lock there is
+                // just released (or never taken); only compatible read
+                // locks can be held, so the replay grants the read, and
+                // the counter semantics check `value` against the
+                // committed state at that point — a stale or uncommitted
+                // value fails the schedule replay.
+                let (s_top, leaf) = snap_of_event[&i];
+                let x = objects[obj];
+                let mut block = vec![
+                    Action::RequestCreate(s_top),
+                    Action::Create(s_top),
+                    Action::RequestCreate(leaf),
+                    Action::Create(leaf),
+                    Action::RequestCommit(leaf, Value(value)),
+                    Action::Commit(leaf),
+                    Action::InformCommit(x, leaf),
+                    Action::ReportCommit(leaf, Value(value)),
+                    Action::RequestCommit(s_top, Value(0)),
+                    Action::Commit(s_top),
+                ];
+                for &o in &objects {
+                    block.push(Action::InformCommit(o, s_top));
+                }
+                block.push(Action::ReportCommit(s_top, Value(0)));
+                let pos = last_pub[obj];
+                let len = block.len();
+                actions.splice(pos..pos, block);
+                // Later splice points recorded at or after `pos` moved.
+                for p in last_pub.iter_mut() {
+                    if *p >= pos {
+                        *p += len;
+                    }
+                }
             }
             TraceEvent::Abort { tx } => {
                 let node = node_of[&tx];
@@ -113,6 +207,7 @@ pub fn trace_to_model(
                     actions.push(Action::InformAbort(x, node));
                 }
                 actions.push(Action::ReportAbort(node));
+                writes.remove(&tx);
             }
         }
     }
@@ -224,6 +319,30 @@ mod tests {
         // The parent sees its own value again.
         assert_eq!(s.read(&t, 0).unwrap(), 3);
         s.commit(&t).unwrap();
+        let report = check_trace(&s.finish(), Default::default());
+        assert!(report.ok(), "{report:?}");
+    }
+
+    #[test]
+    fn snapshot_reads_splice_and_conform() {
+        let s = session(2);
+        // Snapshot before anything commits: sees initial state.
+        assert_eq!(s.snapshot_read(0), 0);
+        let t1 = s.begin();
+        s.add(&t1, 0, 5).unwrap();
+        // Uncommitted write must be invisible to a snapshot.
+        assert_eq!(s.snapshot_read(0), 0);
+        s.commit(&t1).unwrap();
+        // Published now.
+        assert_eq!(s.snapshot_read(0), 5);
+        // A nested writer publishes through its top-level ancestor.
+        let t2 = s.begin();
+        let c = s.child(&t2).unwrap();
+        s.add(&c, 1, 7).unwrap();
+        s.commit(&c).unwrap();
+        assert_eq!(s.snapshot_read(1), 0, "child commit does not publish");
+        s.commit(&t2).unwrap();
+        assert_eq!(s.snapshot_read(1), 7);
         let report = check_trace(&s.finish(), Default::default());
         assert!(report.ok(), "{report:?}");
     }

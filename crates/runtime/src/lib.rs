@@ -60,6 +60,7 @@ mod fault;
 #[cfg(all(loom, test))]
 mod loom_models;
 mod manager;
+mod mvcc;
 mod node;
 mod object;
 mod savepoint;
@@ -73,7 +74,7 @@ mod tx;
 pub use config::{DeadlockPolicy, LockMode, RtConfig};
 pub use error::TxError;
 pub use fault::{FaultAction, FaultContext, FaultInjector, FaultPoint};
-pub use manager::{ObjRef, TxManager};
+pub use manager::{ObjRef, Snapshot, TxManager};
 pub use savepoint::SavepointScope;
 pub use stats::StatsSnapshot;
 pub use trace::{RtEvent, TraceRecorder, TxTraceStats};

@@ -18,6 +18,7 @@ use std::time::Duration;
 use crate::config::{DeadlockPolicy, RtConfig};
 use crate::deadlock::WaitForGraph;
 use crate::manager::ManagerInner;
+use crate::mvcc::SnapshotCell;
 use crate::node::TxNode;
 use crate::object::{ObjectSlot, Waiter, W_CANCELLED, W_GRANTED, W_WAITING};
 use crate::slab::Slab;
@@ -39,6 +40,9 @@ fn mk_mgr(deadlock: DeadlockPolicy) -> Arc<ManagerInner> {
         next_tx_id: AtomicU64::new(1),
         wait_graph: WaitForGraph::new(),
         stats: Stats::default(),
+        ts_alloc: AtomicU64::new(0),
+        commit_ts: AtomicU64::new(0),
+        live_snapshots: crate::sync::Mutex::new(std::collections::BTreeMap::new()),
     })
 }
 
@@ -317,6 +321,87 @@ fn loom_stats_fold_equals_ground_truth() {
             h.join().unwrap();
         }
         assert_eq!(stats.total(Ctr::ReadGrants), 7);
+    });
+}
+
+/// **Snapshot publish turnstile**: a top-level commit publishes its
+/// versions on *every* object before the commit clock advances over its
+/// ticket. A lock-free reader that picks `S = commit_ts` therefore sees
+/// the commit on all objects or on none — never a torn multi-object
+/// snapshot, never a timestamp inversion (a version with `ts <= S` missing
+/// from a chain), never a torn chain node. Advancing the clock before the
+/// last publish is exactly the bug this model exists to catch.
+#[test]
+fn loom_snapshot_publish_turnstile() {
+    loom::model(|| {
+        let x = Arc::new(SnapshotCell::new(Box::new(0i64)));
+        let y = Arc::new(SnapshotCell::new(Box::new(0i64)));
+        let clock = Arc::new(AtomicU64::new(0));
+        let (x2, y2, c2) = (x.clone(), y.clone(), clock.clone());
+        // The committer: publish both objects at ticket 1, then advance
+        // the clock — the order `inherit_locks` guarantees.
+        let committer = loom::thread::spawn(move || {
+            x2.publish(1, Box::new(10i64));
+            y2.publish(1, Box::new(20i64));
+            c2.store(1, crate::sync::atomic::Ordering::SeqCst);
+        });
+        // The reader: fix S from the clock, then read both objects
+        // lock-free at S.
+        let s = clock.load(crate::sync::atomic::Ordering::SeqCst);
+        let (tx_x, vx) = x.read(|| s, |st| *st.downcast_ref::<i64>().unwrap());
+        let (tx_y, vy) = y.read(|| s, |st| *st.downcast_ref::<i64>().unwrap());
+        committer.join().unwrap();
+        if s == 0 {
+            assert_eq!(
+                (tx_x, vx, tx_y, vy),
+                (0, 0, 0, 0),
+                "snapshot saw ahead of S"
+            );
+        } else {
+            assert_eq!(
+                (tx_x, vx, tx_y, vy),
+                (1, 10, 1, 20),
+                "commit <= S missing from a chain (timestamp inversion)"
+            );
+        }
+    });
+}
+
+/// **Snapshot GC vs lock-free reader**: an ephemeral reader pins the
+/// chain *before* choosing `S` from the clock; the collector checks the
+/// pin count (after its watermark is fixed) and skips the cell while any
+/// reader is inside. Whichever way the race resolves, the reader lands on
+/// the version its S designates — never on freed memory, never on a
+/// too-old version — and once the reader is gone the chain collapses to
+/// the single version at the watermark.
+#[test]
+fn loom_snapshot_gc_vs_reader() {
+    loom::model(|| {
+        let x = Arc::new(SnapshotCell::new(Box::new(0i64)));
+        x.publish(1, Box::new(10i64));
+        let clock = Arc::new(AtomicU64::new(1));
+        let (x2, c2) = (x.clone(), clock.clone());
+        // The writer: publish ts=2, advance the clock, then collect at
+        // the new watermark — the incremental GC a publish performs.
+        let writer = loom::thread::spawn(move || {
+            x2.publish(2, Box::new(20i64));
+            c2.store(2, crate::sync::atomic::Ordering::SeqCst);
+            x2.collect(c2.load(crate::sync::atomic::Ordering::SeqCst))
+        });
+        // The reader: ephemeral snapshot read, S chosen after pinning.
+        let (ts, v) = x.read(
+            || clock.load(crate::sync::atomic::Ordering::SeqCst),
+            |st| *st.downcast_ref::<i64>().unwrap(),
+        );
+        writer.join().unwrap();
+        assert!(
+            (ts, v) == (1, 10) || (ts, v) == (2, 20),
+            "reader saw a version its snapshot does not designate: ts={ts} v={v}"
+        );
+        // Quiescent collection reclaims everything below the newest
+        // version; the genesis-and-older tail is gone.
+        x.collect(2);
+        assert_eq!(x.chain_len(), 1, "chain not bounded after GC");
     });
 }
 

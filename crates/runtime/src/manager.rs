@@ -21,7 +21,8 @@
 //! the queue moves (instead of one publish per retry).
 
 use crate::sync::atomic::{AtomicU64, Ordering};
-use crate::sync::Arc;
+use crate::sync::{Arc, Mutex};
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::time::Instant;
 
@@ -77,6 +78,36 @@ pub(crate) struct ManagerInner {
     pub next_tx_id: AtomicU64,
     pub wait_graph: WaitForGraph,
     pub stats: Stats,
+    /// Commit-timestamp ticket dispenser: a committing top-level
+    /// transaction that published at least one version takes
+    /// `fetch_add(1) + 1` here, so tickets are dense and start at 1
+    /// (timestamp 0 is the pre-registered genesis version).
+    pub ts_alloc: AtomicU64,
+    /// The snapshot clock: highest commit timestamp whose versions are
+    /// *all* published. Advanced ticket-by-ticket through the publication
+    /// turnstile in [`ManagerInner::inherit_locks`], so a snapshot at
+    /// `S = commit_ts` sees every version with `ts <= S` on every object.
+    pub commit_ts: AtomicU64,
+    /// Live snapshot registry: timestamp -> number of open [`Snapshot`]
+    /// handles at that timestamp. The mutex serialises snapshot creation
+    /// against GC watermark computation (lock order: slot mutex may be
+    /// held while taking this; never the reverse).
+    pub live_snapshots: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl ManagerInner {
+    fn with_config(config: RtConfig) -> ManagerInner {
+        ManagerInner {
+            config,
+            objects: Slab::new(),
+            next_tx_id: AtomicU64::new(1),
+            wait_graph: WaitForGraph::new(),
+            stats: Stats::default(),
+            ts_alloc: AtomicU64::new(0),
+            commit_ts: AtomicU64::new(0),
+            live_snapshots: Mutex::new(BTreeMap::new()),
+        }
+    }
 }
 
 /// The nested-transaction manager (cheaply clonable; clones share state).
@@ -89,18 +120,12 @@ impl TxManager {
     /// A fresh manager with no objects.
     pub fn new(config: RtConfig) -> TxManager {
         TxManager {
-            inner: Arc::new(ManagerInner {
-                config,
-                objects: Slab::new(),
-                next_tx_id: AtomicU64::new(1),
-                wait_graph: WaitForGraph::new(),
-                stats: Stats::default(),
-            }),
+            inner: Arc::new(ManagerInner::with_config(config)),
         }
     }
 
     /// Register a shared object with its initial (committed) state.
-    pub fn register<T: Clone + Send + 'static>(
+    pub fn register<T: Clone + Send + Sync + 'static>(
         &self,
         name: impl Into<String>,
         initial: T,
@@ -162,6 +187,99 @@ impl TxManager {
         (0..self.inner.objects.len())
             .map(|i| self.inner.objects.get(i).inner.lock().waiters())
             .sum()
+    }
+
+    /// Open a consistent read snapshot at the current commit timestamp.
+    ///
+    /// The snapshot sees every version published by top-level commits with
+    /// timestamp `<= ts()` on every object, and nothing newer. Reads
+    /// through it are lock-free and never wait. Registration pins the
+    /// timestamp against garbage collection until the handle is dropped.
+    pub fn snapshot(&self) -> Snapshot {
+        let ts = {
+            let mut reg = self.inner.live_snapshots.lock();
+            // Read the clock under the registry mutex so a concurrent GC
+            // watermark computation either sees this entry or computes a
+            // watermark from a clock value `<=` the one we are about to pin.
+            let ts = self.inner.commit_ts.load(Ordering::SeqCst);
+            *reg.entry(ts).or_insert(0) += 1;
+            ts
+        };
+        self.inner.stats.bump(Ctr::SnapshotsOpened);
+        Snapshot {
+            mgr: self.inner.clone(),
+            ts,
+        }
+    }
+
+    /// Garbage-collect versions unreachable by any live or future
+    /// snapshot, across all objects. Returns the number of versions freed.
+    ///
+    /// Collection also runs incrementally on every publish; this entry
+    /// point exists for tests and for reclaiming after the last snapshot
+    /// on an idle manager is dropped.
+    pub fn collect_garbage(&self) -> usize {
+        let watermark = self.inner.gc_watermark();
+        let mut freed = 0;
+        for i in 0..self.inner.objects.len() {
+            let slot = self.inner.objects.get(i);
+            let _guard = slot.inner.lock();
+            freed += slot.snap.collect(watermark);
+        }
+        self.inner.stats.add(Ctr::VersionsCollected, freed as u64);
+        freed
+    }
+
+    /// Length of an object's committed-version chain (diagnostics and GC
+    /// regression tests; includes the genesis version).
+    pub fn version_chain_len<T>(&self, obj: &ObjRef<T>) -> usize {
+        self.inner.slot(obj.idx).snap.chain_len()
+    }
+}
+
+/// A consistent, lock-free read view of all committed state as of a fixed
+/// commit timestamp (see [`TxManager::snapshot`]).
+///
+/// Dropping the handle deregisters the timestamp, allowing version GC to
+/// advance past it.
+pub struct Snapshot {
+    mgr: Arc<ManagerInner>,
+    ts: u64,
+}
+
+impl Snapshot {
+    /// The commit timestamp this snapshot reads at.
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// Read an object's newest version committed at or before [`Self::ts`].
+    /// Takes no lock and never waits.
+    pub fn read<T: 'static, R>(&self, obj: &ObjRef<T>, f: impl FnOnce(&T) -> R) -> R {
+        let slot = self.mgr.slot(obj.idx);
+        let (_ver_ts, out) = slot.snap.read(
+            || self.ts,
+            |st| f(st.downcast_ref::<T>().expect("ObjRef type mismatch")),
+        );
+        self.mgr.stats.bump(Ctr::SnapshotReads);
+        self.mgr.trace(RtEvent::SnapRead {
+            tx: 0,
+            obj: obj.idx,
+            ts: self.ts,
+        });
+        out
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let mut reg = self.mgr.live_snapshots.lock();
+        if let Some(n) = reg.get_mut(&self.ts) {
+            *n -= 1;
+            if *n == 0 {
+                reg.remove(&self.ts);
+            }
+        }
     }
 }
 
@@ -778,10 +896,30 @@ impl ManagerInner {
         }
     }
 
+    /// Smallest timestamp any live *or future* snapshot can read at: the
+    /// minimum registered snapshot timestamp, or the current commit clock
+    /// when no snapshot is open (a future snapshot starts at the clock).
+    /// Versions strictly older than the newest version at or below this
+    /// watermark are unreachable and collectable.
+    pub(crate) fn gc_watermark(&self) -> u64 {
+        let reg = self.live_snapshots.lock();
+        let clock = self.commit_ts.load(Ordering::SeqCst);
+        reg.keys().next().map_or(clock, |&t| t.min(clock))
+    }
+
     /// Commit-time lock inheritance for `node` across all touched objects.
+    ///
+    /// When `node` is top-level (`heir == None`), each inherited version
+    /// lands in the object's committed base *and* is published to its
+    /// snapshot chain under a commit timestamp: the first publication
+    /// draws a ticket from `ts_alloc`, and after all objects are published
+    /// the turnstile below advances `commit_ts` to that ticket — strictly
+    /// in ticket order, so a snapshot at `S = commit_ts` is guaranteed to
+    /// find *every* version with `ts <= S` already on its chain.
     pub(crate) fn inherit_locks(&self, node: &Arc<TxNode>) {
         let touched = node.touched.lock().clone();
         let heir = node.parent.clone();
+        let mut ticket: Option<u64> = None;
         for obj in touched {
             let slot = self.slot(obj);
             let wake;
@@ -799,6 +937,30 @@ impl ManagerInner {
                         obj,
                     });
                 }
+                if heir.is_none() && moved.moved_version {
+                    // Top-level commit installed a new committed base:
+                    // publish it to the snapshot chain. Ticket 0 is the
+                    // genesis timestamp, so tickets start at 1.
+                    let ts = *ticket.get_or_insert_with(|| {
+                        // relaxed(ts-alloc): ticket allocation only needs
+                        // uniqueness and atomicity of the RMW; ordering is
+                        // provided by the SeqCst commit_ts turnstile that
+                        // publishes the ticket.
+                        self.ts_alloc.fetch_add(1, Ordering::Relaxed) + 1
+                    });
+                    slot.snap.publish(ts, guard.base.clone_box());
+                    self.stats.bump(Ctr::VersionsPublished);
+                    self.trace(RtEvent::Publish {
+                        tx: node.id,
+                        obj,
+                        ts,
+                    });
+                    // Piggyback incremental GC while the slot mutex is
+                    // held: watermark < ts, so the version just published
+                    // is never reclaimed here.
+                    let freed = slot.snap.collect(self.gc_watermark());
+                    self.stats.add(Ctr::VersionsCollected, freed as u64);
+                }
                 // Hand off only if the lock state changed; an untouched
                 // slot's waiters cannot have become grantable.
                 wake = if moved.any() {
@@ -813,6 +975,17 @@ impl ManagerInner {
             if let Some(h) = &heir {
                 h.touch(obj);
             }
+        }
+        if let Some(ts) = ticket {
+            // Publication turnstile: wait for every earlier ticket's
+            // versions to be fully published, then advance the snapshot
+            // clock over ours. Holding no mutex here; earlier ticket
+            // holders are inside this same function and cannot block on
+            // us, so the spin is bounded by their publication work.
+            while self.commit_ts.load(Ordering::SeqCst) != ts - 1 {
+                crate::sync::hint::spin_loop();
+            }
+            self.commit_ts.store(ts, Ordering::SeqCst);
         }
     }
 

@@ -1,0 +1,279 @@
+//! Timestamped multi-version chains for lock-free snapshot reads.
+//!
+//! Each [`crate::object::ObjectSlot`] carries a [`SnapshotCell`]: a singly
+//! linked chain of committed versions, newest first, each stamped with the
+//! commit timestamp that published it. Readers traverse the chain with no
+//! lock at all; publishers and the garbage collector mutate it only while
+//! holding the slot mutex, so the *only* concurrency the cell has to
+//! survive is lock-free readers racing one serialized writer.
+//!
+//! The protocol (orderings are all `SeqCst`; the full argument lives in
+//! DESIGN.md §"MVCC snapshot reads"):
+//!
+//! * **Publish** (under the slot mutex): allocate a node whose `next` is
+//!   the current head, then store it as the new head. A reader sees either
+//!   the old head or the new one — never a torn chain, because `next` is
+//!   written before the head pointer is released.
+//! * **Read**: increment `pins` *first*, then choose the snapshot
+//!   timestamp `S`, then load the head and walk `next` until a node with
+//!   `ts <= S` appears. The cell is created with a `ts = 0` genesis node,
+//!   and nodes at or below the GC watermark are never unlinked while
+//!   `pins != 0`, so the walk always terminates at a live node.
+//! * **Collect** (under the slot mutex): given a watermark `W` no greater
+//!   than any live snapshot's timestamp, find the newest node with
+//!   `ts <= W` (the *cut* — every snapshot still needs it, nothing below
+//!   it is reachable). If `pins == 0`, unlink everything below the cut and
+//!   free it; if any reader is pinned, skip entirely and let a later pass
+//!   reclaim. `pins == 0` observed after the watermark was fixed means
+//!   every in-flight reader has already unpinned, and any reader that pins
+//!   afterwards picks `S >= W` (S is chosen after pinning, from a clock
+//!   that is already `>= W`), so it stops at or above the cut.
+use std::any::Any;
+use std::ptr;
+
+use crate::object::AnyState;
+use crate::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+/// One committed version: the state as of commit timestamp `ts`.
+struct VersionNode {
+    ts: u64,
+    state: Box<dyn AnyState>,
+    /// Next-older version, or null at the genesis node.
+    next: AtomicPtr<VersionNode>,
+}
+
+/// Per-object chain of committed versions plus the reader pin count.
+///
+/// Lives on the `ObjectSlot` *outside* the slot mutex: readers touch only
+/// this cell, writers touch it only while holding the mutex.
+pub(crate) struct SnapshotCell {
+    /// Newest committed version. Never null after construction.
+    head: AtomicPtr<VersionNode>,
+    /// Number of readers currently traversing the chain.
+    pins: AtomicU64,
+}
+
+// SAFETY: the raw version-node pointers are owned by the cell and only ever
+// point to heap nodes whose payloads are `AnyState` (`Send + Sync`); all
+// mutation is serialized by the slot mutex and reads are guarded by the
+// pin/watermark protocol above.
+unsafe impl Send for SnapshotCell {}
+// SAFETY: shared references only expose the pin/watermark-guarded read
+// protocol; see the `Send` argument above.
+unsafe impl Sync for SnapshotCell {}
+
+impl SnapshotCell {
+    /// A fresh cell whose genesis version (`ts = 0`) is `initial`.
+    pub(crate) fn new(initial: Box<dyn AnyState>) -> SnapshotCell {
+        let genesis = Box::into_raw(Box::new(VersionNode {
+            ts: 0,
+            state: initial,
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        SnapshotCell {
+            head: AtomicPtr::new(genesis),
+            pins: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish `state` as the version committed at `ts`.
+    ///
+    /// Caller must hold the slot mutex (publishers and the collector are
+    /// serialized per object) and must allocate `ts` from the manager's
+    /// monotone clock, so timestamps along the chain strictly decrease.
+    pub(crate) fn publish(&self, ts: u64, state: Box<dyn AnyState>) {
+        let old = self.head.load(Ordering::SeqCst);
+        debug_assert!(
+            // SAFETY: `old` is the current head: non-null by construction
+            // and not freed while we hold the slot mutex.
+            unsafe { (*old).ts } < ts,
+            "version timestamps must be strictly monotone"
+        );
+        let node = Box::into_raw(Box::new(VersionNode {
+            ts,
+            state,
+            next: AtomicPtr::new(old),
+        }));
+        self.head.store(node, Ordering::SeqCst);
+    }
+
+    /// Read the newest version with `ts <= S` without taking any lock.
+    ///
+    /// The snapshot timestamp is produced by `choose_ts` *after* the pin is
+    /// taken — for an ephemeral read that loads the global commit clock,
+    /// this is what guarantees the chosen version cannot be collected
+    /// underneath the walk (see the module docs). Returns the closure's
+    /// result and the timestamp of the version it saw.
+    pub(crate) fn read<R>(
+        &self,
+        choose_ts: impl FnOnce() -> u64,
+        f: impl FnOnce(&dyn Any) -> R,
+    ) -> (u64, R) {
+        self.pins.fetch_add(1, Ordering::SeqCst);
+        let s = choose_ts();
+        let mut node = self.head.load(Ordering::SeqCst);
+        // SAFETY: `node` starts at the head (non-null) and follows `next`
+        // links; the pin taken above keeps every node with `ts <= S`
+        // reachable from the head alive (the collector skips the cell
+        // while `pins != 0` and never unlinks nodes above its watermark,
+        // which is <= S for any timestamp chosen after pinning).
+        unsafe {
+            while (*node).ts > s {
+                let next = (*node).next.load(Ordering::SeqCst);
+                debug_assert!(!next.is_null(), "walked past the genesis version");
+                node = next;
+            }
+            let out = f((*node).state.as_any());
+            let ts = (*node).ts;
+            self.pins.fetch_sub(1, Ordering::SeqCst);
+            (ts, out)
+        }
+    }
+
+    /// Reclaim versions no live snapshot can reach. Caller must hold the
+    /// slot mutex and pass a `watermark` that is `<=` every live snapshot
+    /// timestamp and `<=` the current commit clock.
+    ///
+    /// Returns the number of versions freed (0 when a pinned reader made
+    /// this pass skip — a later publish or explicit collection retries).
+    pub(crate) fn collect(&self, watermark: u64) -> usize {
+        if self.pins.load(Ordering::SeqCst) != 0 {
+            return 0;
+        }
+        let mut cut = self.head.load(Ordering::SeqCst);
+        // SAFETY: mutex held — no concurrent publish/collect; the chain is
+        // intact and ends at the genesis node, so the walk terminates.
+        unsafe {
+            while (*cut).ts > watermark {
+                let next = (*cut).next.load(Ordering::SeqCst);
+                if next.is_null() {
+                    return 0; // chain is all above the watermark except genesis
+                }
+                cut = next;
+            }
+            // `cut` is the newest node with ts <= watermark: still needed.
+            // Everything strictly older is unreachable by any live or
+            // future snapshot; detach and free it.
+            let mut dead = (*cut).next.swap(ptr::null_mut(), Ordering::SeqCst);
+            let mut freed = 0;
+            while !dead.is_null() {
+                // SAFETY: detached from the chain above; no reader can be
+                // on it (pins was 0 after the watermark was fixed) and no
+                // new reader can reach it (its successor link is cut).
+                let boxed = Box::from_raw(dead);
+                dead = boxed.next.load(Ordering::SeqCst);
+                freed += 1;
+            }
+            freed
+        }
+    }
+
+    /// Current chain length (for GC regression tests). Lock-free.
+    pub(crate) fn chain_len(&self) -> usize {
+        self.pins.fetch_add(1, Ordering::SeqCst);
+        let mut n = 0;
+        let mut node = self.head.load(Ordering::SeqCst);
+        // SAFETY: same pin-guarded traversal as `read`, with S = infinity
+        // (the genesis node is never collected, so the walk terminates).
+        unsafe {
+            while !node.is_null() {
+                n += 1;
+                node = (*node).next.load(Ordering::SeqCst);
+            }
+        }
+        self.pins.fetch_sub(1, Ordering::SeqCst);
+        n
+    }
+}
+
+impl Drop for SnapshotCell {
+    fn drop(&mut self) {
+        let mut node = self.head.swap(ptr::null_mut(), Ordering::SeqCst);
+        while !node.is_null() {
+            // SAFETY: exclusive access in drop; every node was allocated
+            // by `Box::into_raw` in `new`/`publish` and is freed once.
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.next.load(Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn cell(initial: i64) -> SnapshotCell {
+        SnapshotCell::new(Box::new(initial))
+    }
+
+    fn read_i64(c: &SnapshotCell, s: u64) -> (u64, i64) {
+        c.read(|| s, |st| *st.downcast_ref::<i64>().unwrap())
+    }
+
+    #[test]
+    fn genesis_visible_at_any_timestamp() {
+        let c = cell(7);
+        assert_eq!(read_i64(&c, 0), (0, 7));
+        assert_eq!(read_i64(&c, 100), (0, 7));
+    }
+
+    #[test]
+    fn reads_pick_newest_at_or_below_s() {
+        let c = cell(0);
+        c.publish(2, Box::new(10i64));
+        c.publish(5, Box::new(20i64));
+        assert_eq!(read_i64(&c, 1), (0, 0));
+        assert_eq!(read_i64(&c, 2), (2, 10));
+        assert_eq!(read_i64(&c, 4), (2, 10));
+        assert_eq!(read_i64(&c, 5), (5, 20));
+        assert_eq!(read_i64(&c, 9), (5, 20));
+    }
+
+    #[test]
+    fn collect_frees_below_cut_and_keeps_cut() {
+        let c = cell(0);
+        for ts in 1..=4 {
+            c.publish(ts, Box::new(ts as i64 * 10));
+        }
+        assert_eq!(c.chain_len(), 5);
+        // Watermark 3: the ts=3 node is the cut; ts 0..=2 are freed.
+        assert_eq!(c.collect(3), 3);
+        assert_eq!(c.chain_len(), 2);
+        assert_eq!(read_i64(&c, 3), (3, 30));
+        assert_eq!(read_i64(&c, 10), (4, 40));
+        // A snapshot at the watermark still resolves to the cut.
+        assert_eq!(read_i64(&c, 3), (3, 30));
+    }
+
+    #[test]
+    fn collect_skips_when_pinned() {
+        let c = cell(0);
+        c.publish(1, Box::new(1i64));
+        c.publish(2, Box::new(2i64));
+        let (ts, freed) = c.read(
+            || 2,
+            |_| {
+                // A "reader still traversing": pins is held while collect
+                // runs, so nothing may be freed.
+                c.collect(2)
+            },
+        );
+        assert_eq!(ts, 2);
+        assert_eq!(freed, 0);
+        assert_eq!(c.chain_len(), 3);
+        // Once unpinned, the same watermark reclaims.
+        assert_eq!(c.collect(2), 2);
+        assert_eq!(c.chain_len(), 1);
+    }
+
+    #[test]
+    fn collect_with_nothing_reclaimable_is_noop() {
+        let c = cell(0);
+        assert_eq!(c.collect(0), 0);
+        assert_eq!(c.collect(100), 0);
+        c.publish(5, Box::new(1i64));
+        // Watermark below every non-genesis version: cut is genesis.
+        assert_eq!(c.collect(3), 0);
+        assert_eq!(c.chain_len(), 2);
+    }
+}

@@ -19,16 +19,22 @@ use std::time::Instant;
 
 use crate::sync::{Condvar, Mutex};
 
+use crate::mvcc::SnapshotCell;
 use crate::node::TxNode;
 
 /// Type-erased clonable state (object versions).
-pub(crate) trait AnyState: Any + Send {
+///
+/// `Sync` is required because published committed versions are read by
+/// snapshot readers concurrently and without any lock (see
+/// [`crate::mvcc::SnapshotCell`]); every registered state type must
+/// therefore tolerate shared references from many threads.
+pub(crate) trait AnyState: Any + Send + Sync {
     fn clone_box(&self) -> Box<dyn AnyState>;
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-impl<T: Any + Clone + Send> AnyState for T {
+impl<T: Any + Clone + Send + Sync> AnyState for T {
     fn clone_box(&self) -> Box<dyn AnyState> {
         Box::new(self.clone())
     }
@@ -367,14 +373,19 @@ impl InheritOutcome {
     }
 }
 
-/// One object: its lock table plus the waiter handoff queue.
+/// One object: its lock table plus the waiter handoff queue, and the
+/// multi-version snapshot chain (outside the mutex — readers never lock).
 pub(crate) struct ObjectSlot {
     pub name: String,
     pub inner: Mutex<ObjectInner>,
+    /// Committed-version chain for lock-free snapshot reads. Mutated only
+    /// under `inner`'s mutex (publish on top-commit, GC), read lock-free.
+    pub snap: SnapshotCell,
 }
 
 impl ObjectSlot {
     pub fn new(name: String, initial: Box<dyn AnyState>) -> ObjectSlot {
+        let snap = SnapshotCell::new(initial.clone_box());
         ObjectSlot {
             name,
             inner: Mutex::new(ObjectInner {
@@ -384,6 +395,7 @@ impl ObjectSlot {
                 queue: VecDeque::new(),
                 write_pending: None,
             }),
+            snap,
         }
     }
 }

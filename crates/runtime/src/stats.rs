@@ -33,9 +33,13 @@ pub(crate) enum Ctr {
     Handoffs,
     SpinGrants,
     CancelledWaiters,
+    SnapshotsOpened,
+    SnapshotReads,
+    VersionsPublished,
+    VersionsCollected,
 }
 
-const NCTR: usize = 14;
+const NCTR: usize = 18;
 
 #[derive(Default)]
 struct Stripe {
@@ -92,6 +96,10 @@ impl Stats {
             handoffs: self.total(Ctr::Handoffs),
             spin_grants: self.total(Ctr::SpinGrants),
             cancelled_waiters: self.total(Ctr::CancelledWaiters),
+            snapshots_opened: self.total(Ctr::SnapshotsOpened),
+            snapshot_reads: self.total(Ctr::SnapshotReads),
+            versions_published: self.total(Ctr::VersionsPublished),
+            versions_collected: self.total(Ctr::VersionsCollected),
         }
     }
 }
@@ -130,6 +138,15 @@ pub struct StatsSnapshot {
     /// Queued waiters withdrawn without a grant (doomed, wounded, or timed
     /// out) — cancelled in place rather than woken to re-poll.
     pub cancelled_waiters: u64,
+    /// Snapshot handles opened ([`crate::TxManager::snapshot`]).
+    pub snapshots_opened: u64,
+    /// Lock-free reads served from a version chain (snapshot handles and
+    /// `Tx::snapshot_read`'s committed path).
+    pub snapshot_reads: u64,
+    /// Committed versions published to snapshot chains at top-level commit.
+    pub versions_published: u64,
+    /// Published versions reclaimed by the version garbage collector.
+    pub versions_collected: u64,
 }
 
 impl StatsSnapshot {

@@ -130,6 +130,28 @@ pub enum RtEvent {
         /// Read locks discarded.
         readers: usize,
     },
+    /// A committed version was published to `obj`'s snapshot chain at
+    /// commit timestamp `ts` (top-level commit inheritance; stamped under
+    /// the object mutex, so it orders against grants on the same object).
+    Publish {
+        /// The committing top-level transaction.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+        /// The commit timestamp of the published version.
+        ts: u64,
+    },
+    /// A lock-free snapshot read on `obj` was served at snapshot
+    /// timestamp `ts` (`tx == 0` for reads through a detached
+    /// [`crate::Snapshot`] handle rather than a transaction).
+    SnapRead {
+        /// The reading transaction, or 0 for a detached snapshot handle.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+        /// The snapshot timestamp the read was served at.
+        ts: u64,
+    },
     /// A deadlock cycle was detected; `victim` was chosen to die.
     Deadlock {
         /// The requester whose wait closed the cycle.
@@ -174,6 +196,12 @@ impl RtEvent {
                 None => _ = writeln!(out, "INHERIT tx={tx} heir=base obj={obj}"),
             },
             RtEvent::Abort { tx } => _ = writeln!(out, "ABORT tx={tx}"),
+            RtEvent::Publish { tx, obj, ts } => {
+                _ = writeln!(out, "PUBLISH tx={tx} obj={obj} ts={ts}");
+            }
+            RtEvent::SnapRead { tx, obj, ts } => {
+                _ = writeln!(out, "SNAPREAD tx={tx} obj={obj} ts={ts}");
+            }
             RtEvent::Rollback {
                 tx,
                 obj,
@@ -222,6 +250,9 @@ pub struct TxTraceStats {
     pub faults: u64,
     /// Lock grants this transaction received by direct handoff.
     pub handoffs: u64,
+    /// Lock-free snapshot reads served (keyed to the reading transaction;
+    /// detached snapshot-handle reads fold under id 0).
+    pub snapshot_reads: u64,
 }
 
 /// One shard's buffer: events paired with their global sequence stamps.
@@ -304,7 +335,11 @@ impl TraceRecorder {
                 RtEvent::Commit { tx, .. } => map.entry(tx).or_default().committed = true,
                 RtEvent::Abort { tx } => map.entry(tx).or_default().aborted = true,
                 RtEvent::Fault { tx, .. } => map.entry(tx).or_default().faults += 1,
-                RtEvent::Rollback { .. } | RtEvent::Inherit { .. } | RtEvent::Deadlock { .. } => {}
+                RtEvent::SnapRead { tx, .. } => map.entry(tx).or_default().snapshot_reads += 1,
+                RtEvent::Rollback { .. }
+                | RtEvent::Inherit { .. }
+                | RtEvent::Deadlock { .. }
+                | RtEvent::Publish { .. } => {}
             }
         }
         map

@@ -47,6 +47,10 @@ pub struct FuzzConfig {
     pub exclusive: bool,
     /// Enable the footnote-8 optimisation on both sides.
     pub footnote8: bool,
+    /// Mix lock-free snapshot reads into the workload (checked against
+    /// the model as synthetic read-only transactions at the publication
+    /// point — see `ntx-conform`'s translation).
+    pub snapshot_ops: bool,
 }
 
 impl Default for FuzzConfig {
@@ -60,6 +64,7 @@ impl Default for FuzzConfig {
             plan: FaultPlan::light(),
             exclusive: false,
             footnote8: false,
+            snapshot_ops: false,
         }
     }
 }
@@ -214,6 +219,12 @@ pub fn fuzz_run(cfg: &FuzzConfig) -> FuzzOutcome {
                     }
                 }
             }
+            // Lock-free snapshot read (no transaction, never blocks).
+            // Guarded by the flag so legacy seeds replay unchanged.
+            _ if cfg.snapshot_ops && (42..47).contains(&roll) => {
+                let obj = rng.gen_range(0..cfg.objects.max(1));
+                session.snapshot_read(obj);
+            }
             // Read a random object.
             _ if roll < 52 => {
                 if let Some(&i) = pick(&mut rng, &alive) {
@@ -352,6 +363,39 @@ mod tests {
         for seed in 0..8 {
             let cfg = FuzzConfig {
                 seed,
+                plan: FaultPlan::heavy(),
+                ..Default::default()
+            };
+            let out = fuzz_run(&cfg);
+            assert!(out.ok(), "seed {seed}: {:?}", out.report);
+        }
+    }
+
+    #[test]
+    fn snapshot_ops_conform_and_replay_deterministically() {
+        let cfg = FuzzConfig {
+            seed: 2,
+            snapshot_ops: true,
+            ..Default::default()
+        };
+        let a = fuzz_run(&cfg);
+        let b = fuzz_run(&cfg);
+        assert!(a.ok(), "{:?}", a.report);
+        assert_eq!(a.log, b.log, "same seed must replay byte-identically");
+        assert!(
+            a.log.contains("SNAPREAD"),
+            "no snapshot reads exercised:\n{}",
+            a.log
+        );
+        assert!(a.stats.snapshot_reads > 0);
+    }
+
+    #[test]
+    fn snapshot_ops_with_heavy_faults_conform() {
+        for seed in 0..8 {
+            let cfg = FuzzConfig {
+                seed,
+                snapshot_ops: true,
                 plan: FaultPlan::heavy(),
                 ..Default::default()
             };

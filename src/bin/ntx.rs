@@ -12,7 +12,9 @@
 //!              locking on a generated workload
 //! ntx fuzz     [--seed N | --seeds K] [--faults none|light|heavy]
 //!              [--steps S] [--exclusive true] [--footnote8 true]
-//!              deterministic fault-injection fuzzing of the runtime,
+//!              [--snapshots false]
+//!              deterministic fault-injection fuzzing of the runtime
+//!              (lock-free snapshot reads included unless disabled),
 //!              differentially checked against the Theorem 34 model;
 //!              failing seeds are dumped to fuzz-failures/seed-N.log
 //! ntx demo     a quick nested-transaction session on the runtime
@@ -160,6 +162,9 @@ fn cmd_fuzz(flags: &HashMap<String, String>) {
         plan,
         exclusive: flag(flags, "exclusive", false),
         footnote8: flag(flags, "footnote8", false),
+        // Snapshot reads are on by default: the sweep exercises the
+        // lock-free read path against the checker unless --snapshots false.
+        snapshot_ops: flag(flags, "snapshots", true),
         ..Default::default()
     };
     // --seed N replays one seed verbosely; --seeds K sweeps 0..K.

@@ -1,0 +1,228 @@
+//! Integration test: lock-free snapshot reads conform to the paper's §4
+//! read semantics.
+//!
+//! A snapshot read returns the committed state as of some commit timestamp
+//! `S`. The checker validates each one as a synthetic top-level read-only
+//! transaction spliced into the model schedule at the point of the last
+//! top-level commit that published the object — exactly the position where
+//! the §4 conditions admit a read of the committed version. A snapshot
+//! that returned a stale value (missing a publish that happened before the
+//! snapshot was opened) or an uncommitted/aborted value makes the spliced
+//! schedule invalid and fails the replay.
+//!
+//! Three angles here:
+//! 1. fuzzed single-thread workloads with faults and snapshot ops enabled
+//!    replay cleanly across many seeds;
+//! 2. multi-threaded sessions mixing transactional writers with detached
+//!    snapshot readers conform (the session log linearises the snapshot
+//!    timestamp against surrounding commits);
+//! 3. *negative* checks: hand-built traces claiming a stale or an
+//!    uncommitted snapshot value are rejected by the checker.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ntx_conform::{check_trace, ConformanceSession, Trace, TraceEvent, TranslateOptions};
+use ntx_runtime::{RtConfig, TxError, TxManager};
+use ntx_sim::fault::FaultPlan;
+use ntx_sim::fuzz::{fuzz_run, FuzzConfig};
+
+#[test]
+fn fuzzed_snapshot_traces_conform_across_seeds() {
+    let mut snapshot_reads = 0;
+    for seed in 0..48 {
+        let out = fuzz_run(&FuzzConfig {
+            seed,
+            snapshot_ops: true,
+            plan: FaultPlan::light(),
+            ..Default::default()
+        });
+        assert!(
+            out.ok(),
+            "seed {seed}: schedule_error={:?} wellformed_error={:?} violations={:?}",
+            out.report.schedule_error,
+            out.report.wellformed_error,
+            out.report.correctness_violations
+        );
+        snapshot_reads += out.stats.snapshot_reads;
+    }
+    assert!(
+        snapshot_reads > 0,
+        "the sweep never exercised a snapshot read"
+    );
+}
+
+#[test]
+fn fuzzed_snapshot_traces_conform_under_heavy_faults() {
+    for seed in 0..24 {
+        let out = fuzz_run(&FuzzConfig {
+            seed,
+            snapshot_ops: true,
+            plan: FaultPlan::heavy(),
+            steps: 160,
+            ..Default::default()
+        });
+        assert!(
+            out.ok(),
+            "seed {seed}: schedule_error={:?} wellformed_error={:?} violations={:?}",
+            out.report.schedule_error,
+            out.report.wellformed_error,
+            out.report.correctness_violations
+        );
+    }
+}
+
+/// Writers commit increments from several threads while detached snapshot
+/// readers run concurrently; the recorded trace must still replay.
+#[test]
+fn threaded_snapshot_readers_conform() {
+    const WRITERS: usize = 3;
+    const READS: usize = 60;
+    let mgr = TxManager::new(RtConfig {
+        wait_timeout: Duration::from_millis(20),
+        ..Default::default()
+    });
+    let session = Arc::new(ConformanceSession::new(mgr, 2));
+
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let s = Arc::clone(&session);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..20 {
+                let t = s.begin();
+                let obj = (w + i) % 2;
+                match s.add(&t, obj, 1) {
+                    Ok(_) => {
+                        let _ = s.commit(&t);
+                    }
+                    Err(TxError::Timeout) | Err(TxError::Deadlock) => s.abort(&t),
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }));
+    }
+    let reader = {
+        let s = Arc::clone(&session);
+        std::thread::spawn(move || {
+            let mut last = [0i64; 2];
+            for i in 0..READS {
+                let obj = i % 2;
+                let v = s.snapshot_read(obj);
+                // Committed counters only ever grow: snapshots opened later
+                // must not travel backwards.
+                assert!(
+                    v >= last[obj],
+                    "snapshot went backwards: {v} < {}",
+                    last[obj]
+                );
+                last[obj] = v;
+            }
+        })
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    reader.join().unwrap();
+
+    let session = Arc::try_unwrap(session).ok().expect("session still shared");
+    let trace = session.finish();
+    let report = check_trace(&trace, TranslateOptions::default());
+    assert!(
+        report.ok(),
+        "schedule_error={:?} violations={:?}",
+        report.schedule_error,
+        report.correctness_violations
+    );
+}
+
+/// A snapshot read placed *after* a committed add must see the committed
+/// value. Claiming the pre-commit value is a §4 violation and the checker
+/// must reject the trace.
+#[test]
+fn checker_rejects_stale_snapshot_value() {
+    let trace = Trace {
+        events: vec![
+            TraceEvent::Begin {
+                tx: 1,
+                parent: None,
+            },
+            TraceEvent::Add {
+                tx: 1,
+                obj: 0,
+                delta: 5,
+                value: 5,
+            },
+            TraceEvent::Commit { tx: 1 },
+            // Stale: the publish at the commit above made 5 the committed
+            // state, and the snapshot was opened after it.
+            TraceEvent::SnapshotRead { obj: 0, value: 0 },
+        ],
+        objects: 1,
+    };
+    let report = check_trace(&trace, TranslateOptions::default());
+    assert!(
+        !report.ok(),
+        "checker accepted a stale snapshot read: {report:?}"
+    );
+}
+
+/// A snapshot read concurrent with an *uncommitted* writer must see the
+/// old committed state, never the writer's in-flight value.
+#[test]
+fn checker_rejects_uncommitted_snapshot_value() {
+    let trace = Trace {
+        events: vec![
+            TraceEvent::Begin {
+                tx: 1,
+                parent: None,
+            },
+            TraceEvent::Add {
+                tx: 1,
+                obj: 0,
+                delta: 5,
+                value: 5,
+            },
+            // Dirty read: tx 1 has not committed, so the committed state is
+            // still 0 and a snapshot claiming 5 is invalid.
+            TraceEvent::SnapshotRead { obj: 0, value: 5 },
+            TraceEvent::Commit { tx: 1 },
+        ],
+        objects: 1,
+    };
+    let report = check_trace(&trace, TranslateOptions::default());
+    assert!(
+        !report.ok(),
+        "checker accepted an uncommitted snapshot value: {report:?}"
+    );
+}
+
+/// Sanity twin of the negative tests: the same shapes with the *correct*
+/// values pass.
+#[test]
+fn checker_accepts_correct_snapshot_values() {
+    let trace = Trace {
+        events: vec![
+            TraceEvent::Begin {
+                tx: 1,
+                parent: None,
+            },
+            TraceEvent::Add {
+                tx: 1,
+                obj: 0,
+                delta: 5,
+                value: 5,
+            },
+            TraceEvent::SnapshotRead { obj: 0, value: 0 },
+            TraceEvent::Commit { tx: 1 },
+            TraceEvent::SnapshotRead { obj: 0, value: 5 },
+        ],
+        objects: 1,
+    };
+    let report = check_trace(&trace, TranslateOptions::default());
+    assert!(
+        report.ok(),
+        "schedule_error={:?} violations={:?}",
+        report.schedule_error,
+        report.correctness_violations
+    );
+}
