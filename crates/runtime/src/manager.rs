@@ -233,7 +233,12 @@ impl TxManager {
     /// Length of an object's committed-version chain (diagnostics and GC
     /// regression tests; includes the genesis version).
     pub fn version_chain_len<T>(&self, obj: &ObjRef<T>) -> usize {
-        self.inner.slot(obj.idx).snap.chain_len()
+        let slot = self.inner.slot(obj.idx);
+        // The full walk visits nodes below the GC cut, which the reader
+        // pin protocol does not protect; the slot mutex serializes it
+        // with publication and the incremental GC at publish time.
+        let _guard = slot.inner.lock();
+        slot.snap.chain_len()
     }
 }
 
@@ -321,6 +326,36 @@ fn edge_targets(inner: &ObjectInner, w: &Arc<Waiter>) -> Vec<u64> {
     tops.sort_unstable();
     tops.dedup();
     tops
+}
+
+/// One drawn publication ticket; its `Drop` passes the turnstile,
+/// advancing `commit_ts` over `ts` — **including on unwind**. Without
+/// this, a committer that panics between drawing its ticket and storing
+/// `commit_ts` (e.g. a user `Clone` impl panicking inside `clone_box`
+/// while the committed base is published) would leave the clock stuck
+/// below its ticket and every later top-level committer spinning forever.
+/// On unwind the commit may be only partially published — no worse than
+/// the partially applied inheritance pass the same panic already leaves
+/// behind — but the turnstile stays live.
+struct TurnstileTicket<'a> {
+    mgr: &'a ManagerInner,
+    ts: u64,
+}
+
+impl Drop for TurnstileTicket<'_> {
+    fn drop(&mut self) {
+        // Publication turnstile: wait for every earlier ticket's versions
+        // to be fully published, then advance the snapshot clock over
+        // ours. No mutex is held here (the slot guard is released before
+        // the ticket drops, on the normal and the unwinding path alike);
+        // earlier ticket holders advance through this same guard whether
+        // or not they panicked and cannot block on us, so the spin is
+        // bounded by their publication work.
+        while self.mgr.commit_ts.load(Ordering::SeqCst) != self.ts - 1 {
+            crate::sync::hint::spin_loop();
+        }
+        self.mgr.commit_ts.store(self.ts, Ordering::SeqCst);
+    }
 }
 
 impl ManagerInner {
@@ -919,7 +954,7 @@ impl ManagerInner {
     pub(crate) fn inherit_locks(&self, node: &Arc<TxNode>) {
         let touched = node.touched.lock().clone();
         let heir = node.parent.clone();
-        let mut ticket: Option<u64> = None;
+        let mut ticket: Option<TurnstileTicket<'_>> = None;
         for obj in touched {
             let slot = self.slot(obj);
             let wake;
@@ -941,13 +976,16 @@ impl ManagerInner {
                     // Top-level commit installed a new committed base:
                     // publish it to the snapshot chain. Ticket 0 is the
                     // genesis timestamp, so tickets start at 1.
-                    let ts = *ticket.get_or_insert_with(|| {
-                        // relaxed(ts-alloc): ticket allocation only needs
-                        // uniqueness and atomicity of the RMW; ordering is
-                        // provided by the SeqCst commit_ts turnstile that
-                        // publishes the ticket.
-                        self.ts_alloc.fetch_add(1, Ordering::Relaxed) + 1
-                    });
+                    let ts = ticket
+                        .get_or_insert_with(|| TurnstileTicket {
+                            mgr: self,
+                            // relaxed(ts-alloc): ticket allocation only
+                            // needs uniqueness and atomicity of the RMW;
+                            // ordering is provided by the SeqCst commit_ts
+                            // turnstile that publishes the ticket.
+                            ts: self.ts_alloc.fetch_add(1, Ordering::Relaxed) + 1,
+                        })
+                        .ts;
                     slot.snap.publish(ts, guard.base.clone_box());
                     self.stats.bump(Ctr::VersionsPublished);
                     self.trace(RtEvent::Publish {
@@ -976,17 +1014,9 @@ impl ManagerInner {
                 h.touch(obj);
             }
         }
-        if let Some(ts) = ticket {
-            // Publication turnstile: wait for every earlier ticket's
-            // versions to be fully published, then advance the snapshot
-            // clock over ours. Holding no mutex here; earlier ticket
-            // holders are inside this same function and cannot block on
-            // us, so the spin is bounded by their publication work.
-            while self.commit_ts.load(Ordering::SeqCst) != ts - 1 {
-                crate::sync::hint::spin_loop();
-            }
-            self.commit_ts.store(ts, Ordering::SeqCst);
-        }
+        // `ticket` drops here: the turnstile spin-then-advance lives in
+        // `TurnstileTicket::drop` so it runs even if publication unwinds.
+        drop(ticket);
     }
 
     /// Abort `root`'s whole subtree: mark nodes aborted, purge locks and

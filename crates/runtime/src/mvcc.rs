@@ -109,7 +109,18 @@ impl SnapshotCell {
         choose_ts: impl FnOnce() -> u64,
         f: impl FnOnce(&dyn Any) -> R,
     ) -> (u64, R) {
+        // Unpin on scope exit *including unwind*: a panic in `f` (e.g. a
+        // failed downcast `expect` in the caller's closure) must not leak
+        // the pin, or the collector would skip this cell forever and its
+        // chain would grow without bound.
+        struct Unpin<'a>(&'a AtomicU64);
+        impl Drop for Unpin<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
         self.pins.fetch_add(1, Ordering::SeqCst);
+        let _pin = Unpin(&self.pins);
         let s = choose_ts();
         let mut node = self.head.load(Ordering::SeqCst);
         // SAFETY: `node` starts at the head (non-null) and follows `next`
@@ -124,9 +135,7 @@ impl SnapshotCell {
                 node = next;
             }
             let out = f((*node).state.as_any());
-            let ts = (*node).ts;
-            self.pins.fetch_sub(1, Ordering::SeqCst);
-            (ts, out)
+            ((*node).ts, out)
         }
     }
 
@@ -168,20 +177,27 @@ impl SnapshotCell {
         }
     }
 
-    /// Current chain length (for GC regression tests). Lock-free.
+    /// Current chain length, genesis included (diagnostics and GC
+    /// regression tests).
+    ///
+    /// Caller must hold the slot mutex (or otherwise be serialized with
+    /// `publish`/`collect`). A pin would *not* make this safe: the pin
+    /// protocol only protects nodes at or above a concurrently fixed GC
+    /// watermark, and this walk deliberately continues below the cut all
+    /// the way to genesis — exactly the suffix a racing `collect` that
+    /// observed `pins == 0` before we arrived may be freeing.
     pub(crate) fn chain_len(&self) -> usize {
-        self.pins.fetch_add(1, Ordering::SeqCst);
         let mut n = 0;
         let mut node = self.head.load(Ordering::SeqCst);
-        // SAFETY: same pin-guarded traversal as `read`, with S = infinity
-        // (the genesis node is never collected, so the walk terminates).
+        // SAFETY: the caller serializes us with `publish`/`collect` (slot
+        // mutex), so the chain is intact down to the genesis node and no
+        // node is freed during the walk.
         unsafe {
             while !node.is_null() {
                 n += 1;
                 node = (*node).next.load(Ordering::SeqCst);
             }
         }
-        self.pins.fetch_sub(1, Ordering::SeqCst);
         n
     }
 }
@@ -262,6 +278,21 @@ mod tests {
         assert_eq!(freed, 0);
         assert_eq!(c.chain_len(), 3);
         // Once unpinned, the same watermark reclaims.
+        assert_eq!(c.collect(2), 2);
+        assert_eq!(c.chain_len(), 1);
+    }
+
+    #[test]
+    fn reader_panic_releases_the_pin() {
+        let c = cell(0);
+        c.publish(1, Box::new(10i64));
+        c.publish(2, Box::new(20i64));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.read(|| 2, |_| -> i64 { panic!("downcast failed") })
+        }));
+        assert!(r.is_err());
+        // The pin must not leak on unwind: collection still reclaims
+        // everything below the cut afterwards.
         assert_eq!(c.collect(2), 2);
         assert_eq!(c.chain_len(), 1);
     }

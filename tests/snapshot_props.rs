@@ -122,6 +122,58 @@ proptest! {
     }
 }
 
+/// Regression: a top-level committer whose user `Clone` impl panics while
+/// its committed base is being published must not stall the publication
+/// turnstile — later committers draw later tickets and would spin forever
+/// waiting on the dead ticket. The ticket's drop guard advances
+/// `commit_ts` even on unwind.
+#[test]
+fn panicking_publish_does_not_stall_later_committers() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Debug)]
+    struct Grenade {
+        armed: Arc<AtomicBool>,
+        v: i64,
+    }
+    impl Clone for Grenade {
+        fn clone(&self) -> Self {
+            assert!(!self.armed.load(Ordering::SeqCst), "armed clone");
+            Grenade {
+                armed: self.armed.clone(),
+                v: self.v,
+            }
+        }
+    }
+
+    let armed = Arc::new(AtomicBool::new(false));
+    let mgr = TxManager::new(RtConfig::default());
+    let grenade = mgr.register(
+        "grenade",
+        Grenade {
+            armed: armed.clone(),
+            v: 0,
+        },
+    );
+    let obj = mgr.register("x", 0i64);
+
+    // The write-time clone (abort-recovery version) runs before arming;
+    // the publish-time clone at commit runs after and panics.
+    let tx = mgr.begin();
+    tx.write(&grenade, |g| g.v = 1).unwrap();
+    armed.store(true, Ordering::SeqCst);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tx.commit()));
+    assert!(r.is_err(), "publish-time clone was expected to panic");
+
+    // A later committer must still pass the turnstile (this used to hang
+    // forever), and snapshots must see its publication.
+    let tx2 = mgr.begin();
+    tx2.write(&obj, |v| *v = 7).unwrap();
+    tx2.commit().unwrap();
+    assert_eq!(mgr.snapshot().read(&obj, |v| *v), 7);
+}
+
 /// Regression: a long run of publishing commits with interleaved snapshot
 /// reads must not grow version chains without bound. Incremental GC at
 /// publish time plus an explicit `collect_garbage` once the last snapshot
