@@ -92,10 +92,23 @@ pub struct BOutcome {
     pub throughput: f64,
     /// Lock requests that blocked.
     pub waits: u64,
-    /// Blocked requests granted by direct handoff (the releasing thread
-    /// installed the waiter's lock state; the waiter never re-fought for
-    /// the slot).
+    /// Grant **waves**: release scans that granted at least one waiter (the
+    /// releasing thread installed the whole wave's lock state and woke it
+    /// in one batch).
     pub handoffs: u64,
+    /// Waiters granted inside those waves; `wave_grants / handoffs` is the
+    /// mean wave size, and `1 - handoffs / wave_grants` is the fraction of
+    /// cross-thread handoff waves the batching removed.
+    pub wave_grants: u64,
+    /// Granted waiters that observed their grant while still spinning
+    /// (adaptive spin-then-park: no park, no condvar wakeup paid).
+    pub spin_grants: u64,
+    /// Wave grants that went to a waiter in the releasing thread's cohort
+    /// (0 when cohorts are disabled).
+    pub cohort_hits: u64,
+    /// Highest bypass count any waiter accumulated (must stay at or below
+    /// `cohort_fairness_bound`; 0 when cohorts are disabled).
+    pub max_bypass: u64,
     /// Top-level restarts forced by deadlock/timeout.
     pub restarts: u64,
     /// Median per-access lock-acquisition latency, microseconds.
@@ -117,11 +130,21 @@ fn percentile(sorted: &[u64], q: f64) -> f64 {
 /// sleeping `hold_us` while holding each transaction's locks. Each lock
 /// acquisition is timed individually for the latency percentiles.
 pub fn run_b_workload(cfg: &BWorkload, seed: u64) -> BOutcome {
-    let mgr = TxManager::new(RtConfig {
-        mode: LockMode::MossRW,
-        wait_timeout: Duration::from_secs(10),
-        ..Default::default()
-    });
+    run_b_workload_rt(
+        cfg,
+        seed,
+        RtConfig {
+            mode: LockMode::MossRW,
+            wait_timeout: Duration::from_secs(10),
+            ..Default::default()
+        },
+    )
+}
+
+/// [`run_b_workload`] under an explicit runtime config (B6 sweeps the
+/// cohort knobs; everything else uses the defaults).
+pub fn run_b_workload_rt(cfg: &BWorkload, seed: u64, rt: RtConfig) -> BOutcome {
+    let mgr = TxManager::new(rt);
     let total_objects = if cfg.disjoint {
         cfg.objects * cfg.threads
     } else {
@@ -225,6 +248,10 @@ pub fn run_b_workload(cfg: &BWorkload, seed: u64) -> BOutcome {
         throughput: committed as f64 / elapsed.as_secs_f64(),
         waits: stats.waits,
         handoffs: stats.handoffs,
+        wave_grants: stats.wave_grants,
+        spin_grants: stats.spin_grants,
+        cohort_hits: stats.cohort_hits,
+        max_bypass: mgr.max_waiter_bypass(),
         restarts: restarts.load(Ordering::Relaxed),
         p50_us: percentile(&lats, 0.50),
         p99_us: percentile(&lats, 0.99),
@@ -650,6 +677,10 @@ pub fn run_b5_workload(cfg: &BWorkload, seed: u64) -> (BOutcome, u64, u64) {
         throughput: committed as f64 / elapsed.as_secs_f64(),
         waits: stats.waits,
         handoffs: stats.handoffs,
+        wave_grants: stats.wave_grants,
+        spin_grants: stats.spin_grants,
+        cohort_hits: stats.cohort_hits,
+        max_bypass: mgr.max_waiter_bypass(),
         restarts: restarts.load(Ordering::Relaxed),
         p50_us: percentile(&lats, 0.50),
         p99_us: percentile(&lats, 0.99),
@@ -714,6 +745,162 @@ pub fn b5_snapshot_reads(txs_per_thread: usize) -> (Table, Vec<B5Row>) {
             out,
             snapshot_reads,
             read_grants,
+        });
+    }
+    (t, rows)
+}
+
+/// One row of [`b6_grant_waves`].
+#[derive(Clone, Debug)]
+pub struct B6Row {
+    /// Human-readable row label (workload + cohort setting).
+    pub label: String,
+    /// Probability an access is a read.
+    pub read_fraction: f64,
+    /// Cohort count the runtime was configured with (0 = disabled).
+    pub cohorts: usize,
+    /// Measured outcome.
+    pub out: BOutcome,
+    /// `wave_grants / handoffs`: average waiters granted per release scan.
+    pub mean_wave_size: f64,
+    /// `1 - handoffs / wave_grants`: the fraction of per-waiter handoff
+    /// waves (each a cross-thread wakeup round) the batching eliminated.
+    pub handoff_reduction: f64,
+}
+
+/// Median-of-3 under an explicit runtime config, keyed on throughput like
+/// [`run_b_median`].
+fn run_b6_median(cfg: &BWorkload, rt: &RtConfig) -> BOutcome {
+    let mut outs: Vec<BOutcome> = (0..3)
+        .map(|i| run_b_workload_rt(cfg, 11 + i, rt.clone()))
+        .collect();
+    outs.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+    outs.swap_remove(1)
+}
+
+/// B6 — grant-wave batching and cohort-aware handoff on a hot key.
+///
+/// The B4 shape (one shared object, 1 op/tx, queue never drains at 8
+/// threads), instrumented for the batching work: with reads in the mix, a
+/// release scan grants the whole run of compatible waiters as ONE wave —
+/// one stats flush, one trace batch, one wakeup pass — instead of one
+/// handoff round per waiter. `mean wave` measures the coalescing,
+/// `reduction` is the share of cross-thread handoff waves removed
+/// (`1 - handoffs/wave_grants`), and the cohort rows show preference
+/// steering grants to the releaser's cohort without the bypass watermark
+/// ever exceeding the fairness bound. The final row shortens the in-tx
+/// hold and widens `spin_hold_threshold` so waits sit inside the adaptive
+/// spin window: waiters should then catch their grant while still
+/// spinning (`spin grants` > 0 — no park, no condvar wakeup paid). That
+/// row runs 2 threads: on a single-core host a spinning waiter only
+/// observes its grant when the holder's sleep-wakeup preempts the spin,
+/// and a deep spinner convoy would drown that signal.
+pub fn b6_grant_waves(txs_per_thread: usize) -> (Table, Vec<B6Row>) {
+    let mut t = Table::new(
+        "B6 — grant-wave batching on a hot key: one shared object, 1 op/tx \
+         (waves coalesce compatible runs; cohorts 4, fairness bound 4 where \
+         enabled). Rows 1–3: 8 threads, 50µs in-tx latency. Short-hold row: \
+         2 threads, 20µs hold, 5ms spin threshold — gates spin-grant \
+         capture, not latency",
+        &[
+            "workload",
+            "tx/s",
+            "waves",
+            "wave grants",
+            "mean wave",
+            "reduction",
+            "cohort hits",
+            "max bypass",
+            "spin grants",
+            "acq p99 µs",
+        ],
+    );
+    let rt = |cohorts: usize, spin_thr_us: u64| RtConfig {
+        mode: LockMode::MossRW,
+        wait_timeout: Duration::from_secs(10),
+        cohorts,
+        cohort_fairness_bound: 4,
+        spin_hold_threshold: Duration::from_micros(spin_thr_us),
+        ..Default::default()
+    };
+    // (label, threads, read fraction, cohorts, hold µs, spin threshold µs,
+    // txs/thread). The short-hold row keeps a floor on its tx count so the
+    // spin-grant counter is stably positive even at quick sizes.
+    let spin_txs = txs_per_thread.max(300);
+    let shapes: [(&str, usize, f64, usize, u64, u64, usize); 5] = [
+        (
+            "rf=0.5 hot key, cohorts off",
+            8,
+            0.5,
+            0,
+            50,
+            20,
+            txs_per_thread,
+        ),
+        (
+            "rf=0.5 hot key, cohorts 4",
+            8,
+            0.5,
+            4,
+            50,
+            20,
+            txs_per_thread,
+        ),
+        (
+            "rf=0.75 hot key, cohorts 4",
+            8,
+            0.75,
+            4,
+            50,
+            20,
+            txs_per_thread,
+        ),
+        (
+            "rf=0.9 hot key, cohorts 4",
+            8,
+            0.9,
+            4,
+            50,
+            20,
+            txs_per_thread,
+        ),
+        ("short hold, spin-to-grant", 2, 0.0, 4, 20, 5000, spin_txs),
+    ];
+    let mut rows: Vec<B6Row> = Vec::new();
+    for (label, threads, rf, cohorts, hold_us, spin_thr_us, txs) in shapes {
+        let cfg = BWorkload {
+            threads,
+            objects: 1,
+            disjoint: false,
+            ops_per_tx: 1,
+            read_fraction: rf,
+            zipf_theta: 0.0,
+            txs_per_thread: txs,
+            hold_us,
+            sorted_access: true,
+        };
+        let out = run_b6_median(&cfg, &rt(cohorts, spin_thr_us));
+        let mean_wave_size = out.wave_grants as f64 / out.handoffs.max(1) as f64;
+        let handoff_reduction = 1.0 - out.handoffs as f64 / out.wave_grants.max(1) as f64;
+        t.row(vec![
+            label.into(),
+            format!("{:.0}", out.throughput),
+            out.handoffs.to_string(),
+            out.wave_grants.to_string(),
+            format!("{mean_wave_size:.2}"),
+            format!("{:.0}%", handoff_reduction * 100.0),
+            out.cohort_hits.to_string(),
+            out.max_bypass.to_string(),
+            out.spin_grants.to_string(),
+            format!("{:.1}", out.p99_us),
+        ]);
+        rows.push(B6Row {
+            label: label.into(),
+            read_fraction: rf,
+            cohorts,
+            out,
+            mean_wave_size,
+            handoff_reduction,
         });
     }
     (t, rows)
@@ -786,13 +973,18 @@ pub fn b0_uncontended(iters: u64) -> (Table, B0Costs) {
 fn json_outcome(out: &BOutcome) -> String {
     format!(
         "{{\"committed\": {}, \"elapsed_ms\": {:.1}, \"throughput_tps\": {:.1}, \
-         \"waits\": {}, \"handoffs\": {}, \"restarts\": {}, \"acq_p50_us\": {:.2}, \
-         \"acq_p99_us\": {:.2}}}",
+         \"waits\": {}, \"handoffs\": {}, \"wave_grants\": {}, \"spin_grants\": {}, \
+         \"cohort_hits\": {}, \"max_bypass\": {}, \"restarts\": {}, \
+         \"acq_p50_us\": {:.2}, \"acq_p99_us\": {:.2}}}",
         out.committed,
         out.elapsed.as_secs_f64() * 1000.0,
         out.throughput,
         out.waits,
         out.handoffs,
+        out.wave_grants,
+        out.spin_grants,
+        out.cohort_hits,
+        out.max_bypass,
         out.restarts,
         out.p50_us,
         out.p99_us,
@@ -801,6 +993,7 @@ fn json_outcome(out: &BOutcome) -> String {
 
 /// Render the full B-series result set as the `BENCH_runtime.json` document
 /// (hand-rolled: the dependency policy vendors no JSON serializer).
+#[allow(clippy::too_many_arguments)] // one slice per B-series table, by design
 pub fn bench_json(
     mode: &str,
     b0: &B0Costs,
@@ -809,6 +1002,7 @@ pub fn bench_json(
     b3: &[B3Row],
     b4: &[B4Row],
     b5: &[B5Row],
+    b6: &[B6Row],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -911,8 +1105,35 @@ pub fn bench_json(
         .find(|r| r.read_fraction >= 1.0)
         .map_or(0.0, |r| r.out.p99_us);
     s.push_str(&format!(
-        "    ],\n    \"read_p99_ratio_contended_to_baseline\": {:.3}\n  }}\n}}\n",
+        "    ],\n    \"read_p99_ratio_contended_to_baseline\": {:.3}\n  }},\n",
         p99_contended / p99_baseline.max(1.0)
+    ));
+
+    s.push_str("  \"b6_grant_waves\": {\n    \"rows\": [\n");
+    for (i, r) in b6.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"label\": \"{}\", \"read_fraction\": {:.2}, \"cohorts\": {}, \
+             \"mean_wave_size\": {:.3}, \"handoff_reduction\": {:.3}, \"outcome\": {}}}{}\n",
+            r.label,
+            r.read_fraction,
+            r.cohorts,
+            r.mean_wave_size,
+            r.handoff_reduction,
+            json_outcome(&r.out),
+            if i + 1 < b6.len() { "," } else { "" }
+        ));
+    }
+    // Headline: the fraction of cross-thread handoff waves the batching
+    // removed on the most read-leaning contended row (larger compatible
+    // runs → bigger waves → fewer wakeup rounds). The acceptance bar is
+    // ≥ 0.30 on the rf = 0.75 hot-key row.
+    let headline = b6
+        .iter()
+        .filter(|r| r.read_fraction > 0.0)
+        .map(|r| r.handoff_reduction)
+        .fold(0.0f64, f64::max);
+    s.push_str(&format!(
+        "    ],\n    \"max_handoff_reduction\": {headline:.3}\n  }}\n}}\n"
     ));
     s
 }
@@ -983,6 +1204,10 @@ mod tests {
             throughput: 4000.0,
             waits: 0,
             handoffs: 0,
+            wave_grants: 0,
+            spin_grants: 0,
+            cohort_hits: 0,
+            max_bypass: 0,
             restarts: 0,
             p50_us: 1.0,
             p99_us: 2.0,
@@ -1018,12 +1243,20 @@ mod tests {
             },
             B5Row {
                 read_fraction: 1.0,
-                out,
+                out: out.clone(),
                 snapshot_reads: 100,
                 read_grants: 0,
             },
         ];
-        let doc = bench_json("quick", &b0, &b1, &b2, &b3, &b4, &b5);
+        let b6 = vec![B6Row {
+            label: "rf=0.5 hot key, cohorts 4".into(),
+            read_fraction: 0.5,
+            cohorts: 4,
+            out,
+            mean_wave_size: 1.5,
+            handoff_reduction: 0.333,
+        }];
+        let doc = bench_json("quick", &b0, &b1, &b2, &b3, &b4, &b5, &b6);
         // Balanced braces/brackets and the headline key present.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
@@ -1032,7 +1265,42 @@ mod tests {
         assert!(doc.contains("\"b5_snapshot_reads\""));
         assert!(doc.contains("\"reader_waits\": 0"));
         assert!(doc.contains("\"read_p99_ratio_contended_to_baseline\": 1.000"));
+        assert!(doc.contains("\"b6_grant_waves\""));
+        assert!(doc.contains("\"wave_grants\": 0"));
+        assert!(doc.contains("\"max_handoff_reduction\": 0.333"));
         assert!(!doc.contains("NaN") && !doc.contains("inf"));
+    }
+
+    #[test]
+    fn b6_wave_counters_are_consistent() {
+        let cfg = BWorkload {
+            threads: 4,
+            objects: 1,
+            disjoint: false,
+            ops_per_tx: 1,
+            read_fraction: 0.5,
+            zipf_theta: 0.0,
+            txs_per_thread: 30,
+            hold_us: 20,
+            sorted_access: true,
+        };
+        let rt = RtConfig {
+            mode: LockMode::MossRW,
+            wait_timeout: Duration::from_secs(10),
+            cohorts: 2,
+            cohort_fairness_bound: 4,
+            ..Default::default()
+        };
+        let out = run_b_workload_rt(&cfg, 5, rt);
+        assert_eq!(out.committed, 120);
+        assert!(
+            out.wave_grants >= out.handoffs,
+            "every wave grants at least one waiter: {out:?}"
+        );
+        assert!(
+            out.max_bypass <= 4,
+            "fairness bound violated in a bench run: {out:?}"
+        );
     }
 
     #[test]

@@ -108,12 +108,13 @@ impl WaitForGraph {
 
     /// Replace `waiter`'s out-edges *without* running cycle detection —
     /// a single-stripe operation for refreshing an already-published wait
-    /// set. Sound only when the new set is a subset of targets the waiter
-    /// has already checked through [`Self::wait_and_check`]: shrinking a
-    /// checked edge set can never close a new cycle. The release scan uses
-    /// this when queue movement retires some of a parked waiter's
-    /// predecessors (the remaining targets were all in the enqueue-time
-    /// set).
+    /// set. Shrinking a checked edge set can never close a new cycle; a
+    /// *grown* set (a queue-jumped successor became a holder under the
+    /// bounded cohort/ancestor bypasses) is also safe here because the
+    /// release scan republishes it under the slot mutex before the newly
+    /// granted transaction can block again, so any cycle the grown edge
+    /// participates in is still closed — and detected — by some waiter's
+    /// own [`Self::wait_and_check`] at enqueue time.
     pub fn set_edges(&self, waiter: u64, edges: &[u64]) {
         self.stripes[stripe_of(waiter)]
             .0

@@ -9,16 +9,20 @@
 //!
 //! Contended objects use **queued direct handoff** instead of park/retry:
 //! a blocked request enqueues a [`Waiter`] on the object's FIFO queue,
-//! spins briefly, then parks on its own node. Whoever releases lock state
-//! (commit inheritance, abort rollback, a handed-off writer finishing its
-//! apply) runs [`ManagerInner::release_scan`] under the slot mutex: it
-//! cancels doomed waiters in place, then walks the queue head and *grants
-//! directly* — installing the waiter's lock state itself and waking exactly
-//! the granted threads, batch-granting a consecutive run of compatible
-//! readers in one wave. Waiters never wake to re-fight for the mutex, and
-//! the deadlock detector derives each waiter's wait-for edges from queue
-//! membership: one checked publish per enqueue, shrink-only refreshes as
-//! the queue moves (instead of one publish per retry).
+//! spins briefly (adaptively extended when the object's recent holds are
+//! short), then parks on its own node. Whoever releases lock state (commit
+//! inheritance, abort rollback, a handed-off writer finishing its apply)
+//! runs [`ManagerInner::release_scan`] under the slot mutex: it cancels
+//! doomed waiters in place, then computes one maximal **grant wave** — the
+//! run of compatible waiters pickable under the grant rule, including
+//! ancestor-held bypasses and (when enabled) cohort-preferred picks within
+//! a hard fairness bound — installs all of its lock state on the releasing
+//! thread, publishes one aggregated stats delta and one batched trace
+//! record for the whole wave, and wakes exactly the granted threads.
+//! Waiters never wake to re-fight for the mutex, and the deadlock detector
+//! derives each waiter's wait-for edges from queue membership: one checked
+//! publish per enqueue, checked-set refreshes as the queue moves (instead
+//! of one publish per retry).
 
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{Arc, Mutex};
@@ -93,6 +97,10 @@ pub(crate) struct ManagerInner {
     /// against GC watermark computation (lock order: slot mutex may be
     /// held while taking this; never the reverse).
     pub live_snapshots: Mutex<BTreeMap<u64, usize>>,
+    /// High-watermark of per-waiter cohort bypass counts ever observed
+    /// (diagnostics; the starvation tests assert it never exceeds
+    /// [`RtConfig::cohort_fairness_bound`]).
+    pub max_bypass: AtomicU64,
 }
 
 impl ManagerInner {
@@ -106,6 +114,7 @@ impl ManagerInner {
             ts_alloc: AtomicU64::new(0),
             commit_ts: AtomicU64::new(0),
             live_snapshots: Mutex::new(BTreeMap::new()),
+            max_bypass: AtomicU64::new(0),
         }
     }
 }
@@ -187,6 +196,16 @@ impl TxManager {
         (0..self.inner.objects.len())
             .map(|i| self.inner.objects.get(i).inner.lock().waiters())
             .sum()
+    }
+
+    /// Highest cohort-preference bypass count any single waiter has ever
+    /// accumulated (0 when cohorts are disabled). Bounded by
+    /// [`RtConfig::cohort_fairness_bound`] by construction; exposed so
+    /// starvation tests can assert the bound from the public API.
+    pub fn max_waiter_bypass(&self) -> u64 {
+        // relaxed(bypass-max): diagnostic high-watermark; read at
+        // quiescence by tests, no ordering role.
+        self.inner.max_bypass.load(Ordering::Relaxed)
     }
 
     /// Open a consistent read snapshot at the current commit timestamp.
@@ -302,8 +321,10 @@ fn doom_error(node: &TxNode) -> TxError {
 /// Wait-for edge targets for queued waiter `w`, derived from queue
 /// membership: the top-level ids of every conflicting lock holder plus
 /// every live waiter queued ahead of `w` (queue order is a wait too — the
-/// scan grants strictly from the head). Sorted and deduped so refreshes
-/// can compare sets cheaply; `w`'s own top is excluded.
+/// scan grants FIFO up to bounded cohort/ancestor bypasses, so a
+/// predecessor edge is conservative but at most `B` grants stale). Sorted
+/// and deduped so refreshes can compare sets cheaply; `w`'s own top is
+/// excluded.
 fn edge_targets(inner: &ObjectInner, w: &Arc<Waiter>) -> Vec<u64> {
     let my_top = w.owner.top_level_id();
     let mut tops: Vec<u64> = inner
@@ -351,6 +372,23 @@ impl Drop for TurnstileTicket<'_> {
         // earlier ticket holders advance through this same guard whether
         // or not they panicked and cannot block on us, so the spin is
         // bounded by their publication work.
+        // Spin briefly for the common case (the earlier committer is
+        // mid-publication on another core), then yield: if that committer
+        // was preempted — guaranteed on a single-core host — burning the
+        // rest of this timeslice on `spin_loop` turns every commit into a
+        // scheduler-quantum stall and convoys the whole commit stream.
+        #[cfg(not(loom))]
+        {
+            let mut spins = 0u32;
+            while self.mgr.commit_ts.load(Ordering::SeqCst) != self.ts - 1 {
+                crate::sync::hint::spin_loop();
+                spins += 1;
+                if spins >= 64 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        #[cfg(loom)]
         while self.mgr.commit_ts.load(Ordering::SeqCst) != self.ts - 1 {
             crate::sync::hint::spin_loop();
         }
@@ -452,6 +490,15 @@ impl ManagerInner {
         f: impl FnOnce(&mut dyn AnyState) -> R,
     ) -> R {
         owner.touch(obj_idx);
+        // A grant on a free object starts a hold tenure (EWMA sample for
+        // the adaptive spin gate); a grant on a held one extends it. Only
+        // tracked once the object shows contention (a queued waiter, or an
+        // already-warm EWMA): the spin hint exists for waiters, and the
+        // clock reads would tax the uncontended fast path for nothing.
+        #[cfg(not(loom))]
+        if inner.tenure_start.is_none() && (!inner.queue.is_empty() || inner.hint_warm) {
+            inner.tenure_start = Some(Instant::now());
+        }
         if lock_write {
             // Declared writes, and reads in Exclusive mode (which take a
             // write lock whose version equals its predecessor).
@@ -487,16 +534,25 @@ impl ManagerInner {
         }
     }
 
-    /// Install lock state for a queued waiter being handed the lock. Runs
-    /// on the *releasing* thread under the slot mutex, so the grant events
-    /// are stamped at their true linearisation point; the woken waiter only
-    /// applies its closure. A write handoff leaves `write_pending` set —
-    /// nothing else is grantable until the writer's apply clears it, so no
-    /// deeper version can land on top of the parked writer's.
-    fn apply_grant(&self, obj_idx: usize, inner: &mut ObjectInner, w: &Arc<Waiter>) {
-        if !w.grant() {
-            return; // lost a cancel race; the scan's doom pass removed it
+    /// The calling thread's locality cohort under the configured cohort
+    /// count (always 0 when cohorts are disabled).
+    #[inline]
+    pub(crate) fn local_cohort(&self) -> usize {
+        if self.config.cohorts == 0 {
+            0
+        } else {
+            crate::shard::thread_index() % self.config.cohorts
         }
+    }
+
+    /// Install lock state for one queued waiter being handed the lock
+    /// (stats and trace publication are aggregated per wave by the
+    /// caller). Runs on the *releasing* thread under the slot mutex; the
+    /// woken waiter only applies its closure. A write handoff leaves
+    /// `write_pending` set — nothing else is grantable until the writer's
+    /// apply clears it, so no deeper version can land on top of the parked
+    /// writer's. Returns `true` when a fresh version was installed.
+    fn install_grant(&self, obj_idx: usize, inner: &mut ObjectInner, w: &Arc<Waiter>) -> bool {
         if self.config.deadlock == DeadlockPolicy::DieOnCycle {
             let mut e = w.edges.lock();
             if !e.is_empty() {
@@ -505,57 +561,116 @@ impl ManagerInner {
             }
         }
         w.owner.touch(obj_idx);
-        self.stats.bump(Ctr::Handoffs);
-        self.trace(RtEvent::Handoff {
-            tx: w.owner.id,
-            obj: obj_idx,
-            write: w.write,
-        });
         if w.write {
-            self.stats.bump(Ctr::WriteGrants);
             let installs = !matches!(inner.chain.last(), Some(e) if e.owner.id == w.owner.id);
-            self.trace(RtEvent::WriteGrant {
-                tx: w.owner.id,
-                obj: obj_idx,
-            });
-            if installs {
-                self.trace(RtEvent::VersionInstall {
-                    tx: w.owner.id,
-                    obj: obj_idx,
-                });
-            }
             let _ = inner.writable_state(&w.owner);
             inner.write_pending = Some(w.owner.id);
+            installs
         } else {
-            self.stats.bump(Ctr::ReadGrants);
-            self.trace(RtEvent::ReadGrant {
-                tx: w.owner.id,
-                obj: obj_idx,
-            });
             inner.add_reader(&w.owner, self.config.drop_read_lock_when_write_held);
+            false
         }
     }
 
-    /// Walk an object's waiter queue after lock state changed. Returns the
-    /// waiters to wake; callers wake them *after* dropping the slot mutex.
+    /// Pick the next waiter the grant wave takes, as
+    /// `(queue_index, cohort_preferred)`:
+    ///
+    /// 1. **cohort preference** (cohorts enabled, not under wound–wait):
+    ///    the first grantable waiter from the releasing thread's cohort —
+    ///    but only while every live waiter queued ahead of it has been
+    ///    bypassed fewer than [`RtConfig::cohort_fairness_bound`] times;
+    /// 2. **strict FIFO**: the head, if grantable;
+    /// 3. **ancestor-held bypass**: the first grantable waiter some current
+    ///    holder is an ancestor of. Such a request must not stay stuck
+    ///    behind a stranger (the stranger may be waiting on exactly that
+    ///    ancestor — the same liveness argument as the inline no-barge
+    ///    gate), and granting it adds no cross-top wait inversion, since
+    ///    it shares its top-level transaction with a current holder.
+    ///
+    /// Cohort preference is disabled under
+    /// [`DeadlockPolicy::WoundWait`]: its age-ordered queue is what keeps
+    /// every wait pointing young → old, and an out-of-age-order grant to a
+    /// *different* top could park an older transaction behind a younger
+    /// holder it never got to wound.
+    fn pick_grant(&self, inner: &ObjectInner, releaser_cohort: usize) -> Option<(usize, bool)> {
+        if inner.queue.is_empty() {
+            return None;
+        }
+        if self.config.cohorts > 0 && self.config.deadlock != DeadlockPolicy::WoundWait {
+            let bound = u64::from(self.config.cohort_fairness_bound);
+            let mut all_under_bound = true;
+            for (i, q) in inner.queue.iter().enumerate() {
+                if q.cohort == releaser_cohort && inner.grantable(&q.owner, q.write) {
+                    if i == 0 {
+                        return Some((0, false));
+                    }
+                    if all_under_bound {
+                        return Some((i, true));
+                    }
+                    break; // fairness bound reached: revert to strict FIFO
+                }
+                if q.bypass_count() >= bound {
+                    all_under_bound = false;
+                }
+            }
+        }
+        let head = &inner.queue[0];
+        if inner.grantable(&head.owner, head.write) {
+            return Some((0, false));
+        }
+        for (i, q) in inner.queue.iter().enumerate().skip(1) {
+            if inner.grantable(&q.owner, q.write) && inner.holder_is_ancestor(&q.owner) {
+                return Some((i, false));
+            }
+        }
+        None
+    }
+
+    /// Walk an object's waiter queue after lock state changed, granting
+    /// from the perspective of `releaser_cohort`. Returns the waiters to
+    /// wake; callers wake them *after* dropping the slot mutex.
     ///
     /// Three passes:
     /// 1. cancel doomed waiters anywhere in the queue (doom delivery —
     ///    wounds and ancestor aborts reach parked waiters here);
-    /// 2. direct handoff from the head — grant while the head is
-    ///    compatible, batching a consecutive run of readers into one
-    ///    wakeup wave (a write handoff sets `write_pending`, which stops
-    ///    the wave by itself);
+    /// 2. compute and install the maximal **grant wave**: repeatedly pick
+    ///    the next grantable waiter ([`Self::pick_grant`] — FIFO head,
+    ///    bounded cohort preference, or ancestor-held bypass) and install
+    ///    its lock state, until nothing is grantable (a write grant sets
+    ///    `write_pending`, which ends the wave by itself). The whole wave
+    ///    costs one aggregated stats delta and one batched trace publish
+    ///    ([`crate::TraceRecorder::publish_batch`]) instead of per-waiter
+    ///    publishes;
     /// 3. under [`DeadlockPolicy::DieOnCycle`], refresh the remaining
-    ///    waiters' wait-for edges — republishing only the ones whose wait
-    ///    set actually changed, and without re-running detection (the
-    ///    refreshed set only ever shrinks relative to the enqueue-time
-    ///    checked set; see [`WaitForGraph::set_edges`]).
+    ///    waiters' wait-for edges, republishing the ones whose wait set
+    ///    changed without re-running detection. The refreshed set can
+    ///    *shrink* (predecessors left) or — since out-of-order wave grants
+    ///    exist — *grow* (a waiter queued behind became a holder). A grown
+    ///    set is safe to publish unchecked: it is republished here under
+    ///    the slot mutex, strictly before the freshly granted waiter can
+    ///    block on anything else (its next enqueue takes this or another
+    ///    slot mutex afterwards), so any cycle the new edge closes is
+    ///    still caught by that waiter's own enqueue-time `wait_and_check`.
     ///
     /// `pub(crate)` so the loom models can race spurious rescans against
     /// the real release/apply paths.
-    pub(crate) fn release_scan(&self, obj_idx: usize, inner: &mut ObjectInner) -> Vec<Arc<Waiter>> {
+    pub(crate) fn release_scan_from(
+        &self,
+        obj_idx: usize,
+        inner: &mut ObjectInner,
+        releaser_cohort: usize,
+    ) -> Vec<Arc<Waiter>> {
         let mut wake: Vec<Arc<Waiter>> = Vec::new();
+        // Pass 0 — hold-time EWMA: a scan that finds the object free ends
+        // the tenure that the last grant started.
+        #[cfg(not(loom))]
+        if inner.chain.is_empty() && inner.readers.is_empty() && inner.write_pending.is_none() {
+            if let Some(t0) = inner.tenure_start.take() {
+                self.slot(obj_idx)
+                    .note_hold_ns(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                inner.hint_warm = true;
+            }
+        }
         let mut i = 0;
         while i < inner.queue.len() {
             let w = inner.queue[i].clone();
@@ -573,13 +688,102 @@ impl ManagerInner {
             }
             i += 1;
         }
-        while let Some(w) = inner.queue.front().cloned() {
-            if !inner.grantable(&w.owner, w.write) {
-                break;
+        // Pass 2 — the grant wave.
+        let tracing = self.config.trace.is_some();
+        let bound = u64::from(self.config.cohort_fairness_bound);
+        let cohorts_on = self.config.cohorts > 0;
+        let (mut readers, mut writers) = (0usize, 0usize);
+        let (mut cohort_hits, mut cohort_bypasses) = (0u64, 0u64);
+        let mut evs: Vec<RtEvent> = Vec::new();
+        while let Some((idx, preferred)) = self.pick_grant(inner, releaser_cohort) {
+            let w = inner.queue.remove(idx).expect("pick_grant index in range");
+            if !w.grant() {
+                continue; // lost a cancel race; nothing was skipped for it
             }
-            inner.queue.pop_front();
-            self.apply_grant(obj_idx, inner, &w);
+            if preferred {
+                // Charge one bypass to every live waiter the pick jumped;
+                // pick_grant only allowed the jump while all of them sat
+                // below the fairness bound, so the bound holds afterwards.
+                for j in 0..idx {
+                    if inner.queue[j].state() == W_WAITING {
+                        let n = inner.queue[j].note_bypass();
+                        debug_assert!(n <= bound, "cohort bypass exceeded fairness bound");
+                        cohort_bypasses += 1;
+                        // relaxed(bypass-max): diagnostic high-watermark
+                        // RMW; atomicity suffices, no ordering role.
+                        self.max_bypass.fetch_max(n, Ordering::Relaxed);
+                    }
+                }
+            }
+            let installs = self.install_grant(obj_idx, inner, &w);
+            if cohorts_on && w.cohort == releaser_cohort {
+                cohort_hits += 1;
+            }
+            if w.write {
+                writers += 1;
+            } else {
+                readers += 1;
+            }
+            if tracing {
+                if w.write {
+                    evs.push(RtEvent::WriteGrant {
+                        tx: w.owner.id,
+                        obj: obj_idx,
+                    });
+                    if installs {
+                        evs.push(RtEvent::VersionInstall {
+                            tx: w.owner.id,
+                            obj: obj_idx,
+                        });
+                    }
+                } else {
+                    evs.push(RtEvent::ReadGrant {
+                        tx: w.owner.id,
+                        obj: obj_idx,
+                    });
+                }
+            }
             wake.push(w);
+        }
+        let wave = readers + writers;
+        if wave > 0 {
+            #[cfg(not(loom))]
+            if inner.tenure_start.is_none() {
+                inner.tenure_start = Some(Instant::now());
+            }
+            // One aggregated stats delta for the whole wave.
+            self.stats.bump(Ctr::Handoffs);
+            self.stats.add(Ctr::WaveGrants, wave as u64);
+            self.stats.bump(match wave {
+                1 => Ctr::WaveSize1,
+                2 => Ctr::WaveSize2,
+                3 => Ctr::WaveSize3,
+                _ => Ctr::WaveSize4Plus,
+            });
+            if readers > 0 {
+                self.stats.add(Ctr::ReadGrants, readers as u64);
+            }
+            if writers > 0 {
+                self.stats.add(Ctr::WriteGrants, writers as u64);
+            }
+            if cohort_hits > 0 {
+                self.stats.add(Ctr::CohortHits, cohort_hits);
+            }
+            if cohort_bypasses > 0 {
+                self.stats.add(Ctr::CohortBypasses, cohort_bypasses);
+            }
+            if tracing {
+                if let Some(t) = &self.config.trace {
+                    let mut batch = Vec::with_capacity(evs.len() + 1);
+                    batch.push(RtEvent::HandoffWave {
+                        obj: obj_idx,
+                        readers,
+                        writers,
+                    });
+                    batch.extend(evs);
+                    t.publish_batch(&batch);
+                }
+            }
         }
         if self.config.deadlock == DeadlockPolicy::DieOnCycle {
             for i in 0..inner.queue.len() {
@@ -600,12 +804,19 @@ impl ManagerInner {
         wake
     }
 
+    /// [`Self::release_scan_from`] from the calling thread's own cohort —
+    /// the entry every real release path uses.
+    pub(crate) fn release_scan(&self, obj_idx: usize, inner: &mut ObjectInner) -> Vec<Arc<Waiter>> {
+        self.release_scan_from(obj_idx, inner, self.local_cohort())
+    }
+
     /// Phase 2 of [`Self::access`]: create `node`'s waiter, insert it in
     /// policy order (age order under wound–wait — oldest top first, so
     /// queue-position waits also point young→old; plain FIFO otherwise),
-    /// and register the node's `waiting_on` entry. Callers hold the slot
-    /// mutex for `obj_idx`. Exposed `pub(crate)` so the loom models race
-    /// the real enqueue path, not a copy.
+    /// and register the node's `waiting_on` entry. The waiter is tagged
+    /// with the calling thread's cohort. Callers hold the slot mutex for
+    /// `obj_idx`. Exposed `pub(crate)` so the loom models race the real
+    /// enqueue path, not a copy.
     pub(crate) fn enqueue_waiter(
         &self,
         inner: &mut ObjectInner,
@@ -614,7 +825,23 @@ impl ManagerInner {
         obj_idx: usize,
         lock_write: bool,
     ) -> Arc<Waiter> {
-        let w = Waiter::new(node.clone(), owner.clone(), lock_write);
+        let cohort = self.local_cohort();
+        self.enqueue_waiter_with_cohort(inner, node, owner, obj_idx, lock_write, cohort)
+    }
+
+    /// [`Self::enqueue_waiter`] with an explicit cohort tag, so the loom
+    /// cohort-fairness model can pin queue members to chosen cohorts
+    /// independently of which model thread enqueues them.
+    pub(crate) fn enqueue_waiter_with_cohort(
+        &self,
+        inner: &mut ObjectInner,
+        node: &Arc<TxNode>,
+        owner: &Arc<TxNode>,
+        obj_idx: usize,
+        lock_write: bool,
+        cohort: usize,
+    ) -> Arc<Waiter> {
+        let w = Waiter::new(node.clone(), owner.clone(), lock_write, cohort);
         if self.config.deadlock == DeadlockPolicy::WoundWait {
             let my_top = owner.top_level_id();
             let pos = inner
@@ -773,8 +1000,9 @@ impl ManagerInner {
         let mut wake = self.release_scan(obj_idx, &mut guard);
         // Phase 3 (DieOnCycle) — one checked edge publish per enqueue. The
         // wait set is derived from queue membership (conflicting holders +
-        // queued predecessors); later queue movement only shrinks it, so
-        // the release scan can refresh without re-running detection.
+        // queued predecessors); release scans refresh it as the queue
+        // moves without re-running detection (see `release_scan_from` pass
+        // 3 for why grown sets are still cycle-safe).
         if self.config.deadlock == DeadlockPolicy::DieOnCycle {
             loop {
                 if w.state() != W_WAITING {
@@ -858,7 +1086,8 @@ impl ManagerInner {
             x.wake();
         }
         // Phase 4 — adaptive wait: spin briefly on our own node (direct
-        // handoff under short holds often lands here), then park on it.
+        // handoff under short holds often lands here), extend the spin
+        // when the object's observed hold tenures are short, then park.
         let mut st = w.state();
         if st == W_WAITING {
             for _ in 0..SPIN_ITERS {
@@ -866,6 +1095,26 @@ impl ManagerInner {
                 st = w.state();
                 if st != W_WAITING {
                     break;
+                }
+            }
+            // Adaptive spin-then-park gate: if recent holds of this object
+            // fit under the configured threshold, a grant is likely to
+            // land within a few hold-lengths — spinning through it beats
+            // the cross-thread park/unpark round trip. Long-hold objects
+            // park immediately as before. (Not under loom: wall-clock
+            // spinning adds schedule states without adding transitions.)
+            #[cfg(not(loom))]
+            if st == W_WAITING {
+                let hint = slot.hold_hint_ns();
+                let threshold =
+                    u64::try_from(self.config.spin_hold_threshold.as_nanos()).unwrap_or(u64::MAX);
+                if hint > 0 && hint <= threshold {
+                    let budget = (4 * hint).min(2 * threshold);
+                    let spin_deadline = Instant::now() + std::time::Duration::from_nanos(budget);
+                    while st == W_WAITING && Instant::now() < spin_deadline {
+                        crate::sync::hint::spin_loop();
+                        st = w.state();
+                    }
                 }
             }
             if st == W_GRANTED {

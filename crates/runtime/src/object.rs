@@ -11,7 +11,7 @@
 //! `ManagerInner::release_scan` in the manager module). The queue is the
 //! single source of truth for "who is waiting" on an object.
 
-use crate::sync::atomic::{AtomicU8, Ordering};
+use crate::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use crate::sync::Arc;
 use std::any::Any;
 use std::collections::VecDeque;
@@ -78,9 +78,17 @@ pub(crate) struct Waiter {
     pub owner: Arc<TxNode>,
     /// `true` for a write-mode request.
     pub write: bool,
+    /// Locality cohort this request came from (`thread_index() % cohorts`;
+    /// always 0 when cohorts are disabled). Release scans may prefer
+    /// same-cohort waiters within the fairness bound.
+    pub cohort: usize,
     state: AtomicU8,
     park: Mutex<()>,
     cv: Condvar,
+    /// How many times a cohort-preferred grant has jumped this waiter in
+    /// the queue. Mutated and read only under the slot mutex; atomic so the
+    /// shared `Waiter` stays `Sync` without a second lock.
+    bypassed: AtomicU64,
     /// Wait-for edge targets currently published for this waiter
     /// (DieOnCycle only), sorted. Release scans compare against this and
     /// republish only when the wait set actually changed — one graph-stripe
@@ -89,16 +97,31 @@ pub(crate) struct Waiter {
 }
 
 impl Waiter {
-    pub fn new(node: Arc<TxNode>, owner: Arc<TxNode>, write: bool) -> Arc<Waiter> {
+    pub fn new(node: Arc<TxNode>, owner: Arc<TxNode>, write: bool, cohort: usize) -> Arc<Waiter> {
         Arc::new(Waiter {
             node,
             owner,
             write,
+            cohort,
             state: AtomicU8::new(W_WAITING),
             park: Mutex::new(()),
             cv: Condvar::new(),
+            bypassed: AtomicU64::new(0),
             edges: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Times this waiter has been jumped by a cohort-preferred grant.
+    #[inline]
+    pub fn bypass_count(&self) -> u64 {
+        self.bypassed.load(Ordering::SeqCst)
+    }
+
+    /// Record one cohort bypass; returns the new count. Called under the
+    /// slot mutex by the grant scan.
+    #[inline]
+    pub fn note_bypass(&self) -> u64 {
+        self.bypassed.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     #[inline]
@@ -169,6 +192,18 @@ pub(crate) struct ObjectInner {
     /// deeper version can land on top and swallow the parked writer's
     /// update.
     pub write_pending: Option<u64>,
+    /// When the current tenure (continuous span of the object being held by
+    /// anyone) began. Set when locks are installed on a free object,
+    /// cleared — and folded into [`ObjectSlot::hold_ewma_ns`] — by the
+    /// release scan that observes the object free again. A coarse hint for
+    /// the adaptive spin-then-park gate, nothing more.
+    #[cfg_attr(loom, allow(dead_code))]
+    pub tenure_start: Option<Instant>,
+    /// Whether [`ObjectSlot::hold_ewma_ns`] has at least one sample.
+    /// Mirrored here (under the slot mutex) so the uncontended grant path
+    /// can skip the tenure clock read without a slab lookup.
+    #[cfg_attr(loom, allow(dead_code))]
+    pub hint_warm: bool,
 }
 
 impl ObjectInner {
@@ -381,6 +416,12 @@ pub(crate) struct ObjectSlot {
     /// Committed-version chain for lock-free snapshot reads. Mutated only
     /// under `inner`'s mutex (publish on top-commit, GC), read lock-free.
     pub snap: SnapshotCell,
+    /// EWMA of recent hold-tenure lengths in nanoseconds (0 = no sample
+    /// yet). Written by release scans, read lock-free by the adaptive
+    /// spin-then-park gate in `access()`. Purely a latency hint: a torn or
+    /// stale value can only make a waiter spin a little more or less.
+    #[cfg_attr(loom, allow(dead_code))]
+    hold_ewma_ns: AtomicU64,
 }
 
 impl ObjectSlot {
@@ -394,9 +435,39 @@ impl ObjectSlot {
                 readers: Vec::new(),
                 queue: VecDeque::new(),
                 write_pending: None,
+                tenure_start: None,
+                hint_warm: false,
             }),
             snap,
+            hold_ewma_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Fold one observed hold tenure into the EWMA (α = 1/4; the first
+    /// sample seeds the average directly).
+    #[cfg_attr(loom, allow(dead_code))]
+    pub fn note_hold_ns(&self, ns: u64) {
+        // relaxed(hold-ewma): single-writer-at-a-time performance hint (the
+        // folding thread holds the slot mutex); readers tolerate any stale
+        // value, so no ordering is needed — atomicity only.
+        let prev = self.hold_ewma_ns.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            ns.max(1)
+        } else {
+            (prev - prev / 4 + ns / 4).max(1)
+        };
+        // relaxed(hold-ewma): see above — hint store, no ordering role.
+        self.hold_ewma_ns.store(next, Ordering::Relaxed);
+    }
+
+    /// Current hold-time hint in nanoseconds (0 = no sample yet). Read
+    /// lock-free from the wait path.
+    #[inline]
+    #[cfg_attr(loom, allow(dead_code))]
+    pub fn hold_hint_ns(&self) -> u64 {
+        // relaxed(hold-ewma): lock-free read of a spin-duration hint; any
+        // stale value is acceptable.
+        self.hold_ewma_ns.load(Ordering::Relaxed)
     }
 }
 
@@ -419,6 +490,8 @@ mod tests {
             readers: Vec::new(),
             queue: VecDeque::new(),
             write_pending: None,
+            tenure_start: None,
+            hint_warm: false,
         }
     }
 
@@ -510,7 +583,7 @@ mod tests {
         let (p, c, g, q) = nodes();
         let mut o = inner();
         let _ = o.writable_state(&c);
-        let w = Waiter::new(q.clone(), q.clone(), true);
+        let w = Waiter::new(q.clone(), q.clone(), true, 0);
         o.queue.push_back(w);
         assert!(o.holder_is_ancestor(&g), "write holder c is an ancestor");
         assert!(!o.holder_is_ancestor(&q), "stranger must queue");
@@ -565,17 +638,17 @@ mod tests {
     #[test]
     fn waiter_state_machine_and_queue_removal() {
         let (p, ..) = nodes();
-        let w = Waiter::new(p.clone(), p.clone(), false);
+        let w = Waiter::new(p.clone(), p.clone(), false, 0);
         assert_eq!(w.state(), W_WAITING);
         assert!(w.grant());
         assert!(!w.cancel(), "granted waiter cannot be cancelled");
         assert_eq!(w.state(), W_GRANTED);
-        let w2 = Waiter::new(p.clone(), p.clone(), true);
+        let w2 = Waiter::new(p.clone(), p.clone(), true, 0);
         assert!(w2.cancel());
         assert_eq!(w2.state(), W_CANCELLED);
         let mut o = inner();
-        let q1 = Waiter::new(p.clone(), p.clone(), true);
-        let q2 = Waiter::new(p.clone(), p.clone(), false);
+        let q1 = Waiter::new(p.clone(), p.clone(), true, 0);
+        let q2 = Waiter::new(p.clone(), p.clone(), false, 0);
         o.queue.push_back(q1.clone());
         o.queue.push_back(q2.clone());
         assert_eq!(o.waiters(), 2);
@@ -690,6 +763,32 @@ mod tests {
         assert_eq!(o.readers.len(), 1);
         assert_eq!(o.readers[0].id, q.id);
         let _ = p;
+    }
+
+    #[test]
+    fn hold_ewma_converges_and_seeds_from_first_sample() {
+        let slot = ObjectSlot::new("x".into(), Box::new(0i64));
+        assert_eq!(slot.hold_hint_ns(), 0, "no sample yet");
+        slot.note_hold_ns(1_000);
+        assert_eq!(slot.hold_hint_ns(), 1_000, "first sample seeds the EWMA");
+        for _ in 0..64 {
+            slot.note_hold_ns(9_000);
+        }
+        let hint = slot.hold_hint_ns();
+        assert!((8_000..=9_000).contains(&hint), "converges upward: {hint}");
+        slot.note_hold_ns(0);
+        assert!(slot.hold_hint_ns() >= 1, "a sample keeps the hint non-zero");
+    }
+
+    #[test]
+    fn waiter_bypass_counter_accumulates() {
+        let (p, ..) = nodes();
+        let w = Waiter::new(p.clone(), p.clone(), true, 3);
+        assert_eq!(w.cohort, 3);
+        assert_eq!(w.bypass_count(), 0);
+        assert_eq!(w.note_bypass(), 1);
+        assert_eq!(w.note_bypass(), 2);
+        assert_eq!(w.bypass_count(), 2);
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub(crate) enum Ctr {
     Aborts,
     Begun,
     Handoffs,
+    WaveGrants,
+    CohortHits,
+    CohortBypasses,
+    WaveSize1,
+    WaveSize2,
+    WaveSize3,
+    WaveSize4Plus,
     SpinGrants,
     CancelledWaiters,
     SnapshotsOpened,
@@ -39,7 +46,7 @@ pub(crate) enum Ctr {
     VersionsCollected,
 }
 
-const NCTR: usize = 18;
+const NCTR: usize = 25;
 
 #[derive(Default)]
 struct Stripe {
@@ -94,6 +101,15 @@ impl Stats {
             aborts: self.total(Ctr::Aborts),
             transactions_begun: self.total(Ctr::Begun),
             handoffs: self.total(Ctr::Handoffs),
+            wave_grants: self.total(Ctr::WaveGrants),
+            cohort_hits: self.total(Ctr::CohortHits),
+            cohort_bypasses: self.total(Ctr::CohortBypasses),
+            wave_size_hist: [
+                self.total(Ctr::WaveSize1),
+                self.total(Ctr::WaveSize2),
+                self.total(Ctr::WaveSize3),
+                self.total(Ctr::WaveSize4Plus),
+            ],
             spin_grants: self.total(Ctr::SpinGrants),
             cancelled_waiters: self.total(Ctr::CancelledWaiters),
             snapshots_opened: self.total(Ctr::SnapshotsOpened),
@@ -129,9 +145,24 @@ pub struct StatsSnapshot {
     pub aborts: u64,
     /// Transactions ever begun (any level).
     pub transactions_begun: u64,
-    /// Locks granted by direct handoff: a releasing thread dequeued the
-    /// waiter and installed its lock state before waking it.
+    /// Grant *waves* delivered by direct handoff: one releasing thread's
+    /// scan that dequeued at least one waiter and installed its lock state
+    /// before waking it. A wave may grant several compatible waiters — see
+    /// [`StatsSnapshot::wave_grants`] for the per-waiter count (before wave
+    /// coalescing the two were equal by construction).
     pub handoffs: u64,
+    /// Waiters granted by direct handoff, summed across all waves.
+    pub wave_grants: u64,
+    /// Handed-off grants whose waiter shared the releasing thread's cohort
+    /// (only counted when cohorts are enabled).
+    pub cohort_hits: u64,
+    /// Queue jumps performed by cohort preference: each bypassed waiter in
+    /// each out-of-order grant counts once (bounded per waiter by
+    /// [`crate::RtConfig::cohort_fairness_bound`]).
+    pub cohort_bypasses: u64,
+    /// Histogram of grant-wave sizes: waves of 1, 2, 3, and ≥4 waiters.
+    /// Sums to [`StatsSnapshot::handoffs`].
+    pub wave_size_hist: [u64; 4],
     /// Handed-off grants that arrived during the brief pre-park spin, so
     /// the waiter never paid for a park/unpark round trip.
     pub spin_grants: u64,
@@ -158,6 +189,16 @@ impl StatsSnapshot {
             self.total_wait / u32::try_from(self.waits.min(u64::from(u32::MAX))).unwrap_or(1)
         }
     }
+
+    /// Mean number of waiters granted per handoff wave (0.0 when no wave
+    /// has been delivered). 1.0 means no coalescing happened.
+    pub fn mean_wave_size(&self) -> f64 {
+        if self.handoffs == 0 {
+            0.0
+        } else {
+            self.wave_grants as f64 / self.handoffs as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +220,25 @@ mod tests {
     #[test]
     fn mean_wait_zero_when_no_waits() {
         assert_eq!(StatsSnapshot::default().mean_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn wave_counters_and_mean_size() {
+        let s = Stats::default();
+        assert_eq!(s.snapshot().mean_wave_size(), 0.0, "no waves yet");
+        // Two waves: one single grant, one triple.
+        s.bump(Ctr::Handoffs);
+        s.bump(Ctr::WaveSize1);
+        s.add(Ctr::WaveGrants, 1);
+        s.bump(Ctr::Handoffs);
+        s.bump(Ctr::WaveSize3);
+        s.add(Ctr::WaveGrants, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.handoffs, 2);
+        assert_eq!(snap.wave_grants, 4);
+        assert_eq!(snap.wave_size_hist, [1, 0, 1, 0]);
+        assert_eq!(snap.wave_size_hist.iter().sum::<u64>(), snap.handoffs);
+        assert!((snap.mean_wave_size() - 2.0).abs() < f64::EPSILON);
     }
 
     #[test]

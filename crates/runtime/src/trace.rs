@@ -82,18 +82,22 @@ pub enum RtEvent {
         /// Whether a write lock was requested.
         write: bool,
     },
-    /// A releasing thread granted the queued request by `tx` on `obj` by
-    /// direct handoff (always immediately followed by the matching
-    /// [`RtEvent::ReadGrant`]/[`RtEvent::WriteGrant`], stamped under the
-    /// same object mutex). Never appears in single-threaded runs: a lone
-    /// thread is granted inline or fails fast, it cannot be handed to.
-    Handoff {
-        /// The waiter being granted.
-        tx: u64,
+    /// A releasing thread delivered one batched grant *wave* on `obj`:
+    /// it dequeued `readers + writers` compatible waiters, installed all
+    /// their lock state, and woke them. Immediately followed by the
+    /// per-waiter [`RtEvent::ReadGrant`]/[`RtEvent::WriteGrant`] events of
+    /// the wave, all stamped contiguously under the same object mutex (see
+    /// [`TraceRecorder::publish_batch`]). Never appears in single-threaded
+    /// runs: a lone thread is granted inline or fails fast, it cannot be
+    /// handed to.
+    HandoffWave {
         /// Object index.
         obj: usize,
-        /// Whether a write lock was handed over.
-        write: bool,
+        /// Read grants in the wave.
+        readers: usize,
+        /// Write grants in the wave (0 or 1: a write grant latches the
+        /// object until applied, ending the wave).
+        writers: usize,
     },
     /// `tx` committed (`top` marks a top-level, publishing commit).
     /// Recorded after the state transition, before lock inheritance.
@@ -187,8 +191,12 @@ impl RtEvent {
             RtEvent::Wait { tx, obj, write } => {
                 _ = writeln!(out, "WAIT tx={tx} obj={obj} write={write}");
             }
-            RtEvent::Handoff { tx, obj, write } => {
-                _ = writeln!(out, "HANDOFF tx={tx} obj={obj} write={write}");
+            RtEvent::HandoffWave {
+                obj,
+                readers,
+                writers,
+            } => {
+                _ = writeln!(out, "WAVE obj={obj} readers={readers} writers={writers}");
             }
             RtEvent::Commit { tx, top } => _ = writeln!(out, "COMMIT tx={tx} top={top}"),
             RtEvent::Inherit { tx, heir, obj } => match heir {
@@ -248,8 +256,6 @@ pub struct TxTraceStats {
     pub aborted: bool,
     /// Injected faults charged to this transaction.
     pub faults: u64,
-    /// Lock grants this transaction received by direct handoff.
-    pub handoffs: u64,
     /// Lock-free snapshot reads served (keyed to the reading transaction;
     /// detached snapshot-handle reads fold under id 0).
     pub snapshot_reads: u64,
@@ -284,6 +290,28 @@ impl TraceRecorder {
             .0
             .lock()
             .push((stamp, ev));
+    }
+
+    /// Append a contiguous batch of events with **one** sequence-stamp
+    /// reservation and one stripe append: event `i` of the batch gets stamp
+    /// `base + i`, so the whole batch occupies a gap-free stamp range and
+    /// appears in [`TraceRecorder::events`]' total order exactly in program
+    /// order, with no foreign event interleaved. Used by the grant-wave
+    /// path to publish `HANDOFF_WAVE` plus the wave's per-waiter grants at
+    /// the cost of a single atomic RMW instead of one per event.
+    pub fn publish_batch(&self, evs: &[RtEvent]) {
+        if evs.is_empty() {
+            return;
+        }
+        // relaxed(trace-stamp): same argument as `record` — the RMW makes
+        // the reserved range unique and totally ordered; `events()` sorts
+        // by stamp at quiescence.
+        let base = self.seq.0.fetch_add(evs.len() as u64, Ordering::Relaxed);
+        let mut buf = self.shards[thread_index() % TRACE_SHARDS].0.lock();
+        buf.reserve(evs.len());
+        for (i, ev) in evs.iter().enumerate() {
+            buf.push((base + i as u64, *ev));
+        }
     }
 
     /// Number of events recorded so far.
@@ -331,7 +359,6 @@ impl TraceRecorder {
                 RtEvent::WriteGrant { tx, .. } => map.entry(tx).or_default().writes += 1,
                 RtEvent::VersionInstall { tx, .. } => map.entry(tx).or_default().versions += 1,
                 RtEvent::Wait { tx, .. } => map.entry(tx).or_default().waits += 1,
-                RtEvent::Handoff { tx, .. } => map.entry(tx).or_default().handoffs += 1,
                 RtEvent::Commit { tx, .. } => map.entry(tx).or_default().committed = true,
                 RtEvent::Abort { tx } => map.entry(tx).or_default().aborted = true,
                 RtEvent::Fault { tx, .. } => map.entry(tx).or_default().faults += 1,
@@ -339,6 +366,7 @@ impl TraceRecorder {
                 RtEvent::Rollback { .. }
                 | RtEvent::Inherit { .. }
                 | RtEvent::Deadlock { .. }
+                | RtEvent::HandoffWave { .. }
                 | RtEvent::Publish { .. } => {}
             }
         }
@@ -428,6 +456,69 @@ mod tests {
         assert!(t
             .render()
             .contains("ROLLBACK tx=3 obj=1 versions=2 readers=1"));
+    }
+
+    #[test]
+    fn publish_batch_stamps_stay_unique_and_program_ordered() {
+        // Many threads interleave batches and singles; afterwards every
+        // batch must appear contiguously (no foreign event inside it) and
+        // in its internal program order, and all stamps must be unique.
+        let t = std::sync::Arc::new(TraceRecorder::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|tid| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let wave = [
+                            RtEvent::HandoffWave {
+                                obj: tid as usize,
+                                readers: 2,
+                                writers: 0,
+                            },
+                            RtEvent::ReadGrant {
+                                tx: tid * 1000 + i,
+                                obj: tid as usize,
+                            },
+                            RtEvent::ReadGrant {
+                                tx: tid * 1000 + i,
+                                obj: tid as usize + 100,
+                            },
+                        ];
+                        t.publish_batch(&wave);
+                        t.record(RtEvent::Commit {
+                            tx: tid * 1000 + i,
+                            top: false,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Unique stamps: the merged log is complete and duplicate-free.
+        let evs = t.events();
+        assert_eq!(evs.len(), 4 * 50 * 4);
+        // Every HandoffWave is immediately followed by its own two grants.
+        for (i, ev) in evs.iter().enumerate() {
+            if let RtEvent::HandoffWave { obj, .. } = *ev {
+                match (evs[i + 1], evs[i + 2]) {
+                    (
+                        RtEvent::ReadGrant { tx: a, obj: o1 },
+                        RtEvent::ReadGrant { tx: b, obj: o2 },
+                    ) => {
+                        assert_eq!(a, b, "batch interleaved at {i}");
+                        assert_eq!(o1, obj, "wave's first grant out of order");
+                        assert_eq!(o2, obj + 100, "wave's grants out of program order");
+                    }
+                    other => panic!("foreign event inside a batch at {i}: {other:?}"),
+                }
+            }
+        }
+        // Empty batches are a no-op.
+        let before = t.len();
+        t.publish_batch(&[]);
+        assert_eq!(t.len(), before);
     }
 
     #[test]

@@ -66,6 +66,174 @@ fn handoff_order_is_fifo() {
     }
 }
 
+/// Wave batching preserves FIFO-compatibility order: with the queue built
+/// up as R0, R1, W2, R3 behind a write holder, the release grants R0+R1
+/// together (one wave), then W2, then R3 — so R0/R1 observe the holder's
+/// value, R3 observes W2's write, and the stats record three waves for
+/// four grants.
+#[test]
+fn wave_batching_preserves_fifo_compatibility() {
+    let mgr = TxManager::new(RtConfig {
+        wait_timeout: Duration::from_secs(10),
+        ..Default::default()
+    });
+    let hot = mgr.register("hot", 0i64);
+    let holder = mgr.begin();
+    holder.write(&hot, |v| *v = 1).unwrap();
+    // Enqueue R0, R1, W2, R3 — each confirmed queued before the next
+    // starts, so queue order is exactly spawn order.
+    let mut handles = Vec::new();
+    for i in 0..4usize {
+        let tmgr = mgr.clone();
+        let h = std::thread::spawn(move || {
+            let tx = tmgr.begin();
+            let seen = if i == 2 {
+                tx.write(&hot, |v| *v = 2).unwrap();
+                -1
+            } else {
+                tx.read(&hot, |v| *v).unwrap()
+            };
+            tx.commit().unwrap();
+            seen
+        });
+        let start = Instant::now();
+        while mgr.queued_waiters() < i + 1 {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "waiter {i} never enqueued"
+            );
+            std::thread::yield_now();
+        }
+        handles.push(h);
+    }
+    holder.commit().unwrap();
+    let seen: Vec<i64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(
+        seen,
+        vec![1, 1, -1, 2],
+        "readers before the writer must see the holder's value, after it the writer's"
+    );
+    assert_eq!(mgr.read_committed(&hot, |v| *v), 2);
+    assert_eq!(mgr.queued_waiters(), 0);
+    let snap = mgr.stats();
+    assert_eq!(snap.wave_grants, 4, "four queued waiters granted");
+    assert_eq!(
+        snap.handoffs, 3,
+        "R0+R1 coalesce into one wave; W2 and R3 get one each"
+    );
+    assert_eq!(
+        snap.wave_size_hist,
+        [2, 1, 0, 0],
+        "two single-grant waves and one two-reader wave"
+    );
+}
+
+/// Cohort-aware batching under an 8-thread hot-key write storm: every
+/// transaction still commits (conservation), the queue drains to zero at
+/// quiescence, and waves never grant fewer waiters than there were waves.
+#[test]
+fn cohort_batching_quiesces_and_conserves() {
+    const THREADS: usize = 8;
+    const TXS: usize = 30;
+    let mgr = TxManager::new(RtConfig {
+        deadlock: DeadlockPolicy::TimeoutOnly,
+        wait_timeout: Duration::from_secs(10),
+        cohorts: 4,
+        cohort_fairness_bound: 2,
+        ..Default::default()
+    });
+    let hot = mgr.register("hot", 0i64);
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let mgr = mgr.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..TXS {
+                    let tx = mgr.begin();
+                    tx.write(&hot, |v| *v += 1).unwrap();
+                    // Hold across a reschedule so waves actually form.
+                    std::thread::sleep(Duration::from_micros(50));
+                    tx.commit().unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(mgr.read_committed(&hot, |v| *v), (THREADS * TXS) as i64);
+    assert_eq!(mgr.queued_waiters(), 0, "queue must drain at quiescence");
+    let snap = mgr.stats();
+    assert_eq!(
+        snap.transactions_begun,
+        snap.commits + snap.aborts,
+        "{snap:?}"
+    );
+    assert!(
+        snap.wave_grants >= snap.handoffs,
+        "a wave grants at least one waiter: {snap:?}"
+    );
+    assert_eq!(
+        snap.wave_size_hist.iter().sum::<u64>(),
+        snap.handoffs,
+        "histogram counts waves, not grants: {snap:?}"
+    );
+    assert_eq!(snap.deadlocks, 0);
+}
+
+/// Starvation bound: under a hot write key with cohort preference enabled,
+/// no waiter is ever bypassed more than `cohort_fairness_bound` times —
+/// the recorded high-watermark proves the hard bound held across the whole
+/// run, not just at sampling instants.
+#[test]
+fn cohort_bypass_never_exceeds_fairness_bound() {
+    const THREADS: usize = 8;
+    const TXS: usize = 40;
+    const BOUND: u32 = 3;
+    let mgr = TxManager::new(RtConfig {
+        deadlock: DeadlockPolicy::TimeoutOnly,
+        wait_timeout: Duration::from_secs(10),
+        cohorts: 2,
+        cohort_fairness_bound: BOUND,
+        ..Default::default()
+    });
+    let hot = mgr.register("hot", 0i64);
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let mgr = mgr.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..TXS {
+                    let tx = mgr.begin();
+                    tx.write(&hot, |v| *v += 1).unwrap();
+                    std::thread::sleep(Duration::from_micros(50));
+                    tx.commit().unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(mgr.read_committed(&hot, |v| *v), (THREADS * TXS) as i64);
+    assert_eq!(mgr.queued_waiters(), 0, "queue must drain at quiescence");
+    assert!(
+        mgr.max_waiter_bypass() <= u64::from(BOUND),
+        "a waiter was bypassed {} times, bound is {BOUND}",
+        mgr.max_waiter_bypass()
+    );
+    let snap = mgr.stats();
+    assert!(snap.waits > 0, "hot key must have produced waits: {snap:?}");
+    assert!(
+        snap.cohort_hits > 0,
+        "with two populated cohorts some grant must hit the releaser's: {snap:?}"
+    );
+}
+
 /// A writer behind a continuous reader stream (read fraction ≈ 0.9) must
 /// commit promptly: once the writer queues, later readers line up behind it
 /// instead of barging onto the read lock, so the writer drains through.
