@@ -74,20 +74,20 @@ fn main() {
     }
 }
 
-/// Run B0–B6 (the multicore-scalability suite), print the markdown tables,
-/// and write the machine-readable results to `BENCH_runtime.json` in the
-/// current directory (run from the repo root to refresh the checked-in
-/// copy).
+/// Run B0–B7 (the multicore-scalability suite plus durable-commit
+/// throughput), print the markdown tables, and write the machine-readable
+/// results to `BENCH_runtime.json` in the current directory (run from the
+/// repo root to refresh the checked-in copy).
 fn run_bseries(full: bool) {
     use ntx_bench::scaling::{
         b0_uncontended, b1_thread_scaling, b2_read_fraction, b3_zipf_sweep, b4_hot_key_handoff,
-        b5_snapshot_reads, b6_grant_waves, bench_json,
+        b5_snapshot_reads, b6_grant_waves, b7_group_commit, bench_json,
     };
 
-    let (b0_iters, b1_txs, b23_txs) = if full {
-        (200_000, 1_500, 600)
+    let (b0_iters, b1_txs, b23_txs, b7_commits) = if full {
+        (200_000, 1_500, 600, 20_000)
     } else {
-        (20_000, 150, 80)
+        (20_000, 150, 80, 2_000)
     };
     let (t0, b0) = b0_uncontended(b0_iters);
     println!("{}", t0.to_markdown());
@@ -103,9 +103,11 @@ fn run_bseries(full: bool) {
     println!("{}", t5.to_markdown());
     let (t6, b6) = b6_grant_waves(b23_txs);
     println!("{}", t6.to_markdown());
+    let (t7, b7) = b7_group_commit(b7_commits);
+    println!("{}", t7.to_markdown());
 
     let mode = if full { "full" } else { "quick" };
-    let doc = bench_json(mode, &b0, &b1, &b2, &b3, &b4, &b5, &b6);
+    let doc = bench_json(mode, &b0, &b1, &b2, &b3, &b4, &b5, &b6, &b7);
     let path = "BENCH_runtime.json";
     std::fs::write(path, &doc).expect("write BENCH_runtime.json");
     eprintln!("wrote {path} ({} bytes, mode={mode})", doc.len());

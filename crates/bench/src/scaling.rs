@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
-use ntx_runtime::{LockMode, ObjRef, RtConfig, TxError, TxManager};
+use ntx_runtime::{FsyncPolicy, LockMode, ObjRef, RtConfig, TxError, TxManager};
 use ntx_sim::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -970,6 +970,82 @@ pub fn b0_uncontended(iters: u64) -> (Table, B0Costs) {
     (t, costs)
 }
 
+/// B7 — durable commit throughput by fsync policy, one row per policy.
+#[derive(Clone, Debug)]
+pub struct B7Row {
+    /// Policy label (`always`, `group(64, 2ms)`, `never`).
+    pub policy: String,
+    /// Commits performed.
+    pub commits: u64,
+    /// Wall-clock commits per second.
+    pub commits_per_sec: f64,
+    /// Device flushes the WAL issued.
+    pub fsyncs: u64,
+    /// Largest commits-per-fsync batch the policy achieved.
+    pub batch_max: u64,
+    /// WAL records appended.
+    pub appends: u64,
+}
+
+/// Measure B7: single-thread durable commit loop on one logged object,
+/// comparing [`FsyncPolicy::Always`] (fsync per commit), group commit
+/// (batched fsync), and [`FsyncPolicy::Never`] (append cost only — the
+/// policy-free ceiling). Group commit's entire point is amortising the
+/// device flush across commits; the acceptance gate is
+/// `group ≥ 5× always` on commits/s.
+pub fn b7_group_commit(commits: u64) -> (Table, Vec<B7Row>) {
+    let policies: [(&str, FsyncPolicy); 3] = [
+        ("always", FsyncPolicy::Always),
+        (
+            "group(64, 2ms)",
+            FsyncPolicy::Group(64, Duration::from_millis(2)),
+        ),
+        ("never", FsyncPolicy::Never),
+    ];
+    let mut rows = Vec::new();
+    let mut t = Table::new(
+        "B7 — durable commit throughput by fsync policy (single thread, one object)",
+        &["policy", "commits/s", "fsyncs", "max batch", "wal appends"],
+    );
+    for (i, (label, policy)) in policies.iter().enumerate() {
+        let dir = std::env::temp_dir().join(format!("ntx-bench-b7-{}-{i}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mgr = TxManager::new(RtConfig {
+            wal_dir: Some(dir.clone()),
+            fsync_policy: *policy,
+            ..RtConfig::default()
+        });
+        let obj = mgr.register_durable("b7", 0i64);
+        let t0 = Instant::now();
+        for _ in 0..commits {
+            let tx = mgr.begin();
+            tx.write(&obj, |v| *v += 1).unwrap();
+            tx.commit().unwrap();
+        }
+        let elapsed = t0.elapsed();
+        let stats = mgr.stats();
+        drop(mgr);
+        let _ = std::fs::remove_dir_all(&dir);
+        let commits_per_sec = commits as f64 / elapsed.as_secs_f64().max(1e-9);
+        t.row(vec![
+            (*label).into(),
+            format!("{commits_per_sec:.0}"),
+            format!("{}", stats.wal_fsyncs),
+            format!("{}", stats.group_commit_batch_max),
+            format!("{}", stats.wal_appends),
+        ]);
+        rows.push(B7Row {
+            policy: (*label).into(),
+            commits,
+            commits_per_sec,
+            fsyncs: stats.wal_fsyncs,
+            batch_max: stats.group_commit_batch_max,
+            appends: stats.wal_appends,
+        });
+    }
+    (t, rows)
+}
+
 fn json_outcome(out: &BOutcome) -> String {
     format!(
         "{{\"committed\": {}, \"elapsed_ms\": {:.1}, \"throughput_tps\": {:.1}, \
@@ -1003,6 +1079,7 @@ pub fn bench_json(
     b4: &[B4Row],
     b5: &[B5Row],
     b6: &[B6Row],
+    b7: &[B7Row],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -1133,7 +1210,37 @@ pub fn bench_json(
         .map(|r| r.handoff_reduction)
         .fold(0.0f64, f64::max);
     s.push_str(&format!(
-        "    ],\n    \"max_handoff_reduction\": {headline:.3}\n  }}\n}}\n"
+        "    ],\n    \"max_handoff_reduction\": {headline:.3}\n  }},\n"
+    ));
+
+    s.push_str("  \"b7_group_commit\": {\n    \"rows\": [\n");
+    for (i, r) in b7.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"policy\": \"{}\", \"commits\": {}, \"commits_per_sec\": {:.1}, \
+             \"fsyncs\": {}, \"batch_max\": {}, \"wal_appends\": {}}}{}\n",
+            r.policy,
+            r.commits,
+            r.commits_per_sec,
+            r.fsyncs,
+            r.batch_max,
+            r.appends,
+            if i + 1 < b7.len() { "," } else { "" }
+        ));
+    }
+    // Headline: group commit's throughput win over fsync-per-commit. The
+    // acceptance bar is ≥ 5.0 (the device flush, not the append, dominates
+    // the durable commit path).
+    let always = b7
+        .iter()
+        .find(|r| r.policy == "always")
+        .map_or(0.0, |r| r.commits_per_sec);
+    let group = b7
+        .iter()
+        .find(|r| r.policy.starts_with("group"))
+        .map_or(0.0, |r| r.commits_per_sec);
+    s.push_str(&format!(
+        "    ],\n    \"group_commit_speedup_vs_always\": {:.3}\n  }}\n}}\n",
+        group / always.max(1e-9)
     ));
     s
 }
@@ -1256,7 +1363,25 @@ mod tests {
             mean_wave_size: 1.5,
             handoff_reduction: 0.333,
         }];
-        let doc = bench_json("quick", &b0, &b1, &b2, &b3, &b4, &b5, &b6);
+        let b7 = vec![
+            B7Row {
+                policy: "always".into(),
+                commits: 1000,
+                commits_per_sec: 2000.0,
+                fsyncs: 1000,
+                batch_max: 1,
+                appends: 2000,
+            },
+            B7Row {
+                policy: "group(64, 2ms)".into(),
+                commits: 1000,
+                commits_per_sec: 16000.0,
+                fsyncs: 16,
+                batch_max: 64,
+                appends: 2000,
+            },
+        ];
+        let doc = bench_json("quick", &b0, &b1, &b2, &b3, &b4, &b5, &b6, &b7);
         // Balanced braces/brackets and the headline key present.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
@@ -1268,7 +1393,29 @@ mod tests {
         assert!(doc.contains("\"b6_grant_waves\""));
         assert!(doc.contains("\"wave_grants\": 0"));
         assert!(doc.contains("\"max_handoff_reduction\": 0.333"));
+        assert!(doc.contains("\"b7_group_commit\""));
+        assert!(doc.contains("\"group_commit_speedup_vs_always\": 8.000"));
         assert!(!doc.contains("NaN") && !doc.contains("inf"));
+    }
+
+    #[test]
+    fn b7_group_beats_always_and_batches() {
+        let (t, rows) = b7_group_commit(600);
+        assert_eq!(t.rows.len(), 3);
+        let always = &rows[0];
+        let group = &rows[1];
+        let never = &rows[2];
+        assert_eq!(always.commits, 600);
+        assert!(always.fsyncs >= 600, "fsync per commit");
+        assert!(
+            group.fsyncs * 10 < always.fsyncs,
+            "group must amortise flushes: {} vs {}",
+            group.fsyncs,
+            always.fsyncs
+        );
+        assert!(group.batch_max > 1, "a batch larger than one commit");
+        assert_eq!(never.fsyncs, 0);
+        assert!(group.commits_per_sec > always.commits_per_sec);
     }
 
     #[test]

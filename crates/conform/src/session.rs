@@ -91,6 +91,13 @@ impl TracedTx {
     pub fn is_doomed(&self) -> bool {
         self.tx.is_doomed()
     }
+
+    /// The *runtime's* transaction id (distinct from the trace-local
+    /// [`TracedTx::id`]). Crash-recovery harnesses match these against the
+    /// top-level ids a [`ntx_runtime::RecoveryReport`] redid or discarded.
+    pub fn runtime_id(&self) -> u64 {
+        self.tx.id()
+    }
 }
 
 /// A workload session whose every operation is both executed on a real
@@ -113,6 +120,20 @@ impl ConformanceSession {
         let objects = (0..objects)
             .map(|i| mgr.register(format!("c{i}"), 0i64))
             .collect();
+        Self::over(mgr, objects)
+    }
+
+    /// Like [`ConformanceSession::new`], but the counters are registered
+    /// durably ([`TxManager::register_durable`]) so a WAL-configured
+    /// manager logs their commits — the kill-and-recover fuzzer's setup.
+    pub fn new_durable(mgr: TxManager, objects: usize) -> Self {
+        let objects = (0..objects)
+            .map(|i| mgr.register_durable(format!("c{i}"), 0i64))
+            .collect();
+        Self::over(mgr, objects)
+    }
+
+    fn over(mgr: TxManager, objects: Vec<ObjRef<i64>>) -> Self {
         ConformanceSession {
             mgr,
             objects,
@@ -124,6 +145,13 @@ impl ConformanceSession {
     /// Access the underlying manager.
     pub fn manager(&self) -> &TxManager {
         &self.mgr
+    }
+
+    /// The [`ObjRef`] of counter `obj` (the registration handle — lets a
+    /// harness query the manager about the object directly, e.g.
+    /// [`TxManager::version_history`] in the crash-recovery checks).
+    pub fn object(&self, obj: usize) -> ObjRef<i64> {
+        self.objects[obj]
     }
 
     /// Begin a traced top-level transaction.

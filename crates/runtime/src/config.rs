@@ -1,10 +1,12 @@
 //! Runtime configuration.
 
 use crate::sync::Arc;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::fault::FaultInjector;
 use crate::trace::TraceRecorder;
+use crate::wal::FsyncPolicy;
 
 /// Locking discipline (see crate docs for the three-way comparison).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -82,6 +84,21 @@ pub struct RtConfig {
     /// Objects with longer observed holds park after the minimal fixed
     /// spin, as before.
     pub spin_hold_threshold: Duration,
+    /// Directory for the write-ahead log's segment files. `None` (the
+    /// default) disables durability entirely: no WAL is opened, commits pay
+    /// zero io, and every pre-existing workload behaves exactly as before.
+    /// When set, top-level commits of objects registered through
+    /// [`crate::TxManager::register_durable`] are logged and
+    /// [`crate::TxManager::recover`] can rebuild committed state after a
+    /// crash.
+    pub wal_dir: Option<PathBuf>,
+    /// When appended WAL records are flushed to stable storage. Only
+    /// consulted when [`RtConfig::wal_dir`] is set.
+    pub fsync_policy: FsyncPolicy,
+    /// Checkpoint (snapshot all durable objects into a fresh segment and
+    /// delete the old ones) after this many logged commits. `0` (the
+    /// default) never checkpoints; the log grows until a clean restart.
+    pub checkpoint_every: u64,
 }
 
 impl std::fmt::Debug for RtConfig {
@@ -99,6 +116,9 @@ impl std::fmt::Debug for RtConfig {
             .field("cohorts", &self.cohorts)
             .field("cohort_fairness_bound", &self.cohort_fairness_bound)
             .field("spin_hold_threshold", &self.spin_hold_threshold)
+            .field("wal_dir", &self.wal_dir)
+            .field("fsync_policy", &self.fsync_policy)
+            .field("checkpoint_every", &self.checkpoint_every)
             .finish()
     }
 }
@@ -115,6 +135,9 @@ impl Default for RtConfig {
             cohorts: 0,
             cohort_fairness_bound: 4,
             spin_hold_threshold: Duration::from_micros(20),
+            wal_dir: None,
+            fsync_policy: FsyncPolicy::Always,
+            checkpoint_every: 0,
         }
     }
 }
@@ -144,6 +167,9 @@ mod tests {
         assert_eq!(c.cohorts, 0, "cohort preference must default off");
         assert!(c.cohort_fairness_bound > 0);
         assert!(c.spin_hold_threshold > Duration::ZERO);
+        assert!(c.wal_dir.is_none(), "durability must default off");
+        assert_eq!(c.fsync_policy, FsyncPolicy::Always);
+        assert_eq!(c.checkpoint_every, 0);
     }
 
     #[test]

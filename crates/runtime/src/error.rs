@@ -19,6 +19,10 @@ pub enum TxError {
     LiveChildren,
     /// The transaction already returned (committed or aborted).
     AlreadyFinished,
+    /// Crash recovery failed (no WAL configured, a non-fresh manager, or a
+    /// log that cannot be decoded against the registered objects). The
+    /// string names the specific obstacle.
+    Recovery(String),
 }
 
 impl fmt::Display for TxError {
@@ -29,6 +33,7 @@ impl fmt::Display for TxError {
             TxError::Timeout => write!(f, "lock wait timed out"),
             TxError::LiveChildren => write!(f, "cannot commit with live children"),
             TxError::AlreadyFinished => write!(f, "transaction already committed or aborted"),
+            TxError::Recovery(why) => write!(f, "crash recovery failed: {why}"),
         }
     }
 }
@@ -46,6 +51,9 @@ mod tests {
         assert!(TxError::Timeout.to_string().contains("timed out"));
         assert!(TxError::LiveChildren.to_string().contains("live children"));
         assert!(TxError::AlreadyFinished.to_string().contains("already"));
+        assert!(TxError::Recovery("no WAL".into())
+            .to_string()
+            .contains("no WAL"));
     }
 
     #[test]

@@ -23,6 +23,19 @@ pub enum FaultPoint {
     LockWait,
     /// Entry of [`crate::Tx::commit`], before the state transition.
     Commit,
+    /// Inside the commit turnstile window, before any WAL record of this
+    /// commit has been appended (crash here loses the whole commit).
+    WalPreAppend,
+    /// After the commit's `Publish` records but before its `Commit` fence
+    /// (crash here leaves an incomplete transaction for recovery to
+    /// discard).
+    WalMidCommit,
+    /// After the `Commit` fence but before the policy fsync (crash here
+    /// tests the group-commit durable-prefix guarantee).
+    WalPostAppend,
+    /// Between checkpoint rotation and old-segment deletion (crash here
+    /// leaves a superseded-but-present log for recovery to arbitrate).
+    WalCheckpoint,
 }
 
 /// The injector's decision at a yield point.
@@ -34,6 +47,10 @@ pub enum FaultPoint {
 /// * at [`FaultPoint::Commit`] only [`FaultAction::Abort`] and
 ///   [`FaultAction::CrashSubtree`] are meaningful — `Timeout` and
 ///   `DeadlockVictim` describe lock-wait outcomes and are treated as
+///   [`FaultAction::Continue`];
+/// * at the WAL crash points (`WalPreAppend`, `WalMidCommit`,
+///   `WalPostAppend`, `WalCheckpoint`) only [`FaultAction::CrashProcess`]
+///   is meaningful; every other variant is treated as
 ///   [`FaultAction::Continue`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FaultAction {
@@ -52,6 +69,11 @@ pub enum FaultAction {
     /// the requester's top-level ancestor. The request fails with
     /// [`crate::TxError::Doomed`].
     CrashSubtree,
+    /// Kill the whole process at a WAL yield point: the log is frozen (no
+    /// further bytes reach disk) while the in-memory manager stays alive so
+    /// the test driver can wind down and then exercise recovery. Only
+    /// honoured at the `Wal*` fault points.
+    CrashProcess,
 }
 
 impl fmt::Display for FaultAction {
@@ -62,6 +84,7 @@ impl fmt::Display for FaultAction {
             FaultAction::Timeout => "timeout",
             FaultAction::DeadlockVictim => "victim",
             FaultAction::CrashSubtree => "crash",
+            FaultAction::CrashProcess => "kill",
         };
         f.write_str(s)
     }
@@ -125,5 +148,6 @@ mod tests {
         assert_eq!(FaultAction::Abort.to_string(), "abort");
         assert_eq!(FaultAction::CrashSubtree.to_string(), "crash");
         assert_eq!(FaultAction::DeadlockVictim.to_string(), "victim");
+        assert_eq!(FaultAction::CrashProcess.to_string(), "kill");
     }
 }

@@ -63,6 +63,7 @@ mod manager;
 mod mvcc;
 mod node;
 mod object;
+mod recovery;
 mod savepoint;
 mod shard;
 mod slab;
@@ -70,12 +71,15 @@ mod stats;
 mod sync;
 mod trace;
 mod tx;
+mod wal;
 
 pub use config::{DeadlockPolicy, LockMode, RtConfig};
 pub use error::TxError;
 pub use fault::{FaultAction, FaultContext, FaultInjector, FaultPoint};
 pub use manager::{ObjRef, Snapshot, TxManager};
+pub use recovery::RecoveryReport;
 pub use savepoint::SavepointScope;
 pub use stats::StatsSnapshot;
 pub use trace::{RtEvent, TraceRecorder, TxTraceStats};
 pub use tx::Tx;
+pub use wal::{FsyncPolicy, WalState};

@@ -50,6 +50,7 @@ fn mk_mgr_with(config: RtConfig) -> Arc<ManagerInner> {
         commit_ts: AtomicU64::new(0),
         live_snapshots: crate::sync::Mutex::new(std::collections::BTreeMap::new()),
         max_bypass: AtomicU64::new(0),
+        wal: None,
     })
 }
 

@@ -40,6 +40,7 @@ use crate::slab::Slab;
 use crate::stats::{Ctr, Stats, StatsSnapshot};
 use crate::trace::RtEvent;
 use crate::tx::Tx;
+use crate::wal::{Wal, WalCodec, WalState};
 
 /// Spin iterations a blocked request burns on its waiter node before
 /// parking. Direct handoff under short hold times often lands within this
@@ -101,12 +102,21 @@ pub(crate) struct ManagerInner {
     /// (diagnostics; the starvation tests assert it never exceeds
     /// [`RtConfig::cohort_fairness_bound`]).
     pub max_bypass: AtomicU64,
+    /// Write-ahead log (`None` when [`RtConfig::wal_dir`] is unset — the
+    /// default — in which case the commit path pays a single `Option`
+    /// branch and no io).
+    pub wal: Option<Wal>,
 }
 
 impl ManagerInner {
     fn with_config(config: RtConfig) -> ManagerInner {
+        let wal = config.wal_dir.as_ref().map(|dir| {
+            Wal::open(dir, config.fsync_policy, config.checkpoint_every)
+                .unwrap_or_else(|e| panic!("failed to open WAL at {}: {e}", dir.display()))
+        });
         ManagerInner {
             config,
+            wal,
             objects: Slab::new(),
             next_tx_id: AtomicU64::new(1),
             wait_graph: WaitForGraph::new(),
@@ -149,6 +159,26 @@ impl TxManager {
         }
     }
 
+    /// Register a *durable* object: like [`TxManager::register`], but the
+    /// committed state is appended to the write-ahead log at every
+    /// top-level commit and rebuilt by [`TxManager::recover`] after a
+    /// crash. Harmless without a WAL configured (the codec never runs).
+    ///
+    /// Recovery addresses objects by slab index, so durable objects must
+    /// be registered in the same order with the same types across
+    /// restarts.
+    pub fn register_durable<T: WalState>(&self, name: impl Into<String>, initial: T) -> ObjRef<T> {
+        let idx = self.inner.objects.push(ObjectSlot::with_codec(
+            name.into(),
+            Box::new(initial),
+            WalCodec::of::<T>(),
+        ));
+        ObjRef {
+            idx,
+            _marker: PhantomData,
+        }
+    }
+
     /// Begin a top-level transaction.
     pub fn begin(&self) -> Tx {
         // relaxed(tx-id): id allocation only needs uniqueness, which the
@@ -159,6 +189,11 @@ impl TxManager {
             tx: id,
             parent: None,
         });
+        if let Some(w) = &self.inner.wal {
+            if w.append_begin(id) {
+                self.inner.stats.bump(Ctr::WalAppends);
+            }
+        }
         Tx::new(self.inner.clone(), TxNode::top_level(id))
     }
 
@@ -176,7 +211,11 @@ impl TxManager {
 
     /// Current counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut s = self.inner.stats.snapshot();
+        if let Some(w) = &self.inner.wal {
+            s.group_commit_batch_max = w.batch_max();
+        }
+        s
     }
 
     /// Number of registered objects.
@@ -258,6 +297,71 @@ impl TxManager {
         // with publication and the incremental GC at publish time.
         let _guard = slot.inner.lock();
         slot.snap.chain_len()
+    }
+
+    /// Clone an object's whole committed-version chain as `(ts, value)`
+    /// pairs, oldest first (genesis at ts 0 included). The kill-and-recover
+    /// differential check uses this to know the committed value at an
+    /// arbitrary recovered timestamp; hold a [`TxManager::snapshot`] from
+    /// before the first commit if the full history must survive GC.
+    pub fn version_history<T: Clone + 'static>(&self, obj: &ObjRef<T>) -> Vec<(u64, T)> {
+        let slot = self.inner.slot(obj.idx);
+        // Slot mutex, not the reader pin: the walk crosses the GC cut down
+        // to genesis (same argument as `version_chain_len`).
+        let _guard = slot.inner.lock();
+        slot.snap
+            .history()
+            .into_iter()
+            .map(|(ts, st)| {
+                (
+                    ts,
+                    st.as_any()
+                        .downcast_ref::<T>()
+                        .expect("ObjRef type mismatch")
+                        .clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// The commit clock: highest commit timestamp whose versions are all
+    /// published (what a fresh [`TxManager::snapshot`] would read at).
+    pub fn commit_clock(&self) -> u64 {
+        self.inner.commit_ts.load(Ordering::SeqCst)
+    }
+
+    /// Whether a simulated crash (or a WAL io error) has frozen the log.
+    /// Always `false` when no WAL is configured.
+    pub fn wal_frozen(&self) -> bool {
+        self.inner.wal.as_ref().is_some_and(Wal::is_frozen)
+    }
+
+    /// Highest commit timestamp the WAL guarantees on stable storage
+    /// (trails [`TxManager::commit_clock`] under group commit; 0 when no
+    /// WAL is configured).
+    pub fn wal_durable_ts(&self) -> u64 {
+        self.inner.wal.as_ref().map_or(0, Wal::durable_ts)
+    }
+
+    /// Bytes appended to the WAL's live segment but not yet fsynced (0
+    /// when no WAL is configured). Lets crash tests aim a torn tail at a
+    /// specific record boundary.
+    pub fn wal_unsynced_bytes(&self) -> u64 {
+        self.inner.wal.as_ref().map_or(0, Wal::unsynced_bytes)
+    }
+
+    /// Simulate power loss: freeze the WAL (no further bytes ever reach
+    /// disk) and truncate its live segment to the synced prefix plus
+    /// `keep_unsynced` bytes of unsynced tail — usually mid-record, which
+    /// is exactly the torn tail recovery must repair. The in-memory
+    /// manager stays alive so a test driver can wind down open
+    /// transactions before reopening from the log.
+    pub fn wal_crash_teardown(&self, keep_unsynced: u64) -> Result<(), TxError> {
+        let Some(w) = &self.inner.wal else {
+            return Err(TxError::Recovery("no WAL configured".into()));
+        };
+        w.crash_teardown(keep_unsynced)
+            .map_err(|e| TxError::Recovery(format!("teardown truncate failed: {e}")))
     }
 }
 
@@ -361,6 +465,16 @@ fn edge_targets(inner: &ObjectInner, w: &Arc<Waiter>) -> Vec<u64> {
 struct TurnstileTicket<'a> {
     mgr: &'a ManagerInner,
     ts: u64,
+    /// The committing top-level transaction (WAL record attribution).
+    #[cfg_attr(loom, allow(dead_code))]
+    top: u64,
+    /// Encoded `(object index, state bytes)` for every *durable* object
+    /// this commit published, accumulated under the slot mutexes in
+    /// `inherit_locks` and appended to the WAL inside the turnstile
+    /// window below — after the wait, before the `commit_ts` store — so
+    /// durable record order is exactly the dense ticket order.
+    #[cfg_attr(loom, allow(dead_code))]
+    wal_writes: Vec<(u32, Vec<u8>)>,
 }
 
 impl Drop for TurnstileTicket<'_> {
@@ -391,6 +505,17 @@ impl Drop for TurnstileTicket<'_> {
         #[cfg(loom)]
         while self.mgr.commit_ts.load(Ordering::SeqCst) != self.ts - 1 {
             crate::sync::hint::spin_loop();
+        }
+        // WAL appends ride the turnstile window: we are the only committer
+        // between the wait above and the store below, so commit records
+        // land in dense ticket order and the durable order can never
+        // disagree with the order snapshot readers observe. Skipped on
+        // unwind — a panicking committer may have published only part of
+        // its write set, and a commit fence for a partial set must never
+        // become durable.
+        #[cfg(not(loom))]
+        if !std::thread::panicking() {
+            self.mgr.wal_commit(self.ts, self.top, &self.wal_writes);
         }
         self.mgr.commit_ts.store(self.ts, Ordering::SeqCst);
     }
@@ -461,8 +586,126 @@ impl ManagerInner {
                 self.stats.bump(Ctr::Deadlocks);
                 TxError::Deadlock
             }
+            // A process "crash" at a lock point degrades to dooming the
+            // whole top-level tree: the WAL yield points are where crashes
+            // are actually simulated (the log freezes there); a lock
+            // request cannot kill the host process.
+            FaultAction::CrashProcess => {
+                self.abort_subtree(&node.top());
+                TxError::Doomed
+            }
             FaultAction::Continue => unreachable!("Continue is not a fault"),
         }
+    }
+
+    /// Consult the fault injector at a WAL yield point for top-level `top`.
+    /// Returns `true` when the injector asks the process to "crash" here
+    /// (the log is then frozen so nothing later becomes durable).
+    #[cfg_attr(loom, allow(dead_code))]
+    fn wal_crash(&self, point: FaultPoint, top: u64) -> bool {
+        let Some(inj) = &self.config.fault else {
+            return false;
+        };
+        let action = inj.decide(&FaultContext {
+            point,
+            tx: top,
+            top,
+            depth: 0,
+            obj: None,
+            write: false,
+        });
+        if action == FaultAction::CrashProcess {
+            self.trace(RtEvent::Fault {
+                tx: top,
+                obj: None,
+                action,
+            });
+            return true;
+        }
+        false
+    }
+
+    /// Make a top-level commit durable. Runs inside the committer's
+    /// turnstile window (after the `commit_ts == ts - 1` wait, before the
+    /// `commit_ts.store(ts)`), so append order in the log equals published
+    /// MVCC order, and no later committer can interleave records. Crash
+    /// points bracket every durability transition; a simulated crash
+    /// freezes the log (further appends/fsyncs are dropped) but leaves the
+    /// in-memory manager running so the harness can tear it down.
+    #[cfg_attr(loom, allow(dead_code))]
+    fn wal_commit(&self, ts: u64, top: u64, writes: &[(u32, Vec<u8>)]) {
+        let Some(wal) = &self.wal else { return };
+        if writes.is_empty() {
+            // Nothing durable changed: skip the log entirely. Timestamp
+            // gaps in the log are harmless — recovery orders by ts.
+            return;
+        }
+        if self.wal_crash(FaultPoint::WalPreAppend, top) {
+            wal.freeze();
+        }
+        let mut appended = 0u64;
+        for (obj, data) in writes {
+            if wal.append_publish(ts, top, *obj, data) {
+                appended += 1;
+            }
+        }
+        if self.wal_crash(FaultPoint::WalMidCommit, top) {
+            wal.freeze();
+        }
+        if wal.append_commit(ts, top) {
+            appended += 1;
+        }
+        if appended > 0 {
+            self.stats.add(Ctr::WalAppends, appended);
+            self.trace(RtEvent::WalAppend {
+                tx: top,
+                ts,
+                records: appended as usize,
+            });
+        }
+        if self.wal_crash(FaultPoint::WalPostAppend, top) {
+            wal.freeze();
+        }
+        if wal.sync_due() && wal.sync() {
+            self.stats.bump(Ctr::WalFsyncs);
+        }
+        if wal.should_checkpoint() {
+            self.wal_checkpoint(ts, top);
+        }
+    }
+
+    /// Write a checkpoint at timestamp `ts` and prune older segments.
+    /// Also inside the triggering committer's turnstile window: later
+    /// tickets are spinning on `commit_ts`, so no record can land in the
+    /// old segment after the cut, and every chain's version at `ts` is
+    /// frozen (concurrent publishes use timestamps > `ts` and are skipped
+    /// by the lock-free walk).
+    #[cfg_attr(loom, allow(dead_code))]
+    fn wal_checkpoint(&self, ts: u64, top: u64) {
+        let Some(wal) = &self.wal else { return };
+        let mut entries: Vec<(u32, Vec<u8>)> = Vec::new();
+        for idx in 0..self.objects.len() {
+            let slot = self.objects.get(idx);
+            let Some(codec) = &slot.codec else { continue };
+            let mut buf = Vec::new();
+            slot.snap.read(|| ts, |st| (codec.encode)(st, &mut buf));
+            entries.push((u32::try_from(idx).expect("object index fits u32"), buf));
+        }
+        if !wal.begin_checkpoint(ts, &entries) {
+            return;
+        }
+        self.stats.bump(Ctr::WalAppends);
+        self.stats.bump(Ctr::WalFsyncs);
+        if self.wal_crash(FaultPoint::WalCheckpoint, top) {
+            wal.freeze();
+            return;
+        }
+        wal.finish_checkpoint();
+        self.stats.bump(Ctr::WalFsyncs);
+        self.trace(RtEvent::Checkpoint {
+            ts,
+            objects: entries.len(),
+        });
     }
 
     /// The node that owns locks for `node` under the configured mode.
@@ -1225,16 +1468,29 @@ impl ManagerInner {
                     // Top-level commit installed a new committed base:
                     // publish it to the snapshot chain. Ticket 0 is the
                     // genesis timestamp, so tickets start at 1.
-                    let ts = ticket
-                        .get_or_insert_with(|| TurnstileTicket {
-                            mgr: self,
-                            // relaxed(ts-alloc): ticket allocation only
-                            // needs uniqueness and atomicity of the RMW;
-                            // ordering is provided by the SeqCst commit_ts
-                            // turnstile that publishes the ticket.
-                            ts: self.ts_alloc.fetch_add(1, Ordering::Relaxed) + 1,
-                        })
-                        .ts;
+                    let t = ticket.get_or_insert_with(|| TurnstileTicket {
+                        mgr: self,
+                        // relaxed(ts-alloc): ticket allocation only
+                        // needs uniqueness and atomicity of the RMW;
+                        // ordering is provided by the SeqCst commit_ts
+                        // turnstile that publishes the ticket.
+                        ts: self.ts_alloc.fetch_add(1, Ordering::Relaxed) + 1,
+                        top: node.id,
+                        wal_writes: Vec::new(),
+                    });
+                    let ts = t.ts;
+                    if self.wal.is_some() {
+                        if let Some(codec) = &slot.codec {
+                            // Encode under the slot mutex (the base cannot
+                            // change underneath); the bytes are appended
+                            // later, inside the turnstile window, where no
+                            // slot mutex is held.
+                            let mut buf = Vec::new();
+                            (codec.encode)(guard.base.as_any(), &mut buf);
+                            t.wal_writes
+                                .push((u32::try_from(obj).expect("object index fits u32"), buf));
+                        }
+                    }
                     slot.snap.publish(ts, guard.base.clone_box());
                     self.stats.bump(Ctr::VersionsPublished);
                     self.trace(RtEvent::Publish {
@@ -1354,6 +1610,17 @@ impl ManagerInner {
             };
             for w in wake {
                 w.wake();
+            }
+        }
+        // Log the abort of a top-level transaction so recovery can discard
+        // its buffered publishes even if a Begin record was durable.
+        // Nested aborts are invisible to the log: their effects never reach
+        // a Publish record (only top-level commits append).
+        if newly_aborted > 0 && root.parent.is_none() {
+            if let Some(w) = &self.wal {
+                if w.append_abort(root.id) {
+                    self.stats.bump(Ctr::WalAppends);
+                }
             }
         }
         self.stats.add(Ctr::Aborts, newly_aborted as u64);

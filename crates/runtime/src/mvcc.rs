@@ -200,6 +200,28 @@ impl SnapshotCell {
         }
         n
     }
+
+    /// Clone the whole chain as `(ts, state)` pairs, oldest first (genesis
+    /// included). Used by the kill-and-recover differential check to pin
+    /// down the committed value at an arbitrary recovered timestamp.
+    ///
+    /// Caller must hold the slot mutex — like [`SnapshotCell::chain_len`],
+    /// this walk deliberately crosses the GC cut down to genesis, which the
+    /// pin protocol alone does not protect.
+    pub(crate) fn history(&self) -> Vec<(u64, Box<dyn AnyState>)> {
+        let mut out = Vec::new();
+        let mut node = self.head.load(Ordering::SeqCst);
+        // SAFETY: slot mutex held by the caller — no concurrent
+        // publish/collect, chain intact to genesis, nothing freed mid-walk.
+        unsafe {
+            while !node.is_null() {
+                out.push(((*node).ts, (*node).state.clone_box()));
+                node = (*node).next.load(Ordering::SeqCst);
+            }
+        }
+        out.reverse();
+        out
+    }
 }
 
 impl Drop for SnapshotCell {

@@ -422,10 +422,32 @@ pub(crate) struct ObjectSlot {
     /// stale value can only make a waiter spin a little more or less.
     #[cfg_attr(loom, allow(dead_code))]
     hold_ewma_ns: AtomicU64,
+    /// WAL encode/decode pair for durable objects
+    /// ([`crate::TxManager::register_durable`]); `None` means the object is
+    /// memory-only and the WAL skips it entirely.
+    pub codec: Option<crate::wal::WalCodec>,
 }
 
 impl ObjectSlot {
     pub fn new(name: String, initial: Box<dyn AnyState>) -> ObjectSlot {
+        Self::build(name, initial, None)
+    }
+
+    /// Like [`ObjectSlot::new`], but the object's committed state rides the
+    /// write-ahead log with the given codec.
+    pub fn with_codec(
+        name: String,
+        initial: Box<dyn AnyState>,
+        codec: crate::wal::WalCodec,
+    ) -> ObjectSlot {
+        Self::build(name, initial, Some(codec))
+    }
+
+    fn build(
+        name: String,
+        initial: Box<dyn AnyState>,
+        codec: Option<crate::wal::WalCodec>,
+    ) -> ObjectSlot {
         let snap = SnapshotCell::new(initial.clone_box());
         ObjectSlot {
             name,
@@ -440,6 +462,7 @@ impl ObjectSlot {
             }),
             snap,
             hold_ewma_ns: AtomicU64::new(0),
+            codec,
         }
     }
 

@@ -44,9 +44,12 @@ pub(crate) enum Ctr {
     SnapshotReads,
     VersionsPublished,
     VersionsCollected,
+    WalAppends,
+    WalFsyncs,
+    Recoveries,
 }
 
-const NCTR: usize = 25;
+const NCTR: usize = 28;
 
 #[derive(Default)]
 struct Stripe {
@@ -116,6 +119,12 @@ impl Stats {
             snapshot_reads: self.total(Ctr::SnapshotReads),
             versions_published: self.total(Ctr::VersionsPublished),
             versions_collected: self.total(Ctr::VersionsCollected),
+            wal_appends: self.total(Ctr::WalAppends),
+            wal_fsyncs: self.total(Ctr::WalFsyncs),
+            recoveries: self.total(Ctr::Recoveries),
+            // Tracked inside the WAL (a cold-path `fetch_max` watermark, not
+            // a striped counter); `TxManager::stats` merges it in.
+            group_commit_batch_max: 0,
         }
     }
 }
@@ -178,6 +187,17 @@ pub struct StatsSnapshot {
     pub versions_published: u64,
     /// Published versions reclaimed by the version garbage collector.
     pub versions_collected: u64,
+    /// Records appended to the write-ahead log (publishes, commit fences,
+    /// begin/abort metadata, and checkpoint snapshots).
+    pub wal_appends: u64,
+    /// Device flushes issued by the WAL (commit-path fsyncs plus the two
+    /// fsyncs bracketing each checkpoint).
+    pub wal_fsyncs: u64,
+    /// Crash-recovery passes completed ([`crate::TxManager::recover`]).
+    pub recoveries: u64,
+    /// Largest commits-per-fsync batch the group-commit policy achieved
+    /// (0 when the WAL is off or no fsync has run).
+    pub group_commit_batch_max: u64,
 }
 
 impl StatsSnapshot {

@@ -174,6 +174,32 @@ pub enum RtEvent {
         /// The applied action (never [`FaultAction::Continue`]).
         action: FaultAction,
     },
+    /// A committing transaction's records reached the write-ahead log
+    /// (publishes plus the commit fence, appended inside the turnstile
+    /// window at commit timestamp `ts`).
+    WalAppend {
+        /// The committing top-level transaction.
+        tx: u64,
+        /// Its commit timestamp.
+        ts: u64,
+        /// Records appended for this commit.
+        records: usize,
+    },
+    /// The WAL rotated to a fresh segment headed by a full snapshot of all
+    /// durable objects.
+    Checkpoint {
+        /// Cut timestamp of the snapshot.
+        ts: u64,
+        /// Durable objects captured.
+        objects: usize,
+    },
+    /// A crash-recovery pass rebuilt committed state from the log.
+    Recovered {
+        /// Committed transactions redone.
+        commits: u64,
+        /// The clock value restored (highest recovered commit timestamp).
+        ts: u64,
+    },
 }
 
 impl RtEvent {
@@ -235,6 +261,15 @@ impl RtEvent {
                 Some(o) => _ = writeln!(out, "FAULT tx={tx} obj={o} action={action}"),
                 None => _ = writeln!(out, "FAULT tx={tx} obj=- action={action}"),
             },
+            RtEvent::WalAppend { tx, ts, records } => {
+                _ = writeln!(out, "WALAPPEND tx={tx} ts={ts} records={records}");
+            }
+            RtEvent::Checkpoint { ts, objects } => {
+                _ = writeln!(out, "CHECKPOINT ts={ts} objects={objects}");
+            }
+            RtEvent::Recovered { commits, ts } => {
+                _ = writeln!(out, "RECOVERED commits={commits} ts={ts}");
+            }
         }
     }
 }
@@ -367,7 +402,10 @@ impl TraceRecorder {
                 | RtEvent::Inherit { .. }
                 | RtEvent::Deadlock { .. }
                 | RtEvent::HandoffWave { .. }
-                | RtEvent::Publish { .. } => {}
+                | RtEvent::Publish { .. }
+                | RtEvent::WalAppend { .. }
+                | RtEvent::Checkpoint { .. }
+                | RtEvent::Recovered { .. } => {}
             }
         }
         map

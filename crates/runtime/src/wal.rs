@@ -1,0 +1,910 @@
+//! Segmented write-ahead log behind the commit turnstile.
+//!
+//! The paper's model (§2) treats a committed top-level transaction's effects
+//! as permanent. This module makes that literally true under process death:
+//! every top-level commit appends CRC-framed `Publish` records (one per
+//! durable object written) followed by a `Commit` record, *inside* the
+//! commit-timestamp turnstile window of `manager.rs` — exactly one committer
+//! is between the turnstile wait and the `commit_ts` store at a time, so the
+//! append order of `Commit` records equals the dense ticket order, which is
+//! the order snapshot readers observe. Durable order = published MVCC order
+//! by construction, not by a separate locking protocol.
+//!
+//! ## Frame and record format
+//!
+//! Every record is framed as `[len: u32 LE][crc32(payload): u32 LE][payload]`.
+//! The first payload byte is a record tag:
+//!
+//! | tag | record     | payload after the tag                                |
+//! |-----|------------|------------------------------------------------------|
+//! | 1   | Begin      | `top: u64`                                           |
+//! | 2   | Publish    | `ts: u64, top: u64, obj: u32, len: u32, data`        |
+//! | 3   | Commit     | `ts: u64, top: u64`                                  |
+//! | 4   | Abort      | `top: u64`                                           |
+//! | 5   | Checkpoint | `ts: u64, n: u32, n × (obj: u32, len: u32, data)`    |
+//!
+//! Segments are `wal-NNNNNN.log` files in `RtConfig::wal_dir`; a checkpoint
+//! rotates to a fresh segment whose *first* record is the `Checkpoint`
+//! snapshot, then deletes the superseded segments. Recovery (`recovery.rs`)
+//! prefers the newest segment that starts with a valid checkpoint and
+//! replays forward from it.
+//!
+//! ## Group commit
+//!
+//! `FsyncPolicy::Group(n, d)` acks a commit as soon as its records are
+//! appended and defers the fsync until `n` commits are pending or the oldest
+//! pending commit is older than `d`. The durable prefix (`durable_ts`) then
+//! trails the published clock — recovery returns some prefix in
+//! `[durable_ts, crash clock]`, and the kill-and-recover fuzz
+//! (`ntx-sim::fuzz_crash_run`) checks exactly that containment.
+//!
+//! ## Crash simulation
+//!
+//! `freeze()` models the process dying at a WAL yield point: the file is
+//! never written again (appends and fsyncs become silent no-ops) while the
+//! in-memory manager stays alive so the test driver can wind down.
+//! `crash_teardown(keep)` additionally truncates the live segment to the
+//! synced prefix plus `keep` bytes of unsynced tail — a torn final record,
+//! the shape real power loss leaves behind.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::object::AnyState;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::Mutex;
+
+/// When the WAL flushes appended records to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync on every commit before it is acknowledged. Durable-on-return,
+    /// but the device flush serialises the commit path (see bench B7).
+    Always,
+    /// Group commit: acknowledge after append, fsync once this many commits
+    /// are pending or the oldest pending commit has waited this long.
+    /// Commits become durable as a batch; recovery may lose an
+    /// acknowledged-but-unsynced suffix (a documented durable-prefix
+    /// guarantee, never a torn or reordered state).
+    Group(usize, Duration),
+    /// Never fsync while running; flush once on clean close only. For tests
+    /// and benchmarks that want append cost without device cost.
+    Never,
+}
+
+/// State types that can live in a durable object
+/// (`TxManager::register_durable`). The encoding is the module's stability
+/// boundary: bytes written by `encode_wal` must remain decodable by
+/// `decode_wal` across restarts.
+pub trait WalState: std::any::Any + Clone + Send + Sync {
+    /// Append this value's canonical byte encoding to `out`.
+    fn encode_wal(&self, out: &mut Vec<u8>);
+    /// Rebuild a value from bytes produced by [`WalState::encode_wal`].
+    /// `None` marks a corrupt or truncated payload.
+    fn decode_wal(bytes: &[u8]) -> Option<Self>
+    where
+        Self: Sized;
+}
+
+macro_rules! wal_state_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl WalState for $t {
+            fn encode_wal(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode_wal(bytes: &[u8]) -> Option<Self> {
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+wal_state_int!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+impl WalState for bool {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode_wal(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl WalState for String {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode_wal(bytes: &[u8]) -> Option<Self> {
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl WalState for Vec<u8> {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn decode_wal(bytes: &[u8]) -> Option<Self> {
+        Some(bytes.to_vec())
+    }
+}
+
+/// Type-erased state encoder: downcasts to the registered concrete type and
+/// appends its wire form.
+pub(crate) type EncodeFn = Box<dyn Fn(&dyn std::any::Any, &mut Vec<u8>) + Send + Sync>;
+/// Type-erased state decoder; `None` on corrupt input.
+pub(crate) type DecodeFn = Box<dyn Fn(&[u8]) -> Option<Box<dyn AnyState>> + Send + Sync>;
+
+/// Type-erased encode/decode pair stored on a durable `ObjectSlot`. Built
+/// once per `register_durable` call; the closures capture only the concrete
+/// type, so encode is a downcast plus the typed encoder.
+pub(crate) struct WalCodec {
+    /// Encode a state value (must be the registered concrete type).
+    pub(crate) encode: EncodeFn,
+    /// Decode bytes back into a boxed state, `None` on corrupt input.
+    pub(crate) decode: DecodeFn,
+}
+
+impl WalCodec {
+    /// The codec for a concrete durable state type.
+    pub(crate) fn of<T: WalState>() -> WalCodec {
+        WalCodec {
+            encode: Box::new(|any, out| {
+                any.downcast_ref::<T>()
+                    .expect("durable object state type mismatch")
+                    .encode_wal(out);
+            }),
+            decode: Box::new(|bytes| {
+                T::decode_wal(bytes).map(|v| Box::new(v) as Box<dyn AnyState>)
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial) — hand-rolled, the workspace vendors no
+// checksum crate. Const-built table, standard reflected algorithm.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC32 of `bytes` (the framing checksum).
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Record encode / decode
+// ---------------------------------------------------------------------------
+
+const TAG_BEGIN: u8 = 1;
+const TAG_PUBLISH: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
+
+/// Upper bound on a single record payload; anything larger in a length
+/// header is treated as tail corruption rather than attempted allocation.
+const MAX_RECORD: u32 = 16 << 20;
+
+/// A decoded log record (recovery-side view; the append side writes
+/// payloads directly without building this enum).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum WalRecord {
+    /// A top-level transaction started.
+    Begin {
+        /// Top-level transaction id.
+        top: u64,
+    },
+    /// One durable object's new state, published at commit timestamp `ts`.
+    Publish {
+        /// Commit timestamp (dense turnstile ticket).
+        ts: u64,
+        /// Committing top-level transaction id.
+        top: u64,
+        /// Slab index of the durable object.
+        obj: u32,
+        /// Encoded state bytes.
+        data: Vec<u8>,
+    },
+    /// Commit fence: every `Publish` for (`ts`, `top`) precedes it, so its
+    /// presence makes the whole write set redo-eligible.
+    Commit {
+        /// Commit timestamp.
+        ts: u64,
+        /// Committing top-level transaction id.
+        top: u64,
+    },
+    /// A top-level transaction aborted (metadata only — an aborted tree
+    /// never publishes, so there is nothing to undo).
+    Abort {
+        /// Aborted top-level transaction id.
+        top: u64,
+    },
+    /// Segment-leading snapshot of all durable objects at `ts`; supersedes
+    /// every earlier segment.
+    Checkpoint {
+        /// Cut timestamp of the snapshot.
+        ts: u64,
+        /// `(object slab index, encoded state)` for every durable object.
+        entries: Vec<(u32, Vec<u8>)>,
+    },
+}
+
+fn payload_begin(top: u64) -> Vec<u8> {
+    let mut p = vec![TAG_BEGIN];
+    p.extend_from_slice(&top.to_le_bytes());
+    p
+}
+
+fn payload_publish(ts: u64, top: u64, obj: u32, data: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(1 + 8 + 8 + 4 + 4 + data.len());
+    p.push(TAG_PUBLISH);
+    p.extend_from_slice(&ts.to_le_bytes());
+    p.extend_from_slice(&top.to_le_bytes());
+    p.extend_from_slice(&obj.to_le_bytes());
+    p.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    p.extend_from_slice(data);
+    p
+}
+
+fn payload_commit(ts: u64, top: u64) -> Vec<u8> {
+    let mut p = vec![TAG_COMMIT];
+    p.extend_from_slice(&ts.to_le_bytes());
+    p.extend_from_slice(&top.to_le_bytes());
+    p
+}
+
+fn payload_abort(top: u64) -> Vec<u8> {
+    let mut p = vec![TAG_ABORT];
+    p.extend_from_slice(&top.to_le_bytes());
+    p
+}
+
+fn payload_checkpoint(ts: u64, entries: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let mut p = vec![TAG_CHECKPOINT];
+    p.extend_from_slice(&ts.to_le_bytes());
+    p.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (obj, data) in entries {
+        p.extend_from_slice(&obj.to_le_bytes());
+        p.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        p.extend_from_slice(data);
+    }
+    p
+}
+
+/// Bounds-checked little-endian cursor over a record payload.
+struct Cur<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn u32(&mut self) -> Option<u32> {
+        let s = self.b.get(self.i..self.i + 4)?;
+        self.i += 4;
+        Some(u32::from_le_bytes(s.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let s = self.b.get(self.i..self.i + 8)?;
+        self.i += 8;
+        Some(u64::from_le_bytes(s.try_into().ok()?))
+    }
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.b.get(self.i..self.i + n)?;
+        self.i += n;
+        Some(s)
+    }
+    fn done(&self) -> bool {
+        self.i == self.b.len()
+    }
+}
+
+/// Decode one CRC-verified payload; `None` marks an unknown tag or a
+/// malformed body (both treated as tail corruption by the caller).
+pub(crate) fn decode_record(payload: &[u8]) -> Option<WalRecord> {
+    let (&tag, rest) = payload.split_first()?;
+    let mut c = Cur { b: rest, i: 0 };
+    let rec = match tag {
+        TAG_BEGIN => WalRecord::Begin { top: c.u64()? },
+        TAG_PUBLISH => {
+            let ts = c.u64()?;
+            let top = c.u64()?;
+            let obj = c.u32()?;
+            let len = c.u32()? as usize;
+            WalRecord::Publish {
+                ts,
+                top,
+                obj,
+                data: c.bytes(len)?.to_vec(),
+            }
+        }
+        TAG_COMMIT => WalRecord::Commit {
+            ts: c.u64()?,
+            top: c.u64()?,
+        },
+        TAG_ABORT => WalRecord::Abort { top: c.u64()? },
+        TAG_CHECKPOINT => {
+            let ts = c.u64()?;
+            let n = c.u32()?;
+            let mut entries = Vec::with_capacity(n.min(4096) as usize);
+            for _ in 0..n {
+                let obj = c.u32()?;
+                let len = c.u32()? as usize;
+                entries.push((obj, c.bytes(len)?.to_vec()));
+            }
+            WalRecord::Checkpoint { ts, entries }
+        }
+        _ => return None,
+    };
+    c.done().then_some(rec)
+}
+
+fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Split a segment's bytes into its valid record prefix. Returns the decoded
+/// records and the byte length of the valid prefix; anything past it — a
+/// short header, an oversized length, a CRC mismatch, or an undecodable
+/// payload — is a torn tail to be discarded.
+pub(crate) fn parse_frames(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut recs = Vec::new();
+    let mut i = 0usize;
+    while let Some(header) = bytes.get(i..i + 8) {
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice"));
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4-byte slice"));
+        if len > MAX_RECORD {
+            break;
+        }
+        let Some(payload) = bytes.get(i + 8..i + 8 + len as usize) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Some(rec) = decode_record(payload) else {
+            break;
+        };
+        recs.push(rec);
+        i += 8 + len as usize;
+    }
+    (recs, i)
+}
+
+// ---------------------------------------------------------------------------
+// Segment files
+// ---------------------------------------------------------------------------
+
+fn seg_path(dir: &Path, idx: u64) -> PathBuf {
+    dir.join(format!("wal-{idx:06}.log"))
+}
+
+/// All `wal-NNNNNN.log` segments in `dir`, sorted by index.
+pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut v = Vec::new();
+    for ent in fs::read_dir(dir)? {
+        let ent = ent?;
+        let name = ent.file_name();
+        let name = name.to_string_lossy();
+        if let Some(idx) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+        {
+            if let Ok(n) = idx.parse::<u64>() {
+                v.push((n, ent.path()));
+            }
+        }
+    }
+    v.sort();
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// The log itself
+// ---------------------------------------------------------------------------
+
+/// Mutable log state; the mutex is a leaf in the crate lock order (appends
+/// from the turnstile window hold no slot mutex, and begin/abort appends
+/// happen outside any lock).
+struct WalInner {
+    file: File,
+    /// Index of the live (append) segment.
+    seg: u64,
+    /// Bytes appended to the live segment.
+    appended: u64,
+    /// Bytes of the live segment known to be on stable storage.
+    synced: u64,
+    /// Commit records appended since the last fsync.
+    pending: u64,
+    /// When the oldest pending commit was appended (group-commit deadline).
+    pending_since: Option<Instant>,
+    /// Commit records since the last checkpoint rotation.
+    commits_since_checkpoint: u64,
+    /// Highest commit timestamp appended (promoted to `durable_ts` at sync).
+    appended_commit_ts: u64,
+}
+
+/// A segmented append-only write-ahead log. See the module docs for the
+/// format and the ordering argument.
+pub(crate) struct Wal {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    checkpoint_every: u64,
+    /// Set when the simulated process died (or on an io error): every
+    /// subsequent append/fsync is a silent no-op.
+    frozen: AtomicBool,
+    /// Highest commit timestamp guaranteed on stable storage.
+    durable_ts: AtomicU64,
+    /// Largest group-commit fsync batch observed (commits per fsync).
+    batch_max: AtomicU64,
+    /// Torn-tail bytes truncated while opening (recovery reports them).
+    repaired: u64,
+    inner: Mutex<WalInner>,
+}
+
+impl Wal {
+    /// Open (or create) the log in `dir`, repairing a torn tail: the last
+    /// segment is truncated to its valid frame prefix, which is exactly the
+    /// state a mid-write power cut leaves behind.
+    pub(crate) fn open(dir: &Path, policy: FsyncPolicy, checkpoint_every: u64) -> io::Result<Wal> {
+        fs::create_dir_all(dir)?;
+        let segs = list_segments(dir)?;
+        let (seg, path) = match segs.last() {
+            Some((n, p)) => (*n, p.clone()),
+            None => (0, seg_path(dir, 0)),
+        };
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (recs, valid) = parse_frames(&bytes);
+        if (valid as u64) < bytes.len() as u64 {
+            file.set_len(valid as u64)?;
+        }
+        file.seek(SeekFrom::Start(valid as u64))?;
+        // Everything already on disk is durable; seed the bookkeeping so a
+        // later fsync with no fresh commits cannot regress `durable_ts`.
+        let max_ts = recs
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit { ts, .. } | WalRecord::Checkpoint { ts, .. } => Some(*ts),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            policy,
+            checkpoint_every,
+            frozen: AtomicBool::new(false),
+            durable_ts: AtomicU64::new(max_ts),
+            batch_max: AtomicU64::new(0),
+            repaired: bytes.len() as u64 - valid as u64,
+            inner: Mutex::new(WalInner {
+                file,
+                seg,
+                appended: valid as u64,
+                synced: valid as u64,
+                pending: 0,
+                pending_since: None,
+                commits_since_checkpoint: 0,
+                appended_commit_ts: max_ts,
+            }),
+        })
+    }
+
+    /// Directory holding the segment files (recovery scans it).
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn append_frame(&self, payload: &[u8], commit_ts: Option<u64>) -> bool {
+        if self.frozen.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        push_frame(&mut frame, payload);
+        if inner.file.write_all(&frame).is_err() {
+            // An io error leaves the tail in an unknown state; freeze
+            // rather than keep acknowledging commits we cannot persist.
+            self.frozen.store(true, Ordering::SeqCst);
+            return false;
+        }
+        inner.appended += frame.len() as u64;
+        if let Some(ts) = commit_ts {
+            inner.pending += 1;
+            if inner.pending_since.is_none() {
+                inner.pending_since = Some(Instant::now());
+            }
+            inner.commits_since_checkpoint += 1;
+            inner.appended_commit_ts = ts;
+        }
+        true
+    }
+
+    /// Append a `Begin` record. Returns whether a record was written.
+    pub(crate) fn append_begin(&self, top: u64) -> bool {
+        self.append_frame(&payload_begin(top), None)
+    }
+
+    /// Append an `Abort` record for a top-level transaction.
+    pub(crate) fn append_abort(&self, top: u64) -> bool {
+        self.append_frame(&payload_abort(top), None)
+    }
+
+    /// Append one object's published state for a committing transaction.
+    pub(crate) fn append_publish(&self, ts: u64, top: u64, obj: u32, data: &[u8]) -> bool {
+        self.append_frame(&payload_publish(ts, top, obj, data), None)
+    }
+
+    /// Append the commit fence for (`ts`, `top`).
+    pub(crate) fn append_commit(&self, ts: u64, top: u64) -> bool {
+        self.append_frame(&payload_commit(ts, top), Some(ts))
+    }
+
+    /// Whether the policy wants an fsync now (pending commits hit the group
+    /// size, the group deadline passed, or the policy is `Always`).
+    pub(crate) fn sync_due(&self) -> bool {
+        if self.frozen.load(Ordering::SeqCst) {
+            return false;
+        }
+        let inner = self.inner.lock();
+        match self.policy {
+            FsyncPolicy::Always => inner.pending > 0,
+            FsyncPolicy::Never => false,
+            FsyncPolicy::Group(n, d) => {
+                inner.pending >= n as u64
+                    || (inner.pending > 0 && inner.pending_since.is_some_and(|t| t.elapsed() >= d))
+            }
+        }
+    }
+
+    /// Fsync the live segment, promoting every appended commit to durable.
+    /// Returns whether a device flush actually ran.
+    pub(crate) fn sync(&self) -> bool {
+        if self.frozen.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        if inner.synced == inner.appended && inner.pending == 0 {
+            return false;
+        }
+        if inner.file.sync_data().is_err() {
+            self.frozen.store(true, Ordering::SeqCst);
+            return false;
+        }
+        self.batch_max.fetch_max(inner.pending, Ordering::SeqCst);
+        inner.pending = 0;
+        inner.pending_since = None;
+        inner.synced = inner.appended;
+        self.durable_ts
+            .store(inner.appended_commit_ts, Ordering::SeqCst);
+        true
+    }
+
+    /// Whether enough commits have accumulated to warrant a checkpoint.
+    pub(crate) fn should_checkpoint(&self) -> bool {
+        self.checkpoint_every > 0
+            && !self.frozen.load(Ordering::SeqCst)
+            && self.inner.lock().commits_since_checkpoint >= self.checkpoint_every
+    }
+
+    /// First half of a checkpoint: make the old segment fully durable, then
+    /// rotate to a fresh segment whose first record snapshots every durable
+    /// object at `ts`. Old segments are deleted only by
+    /// [`Wal::finish_checkpoint`], so a crash between the two halves leaves
+    /// the log fully recoverable (the torn checkpoint segment is discarded
+    /// and recovery falls back to the intact earlier segments).
+    pub(crate) fn begin_checkpoint(&self, ts: u64, entries: &[(u32, Vec<u8>)]) -> bool {
+        if self.frozen.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        if inner.file.sync_data().is_err() {
+            self.frozen.store(true, Ordering::SeqCst);
+            return false;
+        }
+        self.batch_max.fetch_max(inner.pending, Ordering::SeqCst);
+        inner.pending = 0;
+        inner.pending_since = None;
+        inner.synced = inner.appended;
+        self.durable_ts
+            .store(inner.appended_commit_ts, Ordering::SeqCst);
+
+        let next = inner.seg + 1;
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(seg_path(&self.dir, next));
+        let mut file = match file {
+            Ok(f) => f,
+            Err(_) => {
+                self.frozen.store(true, Ordering::SeqCst);
+                return false;
+            }
+        };
+        let mut frame = Vec::new();
+        push_frame(&mut frame, &payload_checkpoint(ts, entries));
+        if file.write_all(&frame).is_err() {
+            self.frozen.store(true, Ordering::SeqCst);
+            return false;
+        }
+        inner.file = file;
+        inner.seg = next;
+        inner.appended = frame.len() as u64;
+        inner.synced = 0;
+        inner.commits_since_checkpoint = 0;
+        true
+    }
+
+    /// Second half of a checkpoint: fsync the new segment and delete the
+    /// superseded ones. Returns how many old segments were removed.
+    pub(crate) fn finish_checkpoint(&self) -> usize {
+        if self.frozen.load(Ordering::SeqCst) {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        if inner.file.sync_data().is_err() {
+            self.frozen.store(true, Ordering::SeqCst);
+            return 0;
+        }
+        inner.synced = inner.appended;
+        let mut removed = 0;
+        if let Ok(segs) = list_segments(&self.dir) {
+            for (n, p) in segs {
+                if n < inner.seg && fs::remove_file(&p).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Simulate the process dying at this instant: no further bytes ever
+    /// reach the file. Idempotent; the in-memory manager stays usable so a
+    /// test driver can wind down its open transactions.
+    pub(crate) fn freeze(&self) {
+        self.frozen.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a simulated crash (or an io error) has frozen the log.
+    pub(crate) fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::SeqCst)
+    }
+
+    /// Simulate power loss: freeze, then truncate the live segment to its
+    /// synced prefix plus `keep_unsynced` bytes of unsynced tail. Passing a
+    /// value that lands mid-record produces a torn final record for
+    /// recovery's tail repair to discard.
+    pub(crate) fn crash_teardown(&self, keep_unsynced: u64) -> io::Result<()> {
+        self.freeze();
+        let inner = self.inner.lock();
+        let target = inner.synced + keep_unsynced.min(inner.appended - inner.synced);
+        inner.file.set_len(target)?;
+        Ok(())
+    }
+
+    /// Bytes appended to the live segment but not yet fsynced.
+    pub(crate) fn unsynced_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.appended - inner.synced
+    }
+
+    /// Highest commit timestamp guaranteed to survive a crash.
+    pub(crate) fn durable_ts(&self) -> u64 {
+        self.durable_ts.load(Ordering::SeqCst)
+    }
+
+    /// Largest commits-per-fsync batch observed (group-commit win metric).
+    pub(crate) fn batch_max(&self) -> u64 {
+        self.batch_max.load(Ordering::SeqCst)
+    }
+
+    /// Torn-tail bytes [`Wal::open`] truncated from the last segment (the
+    /// wreckage of a mid-write crash, already repaired).
+    pub(crate) fn repaired_bytes(&self) -> u64 {
+        self.repaired
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Clean close: flush whatever the policy left pending so `Never`
+        // and `Group` tails survive an orderly shutdown. A frozen log is
+        // simulating a dead process and must not touch the file.
+        if !self.frozen.load(Ordering::SeqCst) {
+            let _ = self.inner.lock().file.sync_data();
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ntx-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let cases = [
+            payload_begin(7),
+            payload_publish(3, 7, 2, &42i64.to_le_bytes()),
+            payload_commit(3, 7),
+            payload_abort(9),
+            payload_checkpoint(5, &[(0, vec![1, 2, 3]), (4, vec![])]),
+        ];
+        let expect = vec![
+            WalRecord::Begin { top: 7 },
+            WalRecord::Publish {
+                ts: 3,
+                top: 7,
+                obj: 2,
+                data: 42i64.to_le_bytes().to_vec(),
+            },
+            WalRecord::Commit { ts: 3, top: 7 },
+            WalRecord::Abort { top: 9 },
+            WalRecord::Checkpoint {
+                ts: 5,
+                entries: vec![(0, vec![1, 2, 3]), (4, vec![])],
+            },
+        ];
+        for (payload, want) in cases.iter().zip(&expect) {
+            assert_eq!(decode_record(payload).as_ref(), Some(want));
+        }
+    }
+
+    #[test]
+    fn parse_stops_at_torn_tail() {
+        let mut bytes = Vec::new();
+        push_frame(&mut bytes, &payload_begin(1));
+        push_frame(&mut bytes, &payload_commit(1, 1));
+        let valid = bytes.len();
+        // A torn third record: header promises more bytes than exist.
+        push_frame(&mut bytes, &payload_commit(2, 2));
+        bytes.truncate(valid + 5);
+        let (recs, n) = parse_frames(&bytes);
+        assert_eq!(n, valid);
+        assert_eq!(recs.len(), 2);
+
+        // A bit-flipped payload fails the CRC and also stops the parse.
+        let mut flipped = Vec::new();
+        push_frame(&mut flipped, &payload_begin(1));
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert_eq!(parse_frames(&flipped), (vec![], 0));
+    }
+
+    #[test]
+    fn open_repairs_torn_tail_and_preserves_prefix() {
+        let dir = tmp("repair");
+        {
+            let wal = Wal::open(&dir, FsyncPolicy::Always, 0).unwrap();
+            assert!(wal.append_begin(1));
+            assert!(wal.append_publish(1, 1, 0, &5i64.to_le_bytes()));
+            assert!(wal.append_commit(1, 1));
+            assert!(wal.sync());
+            assert_eq!(wal.durable_ts(), 1);
+        }
+        // Tear 3 bytes into the file by hand.
+        let seg = list_segments(&dir).unwrap().pop().unwrap().1;
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0xAB, 0xCD, 0xEF]).unwrap();
+        drop(f);
+
+        let wal = Wal::open(&dir, FsyncPolicy::Always, 0).unwrap();
+        assert_eq!(wal.durable_ts(), 1);
+        // Appending after repair yields a cleanly parseable log.
+        assert!(wal.append_commit(2, 2));
+        drop(wal);
+        let bytes = fs::read(&seg).unwrap();
+        let (recs, n) = parse_frames(&bytes);
+        assert_eq!(n, bytes.len());
+        assert_eq!(recs.len(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frozen_log_drops_appends_and_teardown_truncates() {
+        let dir = tmp("freeze");
+        let wal = Wal::open(&dir, FsyncPolicy::Never, 0).unwrap();
+        assert!(wal.append_commit(1, 1));
+        assert!(wal.sync()); // manual sync still works under Never
+        assert!(wal.append_commit(2, 2));
+        let unsynced = wal.unsynced_bytes();
+        assert!(unsynced > 0);
+        wal.crash_teardown(unsynced - 3).unwrap();
+        assert!(wal.is_frozen());
+        assert!(!wal.append_commit(3, 3));
+        assert!(!wal.sync());
+        drop(wal);
+
+        let wal = Wal::open(&dir, FsyncPolicy::Never, 0).unwrap();
+        // Commit 1 survived; commit 2's torn record was repaired away.
+        assert_eq!(wal.durable_ts(), 1);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_policy_defers_until_batch_size() {
+        let dir = tmp("group");
+        let wal = Wal::open(&dir, FsyncPolicy::Group(3, Duration::from_secs(3600)), 0).unwrap();
+        assert!(wal.append_commit(1, 1));
+        assert!(!wal.sync_due());
+        assert!(wal.append_commit(2, 2));
+        assert!(!wal.sync_due());
+        assert!(wal.append_commit(3, 3));
+        assert!(wal.sync_due());
+        assert!(wal.sync());
+        assert_eq!(wal.batch_max(), 3);
+        assert_eq!(wal.durable_ts(), 3);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_rotates_and_prunes_segments() {
+        let dir = tmp("ckpt");
+        let wal = Wal::open(&dir, FsyncPolicy::Always, 0).unwrap();
+        for ts in 1..=4u64 {
+            assert!(wal.append_publish(ts, ts, 0, &(ts as i64).to_le_bytes()));
+            assert!(wal.append_commit(ts, ts));
+            assert!(wal.sync());
+        }
+        assert!(wal.begin_checkpoint(4, &[(0, 4i64.to_le_bytes().to_vec())]));
+        assert_eq!(wal.finish_checkpoint(), 1);
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].0, 1);
+        let (recs, _) = parse_frames(&fs::read(&segs[0].1).unwrap());
+        assert!(matches!(recs[0], WalRecord::Checkpoint { ts: 4, .. }));
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -79,6 +79,104 @@ impl FaultPlan {
     }
 }
 
+/// Seeded process-crash plan for the runtime's WAL yield points.
+///
+/// Kept separate from [`FaultPlan`] so existing fuzz seeds replay byte for
+/// byte: a crash plan of [`CrashPlan::none`] consumes draws at WAL points
+/// only when a WAL is configured, which no pre-durability harness does.
+/// `pm` is the per-mille chance of killing the process at an *enabled*
+/// point; the four flags select which of the runtime's WAL yield points are
+/// eligible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// ‰ chance of a process kill at each enabled WAL yield point.
+    pub pm: u32,
+    /// Eligible: before any commit record is appended.
+    pub pre_append: bool,
+    /// Eligible: between the `Publish` records and the `Commit` fence.
+    pub mid_commit: bool,
+    /// Eligible: after the fence is appended, before the fsync.
+    pub post_append: bool,
+    /// Eligible: between a checkpoint's two fsyncs (old segments still on
+    /// disk, new segment not yet durable).
+    pub checkpoint: bool,
+}
+
+impl CrashPlan {
+    /// Never crash (WAL yield points always continue).
+    pub fn none() -> CrashPlan {
+        CrashPlan {
+            pm: 0,
+            pre_append: false,
+            mid_commit: false,
+            post_append: false,
+            checkpoint: false,
+        }
+    }
+
+    /// Crash with probability `pm`‰ at every WAL yield point.
+    pub fn all(pm: u32) -> CrashPlan {
+        CrashPlan {
+            pm,
+            pre_append: true,
+            mid_commit: true,
+            post_append: true,
+            checkpoint: true,
+        }
+    }
+
+    /// Crash only at one specific WAL yield point.
+    pub fn at(point: FaultPoint, pm: u32) -> CrashPlan {
+        let mut plan = CrashPlan {
+            pm,
+            ..CrashPlan::none()
+        };
+        match point {
+            FaultPoint::WalPreAppend => plan.pre_append = true,
+            FaultPoint::WalMidCommit => plan.mid_commit = true,
+            FaultPoint::WalPostAppend => plan.post_append = true,
+            FaultPoint::WalCheckpoint => plan.checkpoint = true,
+            _ => {}
+        }
+        plan
+    }
+
+    /// Parse a crash-point selection as used by the `ntx fuzz` CLI:
+    /// `"all"`, or a comma-separated subset of
+    /// `pre-append,mid-commit,post-append,checkpoint`.
+    pub fn by_names(names: &str, pm: u32) -> Option<CrashPlan> {
+        if names == "all" {
+            return Some(CrashPlan::all(pm));
+        }
+        let mut plan = CrashPlan {
+            pm,
+            ..CrashPlan::none()
+        };
+        for name in names.split(',') {
+            match name.trim() {
+                "pre-append" => plan.pre_append = true,
+                "mid-commit" => plan.mid_commit = true,
+                "post-append" => plan.post_append = true,
+                "checkpoint" => plan.checkpoint = true,
+                _ => return None,
+            }
+        }
+        Some(plan)
+    }
+
+    /// Whether this plan can fire at `point`.
+    pub fn enabled(&self, point: FaultPoint) -> bool {
+        self.pm > 0
+            && match point {
+                FaultPoint::WalPreAppend => self.pre_append,
+                FaultPoint::WalMidCommit => self.mid_commit,
+                FaultPoint::WalPostAppend => self.post_append,
+                FaultPoint::WalCheckpoint => self.checkpoint,
+                _ => false,
+            }
+    }
+}
+
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     let mut z = x;
@@ -91,15 +189,23 @@ fn splitmix64(mut x: u64) -> u64 {
 pub struct SeededFaults {
     seed: u64,
     plan: FaultPlan,
+    crash: CrashPlan,
     calls: AtomicU64,
 }
 
 impl SeededFaults {
-    /// An injector whose decision sequence is fixed by `seed`.
+    /// An injector whose decision sequence is fixed by `seed` (no process
+    /// crashes — WAL yield points always continue).
     pub fn new(seed: u64, plan: FaultPlan) -> SeededFaults {
+        SeededFaults::with_crash(seed, plan, CrashPlan::none())
+    }
+
+    /// An injector that can also kill the process at WAL yield points.
+    pub fn with_crash(seed: u64, plan: FaultPlan, crash: CrashPlan) -> SeededFaults {
         SeededFaults {
             seed,
             plan,
+            crash,
             calls: AtomicU64::new(0),
         }
     }
@@ -132,6 +238,11 @@ impl FaultInjector for SeededFaults {
                 .or_else(|| band(p.victim_pm, FaultAction::DeadlockVictim)),
             FaultPoint::Commit => band(p.commit_abort_pm, FaultAction::Abort)
                 .or_else(|| band(p.crash_pm, FaultAction::CrashSubtree)),
+            FaultPoint::WalPreAppend
+            | FaultPoint::WalMidCommit
+            | FaultPoint::WalPostAppend
+            | FaultPoint::WalCheckpoint => (self.crash.enabled(ctx.point) && r < self.crash.pm)
+                .then_some(FaultAction::CrashProcess),
         };
         hit.unwrap_or(FaultAction::Continue)
     }
@@ -211,5 +322,53 @@ mod tests {
         assert_eq!(FaultPlan::by_name("light"), Some(FaultPlan::light()));
         assert_eq!(FaultPlan::by_name("heavy"), Some(FaultPlan::heavy()));
         assert_eq!(FaultPlan::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn crash_plan_names_resolve() {
+        assert_eq!(CrashPlan::by_names("all", 5), Some(CrashPlan::all(5)));
+        assert_eq!(
+            CrashPlan::by_names("mid-commit", 9),
+            Some(CrashPlan::at(FaultPoint::WalMidCommit, 9))
+        );
+        let two = CrashPlan::by_names("pre-append, checkpoint", 1).unwrap();
+        assert!(two.pre_append && two.checkpoint && !two.mid_commit && !two.post_append);
+        assert_eq!(CrashPlan::by_names("bogus", 1), None);
+    }
+
+    #[test]
+    fn crash_plan_gates_wal_points() {
+        let plan = CrashPlan::at(FaultPoint::WalPostAppend, 1000);
+        assert!(plan.enabled(FaultPoint::WalPostAppend));
+        assert!(!plan.enabled(FaultPoint::WalPreAppend));
+        assert!(!plan.enabled(FaultPoint::LockRequest));
+        assert!(!CrashPlan::all(0).enabled(FaultPoint::WalPostAppend));
+
+        // A certain (1000‰) crash fires at its point and only there.
+        let inj = SeededFaults::with_crash(5, FaultPlan::none(), plan);
+        assert_eq!(
+            inj.decide(&ctx(FaultPoint::WalPostAppend)),
+            FaultAction::CrashProcess
+        );
+        assert_eq!(
+            inj.decide(&ctx(FaultPoint::WalPreAppend)),
+            FaultAction::Continue
+        );
+        assert_eq!(inj.decide(&ctx(FaultPoint::Commit)), FaultAction::Continue);
+    }
+
+    #[test]
+    fn no_crash_plan_never_kills_at_wal_points() {
+        let inj = SeededFaults::new(21, FaultPlan::heavy());
+        for point in [
+            FaultPoint::WalPreAppend,
+            FaultPoint::WalMidCommit,
+            FaultPoint::WalPostAppend,
+            FaultPoint::WalCheckpoint,
+        ] {
+            for _ in 0..200 {
+                assert_eq!(inj.decide(&ctx(point)), FaultAction::Continue);
+            }
+        }
     }
 }

@@ -27,8 +27,10 @@ pub mod workload;
 pub mod zipf;
 
 pub use driver::{run_concurrent, run_serial, DrivePolicy, RunOutcome};
-pub use fault::{FaultPlan, SeededFaults};
-pub use fuzz::{fuzz_run, FuzzConfig, FuzzOutcome};
+pub use fault::{CrashPlan, FaultPlan, SeededFaults};
+pub use fuzz::{
+    fuzz_crash_run, fuzz_run, CrashFuzzConfig, CrashFuzzOutcome, FuzzConfig, FuzzOutcome,
+};
 pub use metrics::{analyze, ScheduleMetrics};
 pub use parallel::{parallel_makespan, Makespan};
 pub use workload::{Workload, WorkloadConfig};

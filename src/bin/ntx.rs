@@ -17,6 +17,14 @@
 //!              (lock-free snapshot reads included unless disabled),
 //!              differentially checked against the Theorem 34 model;
 //!              failing seeds are dumped to fuzz-failures/seed-N.log
+//! ntx fuzz     --crash-points <all|pre-append,mid-commit,post-append,checkpoint>
+//!              [--crash-pm P] [--wal-dir DIR] [--seed N | --seeds K]
+//!              [--faults none|light|heavy] [--steps S]
+//!              kill-and-recover mode: runs a durable workload, kills the
+//!              simulated process at the selected WAL yield points, tears
+//!              the log, recovers into a fresh manager, and checks the
+//!              durability invariants differentially (committed prefix
+//!              preserved, nothing uncommitted resurrected)
 //! ntx demo     a quick nested-transaction session on the runtime
 //! ```
 
@@ -145,6 +153,102 @@ fn cmd_makespan(flags: &HashMap<String, String>) {
     println!("  advantage        : {:.2}x", moss / excl.max(1e-9));
 }
 
+/// Kill-and-recover fuzzing (`--crash-points …`): every seed crashes the
+/// process at WAL yield points, recovers, and checks durability.
+fn cmd_fuzz_crash(flags: &HashMap<String, String>, plan: ntx_sim::FaultPlan, plan_name: &str) {
+    use ntx_sim::{fuzz_crash_run, CrashFuzzConfig, CrashPlan};
+
+    let points = flags.get("crash-points").expect("checked by caller");
+    let pm: u32 = flag(flags, "crash-pm", 60);
+    let crash = CrashPlan::by_names(points, pm).unwrap_or_else(|| {
+        eprintln!(
+            "unknown crash points {points:?} (expected all or a comma list of \
+             pre-append,mid-commit,post-append,checkpoint)"
+        );
+        std::process::exit(2);
+    });
+    let wal_dir = flags.get("wal-dir").cloned().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("ntx-crash-fuzz-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    let base = CrashFuzzConfig {
+        steps: flag(flags, "steps", 160),
+        objects: flag(flags, "objects", 3),
+        top_level: flag(flags, "top", 3),
+        max_depth: flag(flags, "depth", 2),
+        plan,
+        crash,
+        ..CrashFuzzConfig::new(0, wal_dir.clone().into())
+    };
+    let seeds: Vec<u64> = match flags.get("seed") {
+        Some(s) => vec![s.parse().unwrap_or(0)],
+        None => (0..flag(flags, "seeds", 128u64)).collect(),
+    };
+    let single = seeds.len() == 1;
+    let mut failures = 0usize;
+    let mut crashes = 0usize;
+    for &seed in &seeds {
+        let out = fuzz_crash_run(&CrashFuzzConfig {
+            seed,
+            ..base.clone()
+        });
+        crashes += usize::from(out.crashed);
+        if single {
+            println!("--- runtime log (seed {seed}) ---");
+            print!("{}", out.log);
+            println!("--- verdict ---");
+            println!(
+                "crashed={} crash_clock={} durable_ts={} recovered_ts={} redone={} failures={:?}",
+                out.crashed,
+                out.crash_clock,
+                out.durable_ts,
+                out.recovered_ts,
+                out.redone,
+                out.failures
+            );
+        }
+        if !out.ok() {
+            failures += 1;
+            eprintln!(
+                "seed {seed}: FAILED (replay: ntx fuzz --crash-points {points} --crash-pm {pm} \
+                 --seed {seed} --faults {plan_name})"
+            );
+            let dir = std::path::Path::new("fuzz-failures");
+            if std::fs::create_dir_all(dir).is_ok() {
+                let mut dump = String::new();
+                dump.push_str(&format!(
+                    "seed: {seed}\nplan: {plan_name}\ncrash_points: {points}\ncrash_pm: {pm}\n\
+                     crashed: {}\ncrash_clock: {}\ndurable_ts: {}\nrecovered_ts: {}\n\
+                     failures: {:?}\nconformance: {:?} {:?} {:?}\n\n--- runtime log ---\n",
+                    out.crashed,
+                    out.crash_clock,
+                    out.durable_ts,
+                    out.recovered_ts,
+                    out.failures,
+                    out.report.schedule_error,
+                    out.report.wellformed_error,
+                    out.report.correctness_violations
+                ));
+                dump.push_str(&out.log);
+                let _ = std::fs::write(dir.join(format!("crash-seed-{seed}.log")), dump);
+            }
+        }
+    }
+    println!(
+        "crash-fuzzed {} seed(s) at points {points} (pm {pm}): {} crashed, {} failures",
+        seeds.len(),
+        crashes,
+        failures
+    );
+    if failures > 0 {
+        eprintln!("failing seeds dumped under fuzz-failures/");
+        std::process::exit(1);
+    }
+    println!("every kill-and-recover execution preserved the committed prefix ✓");
+}
+
 fn cmd_fuzz(flags: &HashMap<String, String>) {
     use ntx_sim::fault::FaultPlan;
     use ntx_sim::fuzz::{fuzz_run, FuzzConfig};
@@ -154,6 +258,10 @@ fn cmd_fuzz(flags: &HashMap<String, String>) {
         eprintln!("unknown fault plan {plan_name:?} (expected none|light|heavy)");
         std::process::exit(2);
     });
+    if flags.contains_key("crash-points") {
+        cmd_fuzz_crash(flags, plan, plan_name);
+        return;
+    }
     let base = FuzzConfig {
         steps: flag(flags, "steps", 100),
         objects: flag(flags, "objects", 3),
