@@ -74,11 +74,13 @@ fn main() {
     }
 }
 
-/// Run B0–B7 (the multicore-scalability suite plus durable-commit
-/// throughput), print the markdown tables, and write the machine-readable
-/// results to `BENCH_runtime.json` in the current directory (run from the
-/// repo root to refresh the checked-in copy).
+/// Run B0–B8 (the multicore-scalability suite, durable-commit throughput,
+/// and the open-loop async-session bench), print the markdown tables, and
+/// write the machine-readable results to `BENCH_runtime.json` in the
+/// current directory (run from the repo root to refresh the checked-in
+/// copy).
 fn run_bseries(full: bool) {
+    use ntx_bench::open_loop::b8_open_loop;
     use ntx_bench::scaling::{
         b0_uncontended, b1_thread_scaling, b2_read_fraction, b3_zipf_sweep, b4_hot_key_handoff,
         b5_snapshot_reads, b6_grant_waves, b7_group_commit, bench_json,
@@ -105,9 +107,11 @@ fn run_bseries(full: bool) {
     println!("{}", t6.to_markdown());
     let (t7, b7) = b7_group_commit(b7_commits);
     println!("{}", t7.to_markdown());
+    let (t8, b8) = b8_open_loop(full);
+    println!("{}", t8.to_markdown());
 
     let mode = if full { "full" } else { "quick" };
-    let doc = bench_json(mode, &b0, &b1, &b2, &b3, &b4, &b5, &b6, &b7);
+    let doc = bench_json(mode, &b0, &b1, &b2, &b3, &b4, &b5, &b6, &b7, &b8);
     let path = "BENCH_runtime.json";
     std::fs::write(path, &doc).expect("write BENCH_runtime.json");
     eprintln!("wrote {path} ({} bytes, mode={mode})", doc.len());

@@ -13,6 +13,7 @@
 //! Criterion micro-benchmarks (E6 and serializer costs) live in `benches/`.
 
 pub mod model_exps;
+pub mod open_loop;
 pub mod runtime_exps;
 pub mod scaling;
 pub mod table;

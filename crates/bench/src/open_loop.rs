@@ -1,0 +1,382 @@
+//! B8 — open-loop latency under load through the async waiter path.
+//!
+//! Every other B-series workload is *closed-loop*: a fixed pool of threads,
+//! each issuing its next transaction only after the previous one finished,
+//! so the offered load self-throttles whenever the lock service slows down
+//! and the measured latencies flatter the system (coordinated omission).
+//! B8 is the missing regime. Sessions arrive on a fixed schedule whether or
+//! not earlier ones have completed, each session is a *future* multiplexed
+//! onto `ntx-serve`'s worker pool rather than a thread, and every latency is
+//! measured from the session's **scheduled** arrival time — a session that
+//! sat in the run queue because the system fell behind pays for that wait.
+//!
+//! Two phases:
+//!
+//! - **Peak in-flight** (the tentpole's headline): holders write-lock a pool
+//!   of hot objects, then `sessions` futures are spawned, each of which
+//!   enqueues on [`ntx_runtime::Tx::write_async`] and suspends. The
+//!   executor's `peak_in_flight` watermark plus the lock manager's queued
+//!   waiter count prove that ≥ 100k sessions (full mode) are concurrently
+//!   in flight — parked as callback waiters, not threads — on ≤ 8 workers.
+//!   Releasing the holders then drains the entire backlog through the wave
+//!   grant path; the drain throughput is the service rate of the handoff
+//!   machinery with zero think time.
+//! - **Open-loop sweep**: for each offered rate, a dispatcher spawns
+//!   sessions at their scheduled instants (never pausing to wait for
+//!   completions). Each session begins a transaction, write-locks one of a
+//!   shared pool of counters through the async path, commits, and records
+//!   acquisition latency (scheduled arrival → lock granted) and end-to-end
+//!   latency (scheduled arrival → committed).
+//!
+//! Both phases assert-by-construction that nothing restarts: every session
+//! must commit on its first attempt (single-object transactions cannot
+//! deadlock, and the timeouts are far above the drain time), so `restarts`
+//! is a hard zero in the CI gate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ntx_runtime::{DeadlockPolicy, LockMode, ObjRef, RtConfig, TxManager};
+use ntx_serve::Executor;
+
+use crate::scaling::percentile;
+use crate::table::Table;
+
+/// Outcome of the peak in-flight phase.
+#[derive(Clone, Debug)]
+pub struct B8Peak {
+    /// Executor worker threads (the whole point: ≪ sessions).
+    pub workers: usize,
+    /// Session futures spawned while the hot pool was locked.
+    pub sessions: usize,
+    /// Executor high watermark of live futures.
+    pub peak_in_flight: usize,
+    /// Lock-manager waiter count observed once every session had enqueued.
+    pub peak_queued_waiters: usize,
+    /// Wall-clock to spawn + enqueue every session, milliseconds.
+    pub spawn_ms: f64,
+    /// Wall-clock from holder release to full drain, milliseconds.
+    pub drain_ms: f64,
+    /// Sessions retired per second during the drain.
+    pub drain_tps: f64,
+    /// Sessions that failed (timeout/deadlock/doomed). Gate: exactly 0.
+    pub restarts: u64,
+}
+
+/// One offered-load row of the open-loop sweep.
+#[derive(Clone, Debug)]
+pub struct B8Row {
+    /// Arrival rate the dispatcher scheduled, sessions/second.
+    pub offered_tps: f64,
+    /// Sessions dispatched at that rate.
+    pub sessions: usize,
+    /// Committed sessions per second of wall-clock (dispatch start → drain).
+    pub achieved_tps: f64,
+    /// Median scheduled-arrival → lock-granted latency, microseconds.
+    pub acq_p50_us: f64,
+    /// 99th-percentile acquisition latency, microseconds.
+    pub acq_p99_us: f64,
+    /// Median scheduled-arrival → committed latency, microseconds.
+    pub e2e_p50_us: f64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub e2e_p99_us: f64,
+    /// Sessions that failed. Gate: exactly 0.
+    pub restarts: u64,
+}
+
+/// Full B8 result set (feeds `bench_json`).
+#[derive(Clone, Debug)]
+pub struct B8Result {
+    /// Peak in-flight phase.
+    pub peak: B8Peak,
+    /// Open-loop sweep rows.
+    pub rows: Vec<B8Row>,
+}
+
+/// Workers for both phases; the acceptance criterion caps this at 8.
+const WORKERS: usize = 8;
+/// Hot/shared object pool size for both phases.
+const OBJECTS: usize = 64;
+
+fn b8_rt() -> RtConfig {
+    RtConfig {
+        mode: LockMode::MossRW,
+        // Far above any drain time so a backlogged waiter never times out;
+        // timeouts in this bench are measurement failures, not results.
+        wait_timeout: Duration::from_secs(300),
+        // Single-object sessions cannot form a wait cycle, so cycle
+        // detection buys nothing here and its per-release edge refresh is
+        // quadratic in queue depth — ruinous at 100k-deep backlogs. A
+        // timeout-broken server config is also what a real 100k-session
+        // deployment would run, and it keeps B8 on the tentpole's own
+        // timer-driven timeout machinery.
+        deadlock: DeadlockPolicy::TimeoutOnly,
+        ..Default::default()
+    }
+}
+
+/// Phase 1: park `sessions` futures behind write-locked hot objects, then
+/// release and drain.
+fn b8_peak(sessions: usize) -> B8Peak {
+    let mgr = TxManager::new(b8_rt());
+    let objects: Arc<Vec<ObjRef<i64>>> = Arc::new(
+        (0..OBJECTS)
+            .map(|i| mgr.register(format!("b8h{i}"), 0i64))
+            .collect(),
+    );
+
+    // The holder write-locks every hot object so each spawned session
+    // enqueues behind it and suspends at its first poll.
+    let holder = mgr.begin();
+    for o in objects.iter() {
+        holder.write(o, |_| {}).expect("uncontended holder lock");
+    }
+
+    let exec = Executor::new(WORKERS);
+    let restarts = Arc::new(AtomicU64::new(0));
+    let spawn_t0 = Instant::now();
+    for i in 0..sessions {
+        let mgr = mgr.clone();
+        let objects = objects.clone();
+        let restarts = restarts.clone();
+        exec.spawn(async move {
+            let tx = mgr.begin();
+            match tx.write_async(&objects[i % OBJECTS], |v| *v += 1).await {
+                Ok(()) => {
+                    if tx.commit().is_err() {
+                        restarts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    restarts.fetch_add(1, Ordering::Relaxed);
+                    tx.abort();
+                }
+            }
+        });
+    }
+    // Every session is in flight the moment it is spawned; the queued-waiter
+    // count additionally proves they all reached the lock queues (enqueued
+    // as callback waiters) rather than sitting unpolled in run queues.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut peak_queued = 0;
+    loop {
+        peak_queued = peak_queued.max(mgr.queued_waiters());
+        if peak_queued >= sessions || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let spawn_ms = spawn_t0.elapsed().as_secs_f64() * 1000.0;
+    let peak_in_flight = exec.peak_in_flight();
+
+    // Release the backlog and drain it through the wave-grant path.
+    let drain_t0 = Instant::now();
+    holder.commit().expect("holder commit");
+    exec.drain();
+    let drain = drain_t0.elapsed();
+
+    let failed = restarts.load(Ordering::Relaxed);
+    // Every committed session added exactly 1 to some hot counter.
+    let check = mgr.begin();
+    let total: i64 = objects.iter().map(|o| check.read(o, |v| *v).unwrap()).sum();
+    check.commit().unwrap();
+    assert_eq!(
+        total as u64 + failed,
+        sessions as u64,
+        "B8 peak phase lost sessions"
+    );
+
+    B8Peak {
+        workers: exec.workers(),
+        sessions,
+        peak_in_flight,
+        peak_queued_waiters: peak_queued,
+        spawn_ms,
+        drain_ms: drain.as_secs_f64() * 1000.0,
+        drain_tps: (sessions as u64 - failed) as f64 / drain.as_secs_f64().max(1e-9),
+        restarts: failed,
+    }
+}
+
+/// Phase 2: one offered-load row. The dispatcher walks the arrival
+/// schedule; latencies are measured from each session's *scheduled* arrival
+/// so queueing delay (run-queue or lock-queue) is charged to the system,
+/// never silently absorbed by a slow dispatcher.
+fn b8_rate_row(offered_tps: f64, sessions: usize) -> B8Row {
+    let mgr = TxManager::new(b8_rt());
+    let objects: Arc<Vec<ObjRef<i64>>> = Arc::new(
+        (0..OBJECTS)
+            .map(|i| mgr.register(format!("b8r{i}"), 0i64))
+            .collect(),
+    );
+    let exec = Executor::new(WORKERS);
+    let restarts = Arc::new(AtomicU64::new(0));
+    // (acquisition, end-to-end) nanos, one pair per committed session.
+    let lats: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::with_capacity(sessions)));
+
+    let gap = Duration::from_secs_f64(1.0 / offered_tps);
+    let start = Instant::now();
+    for i in 0..sessions {
+        let scheduled = start + gap * (i as u32);
+        // Open loop: sleep only until the *schedule*, regardless of how many
+        // earlier sessions are still in flight. If dispatch itself falls
+        // behind (now > scheduled) we do not sleep and the lateness is
+        // charged to the session's latency below.
+        let now = Instant::now();
+        if let Some(wait) = scheduled.checked_duration_since(now) {
+            std::thread::sleep(wait);
+        }
+        let mgr = mgr.clone();
+        let objects = objects.clone();
+        let restarts = restarts.clone();
+        let lats = lats.clone();
+        exec.spawn(async move {
+            let tx = mgr.begin();
+            match tx.write_async(&objects[i % OBJECTS], |v| *v += 1).await {
+                Ok(()) => {
+                    let acq = scheduled.elapsed().as_nanos() as u64;
+                    if tx.commit().is_ok() {
+                        let e2e = scheduled.elapsed().as_nanos() as u64;
+                        lats.lock().unwrap().push((acq, e2e));
+                    } else {
+                        restarts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    restarts.fetch_add(1, Ordering::Relaxed);
+                    tx.abort();
+                }
+            }
+        });
+    }
+    exec.drain();
+    let elapsed = start.elapsed();
+
+    let pairs = Arc::try_unwrap(lats)
+        .expect("all sessions drained")
+        .into_inner()
+        .unwrap();
+    let committed = pairs.len() as u64;
+    let mut acq: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+    let mut e2e: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+    acq.sort_unstable();
+    e2e.sort_unstable();
+
+    B8Row {
+        offered_tps,
+        sessions,
+        achieved_tps: committed as f64 / elapsed.as_secs_f64().max(1e-9),
+        acq_p50_us: percentile(&acq, 0.50),
+        acq_p99_us: percentile(&acq, 0.99),
+        e2e_p50_us: percentile(&e2e, 0.50),
+        e2e_p99_us: percentile(&e2e, 0.99),
+        restarts: restarts.load(Ordering::Relaxed),
+    }
+}
+
+/// B8 — run both phases and render the markdown tables.
+///
+/// Full mode parks 120k sessions (the ≥ 100k acceptance bar with margin)
+/// and sweeps to 50k arrivals/s; quick mode parks 12k (the ≥ 10k CI bar)
+/// and keeps the sweep short enough for the bench-smoke job.
+pub fn b8_open_loop(full: bool) -> (Table, B8Result) {
+    let peak_sessions = if full { 120_000 } else { 12_000 };
+    // (offered rate, seconds of scheduled arrivals) per sweep row.
+    let sweep: &[(f64, f64)] = if full {
+        &[(5_000.0, 2.0), (20_000.0, 2.0), (50_000.0, 2.0)]
+    } else {
+        &[(2_000.0, 0.5), (10_000.0, 0.5)]
+    };
+
+    let peak = b8_peak(peak_sessions);
+    let rows: Vec<B8Row> = sweep
+        .iter()
+        .map(|&(rate, secs)| b8_rate_row(rate, (rate * secs) as usize))
+        .collect();
+
+    let mut t = Table::new(
+        format!(
+            "B8 — open loop: {} sessions in flight on {} workers \
+             (peak_in_flight {}, queued {}, drain {:.0} tps, {} restarts)",
+            peak.sessions,
+            peak.workers,
+            peak.peak_in_flight,
+            peak.peak_queued_waiters,
+            peak.drain_tps,
+            peak.restarts
+        ),
+        &[
+            "offered/s",
+            "sessions",
+            "achieved/s",
+            "acq p50 µs",
+            "acq p99 µs",
+            "e2e p50 µs",
+            "e2e p99 µs",
+            "restarts",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}", r.offered_tps),
+            format!("{}", r.sessions),
+            format!("{:.0}", r.achieved_tps),
+            format!("{:.1}", r.acq_p50_us),
+            format!("{:.1}", r.acq_p99_us),
+            format!("{:.1}", r.e2e_p50_us),
+            format!("{:.1}", r.e2e_p99_us),
+            format!("{}", r.restarts),
+        ]);
+    }
+    (t, B8Result { peak, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_phase_parks_every_session_and_drains_clean() {
+        let peak = b8_peak(400);
+        assert_eq!(peak.sessions, 400);
+        assert_eq!(peak.restarts, 0, "{peak:?}");
+        assert!(
+            peak.peak_in_flight >= 400,
+            "all sessions must be in flight at once: {peak:?}"
+        );
+        assert_eq!(
+            peak.peak_queued_waiters, 400,
+            "every session must enqueue as a callback waiter: {peak:?}"
+        );
+        assert!(peak.workers <= 8);
+        assert!(peak.drain_tps > 0.0);
+    }
+
+    /// The acceptance bar at full scale, runnable without the whole
+    /// `--full` B-series: 120k sessions concurrently parked as callback
+    /// waiters on 8 workers, drained restart-free. (The soak CI job runs
+    /// `--ignored` tests.)
+    #[test]
+    #[ignore = "full-scale: parks 120k sessions; ~tens of seconds"]
+    fn full_scale_peak_parks_100k_sessions() {
+        let peak = b8_peak(120_000);
+        assert!(peak.peak_in_flight >= 100_000, "{peak:?}");
+        assert_eq!(peak.peak_queued_waiters, 120_000, "{peak:?}");
+        assert!(peak.workers <= 8, "{peak:?}");
+        assert_eq!(peak.restarts, 0, "{peak:?}");
+    }
+
+    #[test]
+    fn open_loop_row_commits_all_sessions() {
+        let row = b8_rate_row(5_000.0, 250);
+        assert_eq!(row.sessions, 250);
+        assert_eq!(row.restarts, 0, "{row:?}");
+        assert!(row.achieved_tps > 0.0);
+        assert!(row.acq_p99_us >= row.acq_p50_us, "{row:?}");
+        assert!(
+            row.e2e_p99_us >= row.acq_p99_us,
+            "commit happens after acquisition: {row:?}"
+        );
+    }
+}

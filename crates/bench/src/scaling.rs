@@ -117,7 +117,7 @@ pub struct BOutcome {
     pub p99_us: f64,
 }
 
-fn percentile(sorted: &[u64], q: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[u64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -1067,6 +1067,29 @@ fn json_outcome(out: &BOutcome) -> String {
     )
 }
 
+/// The uniform CI-gate descriptor every wall-clock-sensitive section
+/// carries: `{"requires_parallelism": N, "skipped": null | "<reason>"}`.
+///
+/// Wall-clock gates (speedups, absolute tail-latency bounds) are only
+/// physically meaningful when the host can actually overlap the threads;
+/// on a starved runner the *data* is still recorded but the gate object
+/// says so, uniformly, instead of every CI step re-deriving its own ad-hoc
+/// "SKIP (1 core)" note. Counter-based invariants (wave sizes, restart
+/// counts, fairness bounds) are never skipped and sit outside the gate.
+fn json_gate(requires_parallelism: usize) -> String {
+    let par = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let skipped = if par < requires_parallelism {
+        format!(
+            "\"host_parallelism {par} < {requires_parallelism}: wall-clock gate not enforceable\""
+        )
+    } else {
+        "null".to_string()
+    };
+    format!(
+        "\"gate\": {{\"requires_parallelism\": {requires_parallelism}, \"skipped\": {skipped}}}"
+    )
+}
+
 /// Render the full B-series result set as the `BENCH_runtime.json` document
 /// (hand-rolled: the dependency policy vendors no JSON serializer).
 #[allow(clippy::too_many_arguments)] // one slice per B-series table, by design
@@ -1080,6 +1103,7 @@ pub fn bench_json(
     b5: &[B5Row],
     b6: &[B6Row],
     b7: &[B7Row],
+    b8: &crate::open_loop::B8Result,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -1094,7 +1118,10 @@ pub fn bench_json(
         b0.read_ns, b0.write_ns, b0.tx_cycle_ns
     ));
 
-    s.push_str("  \"b1_disjoint_thread_scaling\": {\n    \"rows\": [\n");
+    s.push_str(&format!(
+        "  \"b1_disjoint_thread_scaling\": {{\n    {},\n    \"rows\": [\n",
+        json_gate(2)
+    ));
     for (i, r) in b1.iter().enumerate() {
         s.push_str(&format!(
             "      {{\"threads\": {}, \"speedup\": {:.3}, \"model_speedup\": {:.3}, \"outcome\": {}}}{}\n",
@@ -1110,7 +1137,10 @@ pub fn bench_json(
         "    ],\n    \"speedup_1_to_8\": {speedup_8:.3}\n  }},\n"
     ));
 
-    s.push_str("  \"b2_read_fraction_sweep\": {\n    \"rows\": [\n");
+    s.push_str(&format!(
+        "  \"b2_read_fraction_sweep\": {{\n    {},\n    \"rows\": [\n",
+        json_gate(2)
+    ));
     for (i, r) in b2.iter().enumerate() {
         s.push_str(&format!(
             "      {{\"read_fraction\": {:.2}, \"outcome\": {}}}{}\n",
@@ -1121,7 +1151,10 @@ pub fn bench_json(
     }
     s.push_str("    ]\n  },\n");
 
-    s.push_str("  \"b3_zipf_sweep\": {\n    \"rows\": [\n");
+    s.push_str(&format!(
+        "  \"b3_zipf_sweep\": {{\n    {},\n    \"rows\": [\n",
+        json_gate(2)
+    ));
     for (i, r) in b3.iter().enumerate() {
         s.push_str(&format!(
             "      {{\"zipf_theta\": {:.2}, \"scaling_1_to_8\": {:.3}, \"t1\": {}, \"t8\": {}}}{}\n",
@@ -1186,7 +1219,10 @@ pub fn bench_json(
         p99_contended / p99_baseline.max(1.0)
     ));
 
-    s.push_str("  \"b6_grant_waves\": {\n    \"rows\": [\n");
+    s.push_str(&format!(
+        "  \"b6_grant_waves\": {{\n    {},\n    \"rows\": [\n",
+        json_gate(2)
+    ));
     for (i, r) in b6.iter().enumerate() {
         s.push_str(&format!(
             "      {{\"label\": \"{}\", \"read_fraction\": {:.2}, \"cohorts\": {}, \
@@ -1239,9 +1275,45 @@ pub fn bench_json(
         .find(|r| r.policy.starts_with("group"))
         .map_or(0.0, |r| r.commits_per_sec);
     s.push_str(&format!(
-        "    ],\n    \"group_commit_speedup_vs_always\": {:.3}\n  }}\n}}\n",
+        "    ],\n    \"group_commit_speedup_vs_always\": {:.3}\n  }},\n",
         group / always.max(1e-9)
     ));
+
+    // B8: the async-waiter/open-loop section. The peak block's session and
+    // restart counts are counter gates (always enforced); the sweep's tail
+    // latencies are wall-clock and sit behind the uniform gate object.
+    let p = &b8.peak;
+    s.push_str(&format!(
+        "  \"b8_open_loop\": {{\n    {},\n    \"peak\": {{\"workers\": {}, \"sessions\": {}, \
+         \"peak_in_flight\": {}, \"peak_queued_waiters\": {}, \"spawn_ms\": {:.1}, \
+         \"drain_ms\": {:.1}, \"drain_tps\": {:.1}, \"restarts\": {}}},\n    \"rows\": [\n",
+        json_gate(2),
+        p.workers,
+        p.sessions,
+        p.peak_in_flight,
+        p.peak_queued_waiters,
+        p.spawn_ms,
+        p.drain_ms,
+        p.drain_tps,
+        p.restarts,
+    ));
+    for (i, r) in b8.rows.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"offered_tps\": {:.1}, \"sessions\": {}, \"achieved_tps\": {:.1}, \
+             \"acq_p50_us\": {:.2}, \"acq_p99_us\": {:.2}, \"e2e_p50_us\": {:.2}, \
+             \"e2e_p99_us\": {:.2}, \"restarts\": {}}}{}\n",
+            r.offered_tps,
+            r.sessions,
+            r.achieved_tps,
+            r.acq_p50_us,
+            r.acq_p99_us,
+            r.e2e_p50_us,
+            r.e2e_p99_us,
+            r.restarts,
+            if i + 1 < b8.rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ]\n  }\n}\n");
     s
 }
 
@@ -1381,11 +1453,44 @@ mod tests {
                 appends: 2000,
             },
         ];
-        let doc = bench_json("quick", &b0, &b1, &b2, &b3, &b4, &b5, &b6, &b7);
+        let b8 = crate::open_loop::B8Result {
+            peak: crate::open_loop::B8Peak {
+                workers: 8,
+                sessions: 12_000,
+                peak_in_flight: 12_000,
+                peak_queued_waiters: 12_000,
+                spawn_ms: 50.0,
+                drain_ms: 200.0,
+                drain_tps: 60_000.0,
+                restarts: 0,
+            },
+            rows: vec![crate::open_loop::B8Row {
+                offered_tps: 2_000.0,
+                sessions: 1_000,
+                achieved_tps: 1_990.0,
+                acq_p50_us: 10.0,
+                acq_p99_us: 80.0,
+                e2e_p50_us: 12.0,
+                e2e_p99_us: 95.0,
+                restarts: 0,
+            }],
+        };
+        let doc = bench_json("quick", &b0, &b1, &b2, &b3, &b4, &b5, &b6, &b7, &b8);
         // Balanced braces/brackets and the headline key present.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
         assert!(doc.contains("\"speedup_1_to_8\": 1.000"));
+        // Every wall-clock-gated section carries the uniform gate object.
+        assert_eq!(
+            doc.matches("\"gate\": {\"requires_parallelism\": 2, \"skipped\": ")
+                .count(),
+            5,
+            "B1/B2/B3/B6/B8 must each carry a gate object:\n{doc}"
+        );
+        assert!(doc.contains("\"b8_open_loop\""));
+        assert!(doc.contains("\"peak_in_flight\": 12000"));
+        assert!(doc.contains("\"peak_queued_waiters\": 12000"));
+        assert!(doc.contains("\"e2e_p99_us\": 95.00"));
         assert!(doc.contains("\"b4_hot_key_handoff\""));
         assert!(doc.contains("\"b5_snapshot_reads\""));
         assert!(doc.contains("\"reader_waits\": 0"));

@@ -7,6 +7,29 @@ use parking_lot::Mutex;
 
 use ntx_runtime::{ObjRef, Tx, TxError, TxManager};
 
+/// Drive a future to completion on the current thread (poll, park until
+/// the waker fires, re-poll). Lets single-threaded harnesses route
+/// accesses through [`Tx::read_async`]/[`Tx::write_async`] so the lock
+/// queue sees the callback waiter variant; the releaser (or the timeout
+/// timer) wakes this thread exactly as a real executor worker would be.
+fn block_on<F: std::future::Future>(fut: F) -> F::Output {
+    struct ThreadWaker(std::thread::Thread);
+    impl std::task::Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    let waker = std::task::Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = std::task::Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            std::task::Poll::Ready(v) => return v,
+            std::task::Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
 /// One recorded runtime event. Object states are `i64` counters and the
 /// only write is `add` — rich enough to exercise every locking path while
 /// keeping observed values replayable against the model's counter
@@ -190,6 +213,24 @@ impl ConformanceSession {
         Ok(value)
     }
 
+    /// Traced read through the *async* waiter path ([`Tx::read_async`]),
+    /// driven to completion inline. Semantically identical to
+    /// [`ConformanceSession::read`] — same locks, same trace event — but
+    /// the lock queue sees the callback waiter variant, so fuzz seeds can
+    /// exercise both representations.
+    ///
+    /// [`Tx::read_async`]: ntx_runtime::Tx::read_async
+    pub fn read_async(&self, t: &TracedTx, obj: usize) -> Result<i64, TxError> {
+        let mut log = self.log.lock();
+        let value = block_on(t.tx.read_async(&self.objects[obj], |v| *v))?;
+        log.push(TraceEvent::Read {
+            tx: t.id,
+            obj,
+            value,
+        });
+        Ok(value)
+    }
+
     /// Traced add to counter `obj`; returns the new value.
     pub fn add(&self, t: &TracedTx, obj: usize, delta: i64) -> Result<i64, TxError> {
         let mut log = self.log.lock();
@@ -197,6 +238,25 @@ impl ConformanceSession {
             *v += delta;
             *v
         })?;
+        log.push(TraceEvent::Add {
+            tx: t.id,
+            obj,
+            delta,
+            value,
+        });
+        Ok(value)
+    }
+
+    /// Traced add through the *async* waiter path ([`Tx::write_async`]);
+    /// the callback-variant twin of [`ConformanceSession::add`].
+    ///
+    /// [`Tx::write_async`]: ntx_runtime::Tx::write_async
+    pub fn add_async(&self, t: &TracedTx, obj: usize, delta: i64) -> Result<i64, TxError> {
+        let mut log = self.log.lock();
+        let value = block_on(t.tx.write_async(&self.objects[obj], move |v| {
+            *v += delta;
+            *v
+        }))?;
         log.push(TraceEvent::Add {
             tx: t.id,
             obj,

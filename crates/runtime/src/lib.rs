@@ -57,6 +57,7 @@ mod config;
 mod deadlock;
 mod error;
 mod fault;
+mod future;
 #[cfg(all(loom, test))]
 mod loom_models;
 mod manager;
@@ -69,6 +70,8 @@ mod shard;
 mod slab;
 mod stats;
 mod sync;
+#[cfg(not(loom))]
+mod timer;
 mod trace;
 mod tx;
 mod wal;
@@ -76,9 +79,11 @@ mod wal;
 pub use config::{DeadlockPolicy, LockMode, RtConfig};
 pub use error::TxError;
 pub use fault::{FaultAction, FaultContext, FaultInjector, FaultPoint};
+pub use future::AccessFuture;
 pub use manager::{ObjRef, Snapshot, TxManager};
 pub use recovery::RecoveryReport;
 pub use savepoint::SavepointScope;
+pub use shard::set_worker_cohort;
 pub use stats::StatsSnapshot;
 pub use trace::{RtEvent, TraceRecorder, TxTraceStats};
 pub use tx::Tx;

@@ -20,7 +20,7 @@ use crate::deadlock::WaitForGraph;
 use crate::manager::ManagerInner;
 use crate::mvcc::SnapshotCell;
 use crate::node::TxNode;
-use crate::object::{ObjectSlot, Waiter, W_CANCELLED, W_GRANTED, W_WAITING};
+use crate::object::{ObjectSlot, Waiter, W_CANCELLED, W_GRANTED, W_TIMEDOUT, W_WAITING};
 use crate::slab::Slab;
 use crate::stats::{Ctr, Stats};
 use crate::sync::atomic::AtomicU64;
@@ -126,7 +126,7 @@ fn loom_timeout_withdraw_vs_grant() {
 
         let st = w.state();
         if withdrawn {
-            assert_eq!(st, W_CANCELLED, "withdrawn waiter must be cancelled");
+            assert_eq!(st, W_TIMEDOUT, "withdrawn waiter must be timed out");
         } else {
             assert_eq!(st, W_GRANTED, "non-withdrawn waiter must hold the grant");
         }
@@ -343,8 +343,8 @@ fn loom_wave_grant_vs_timeout_withdraw_exactly_one_winner() {
         if withdrawn {
             assert_eq!(
                 r2.state(),
-                W_CANCELLED,
-                "withdrawn reader must stay cancelled"
+                W_TIMEDOUT,
+                "withdrawn reader must stay timed out"
             );
         } else {
             assert_eq!(
@@ -565,6 +565,153 @@ fn loom_snapshot_gc_vs_reader() {
         // version; the genesis-and-older tail is gone.
         x.collect(2);
         assert_eq!(x.chain_len(), 1, "chain not bounded after GC");
+    });
+}
+
+/// A no-op [`std::task::Waker`] for driving `AccessFuture` inside models:
+/// the models read the waiter state directly, so wakeups need no delivery.
+fn noop_waker() -> std::task::Waker {
+    use std::task::{RawWaker, RawWakerVTable};
+    const VTABLE: RawWakerVTable = RawWakerVTable::new(
+        |_| RawWaker::new(std::ptr::null(), &VTABLE),
+        |_| {},
+        |_| {},
+        |_| {},
+    );
+    // SAFETY: every vtable entry ignores its data pointer (clone returns
+    // the same null-data raw waker), so the waker upholds the RawWaker
+    // contract trivially — no data is ever dereferenced or freed.
+    unsafe { std::task::Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+}
+
+/// **Future grant vs timeout withdrawal (callback variant)**: an async
+/// waiter whose timer expiry races the releaser's grant resolves to
+/// *exactly one* of {granted, withdrawn}, the wakeup callback fires
+/// exactly once either way (the releaser's `wake()` on a grant, the
+/// expiry path's on a withdrawal — never both), and the queue and
+/// write-pending latch end consistent with whichever side won the CAS.
+/// This is `loom_timeout_withdraw_vs_grant` replayed on the callback
+/// waiter representation.
+#[test]
+fn loom_future_grant_vs_timeout_withdraw_callback() {
+    loom::model(|| {
+        let mgr = mk_mgr(DeadlockPolicy::TimeoutOnly);
+        let holder = TxNode::top_level(1);
+        let waiter_tx = TxNode::top_level(2);
+        let obj = obj_with_write_holder(&mgr, &holder);
+        let woken = Arc::new(crate::sync::atomic::AtomicUsize::new(0));
+        let w = {
+            let wk = woken.clone();
+            let mut g = mgr.slot(obj).inner.lock();
+            mgr.enqueue_waiter_variant(
+                &mut g,
+                &waiter_tx,
+                &waiter_tx,
+                obj,
+                true,
+                0,
+                Some(Box::new(move || {
+                    wk.fetch_add(1, crate::sync::atomic::Ordering::SeqCst);
+                })),
+            )
+        };
+        let (m2, h2) = (mgr.clone(), holder.clone());
+        // The releaser: aborting the holder runs the real release scan,
+        // which may grant `w` and fire its callback releaser-side.
+        let releaser = loom::thread::spawn(move || {
+            m2.abort_subtree(&h2);
+        });
+        // The timer expiry path, verbatim from `AccessFuture::arm_timer`.
+        let withdrawn = mgr.timeout_withdraw(obj, &w, &waiter_tx, &waiter_tx);
+        if withdrawn {
+            w.wake();
+        }
+        releaser.join().unwrap();
+
+        let st = w.state();
+        if withdrawn {
+            assert_eq!(st, W_TIMEDOUT, "withdrawn future must be timed out");
+        } else {
+            assert_eq!(st, W_GRANTED, "non-withdrawn future must hold the grant");
+        }
+        assert_eq!(
+            woken.load(crate::sync::atomic::Ordering::SeqCst),
+            1,
+            "callback must fire exactly once"
+        );
+        let g = mgr.slot(obj).inner.lock();
+        assert!(g.queue.is_empty(), "waiter leaked in queue");
+        if withdrawn {
+            assert!(
+                g.write_pending.is_none(),
+                "latch set with no granted writer"
+            );
+            assert!(g.chain.is_empty(), "lock state left behind by a withdrawal");
+        } else {
+            assert_eq!(
+                g.write_pending,
+                Some(2),
+                "granted writer must hold the latch"
+            );
+            assert_eq!(g.chain.len(), 1, "granted writer must own the top version");
+        }
+    });
+}
+
+/// **Future drop never leaks a queue slot**: dropping a real, polled-once,
+/// unresolved `AccessFuture` while a releaser concurrently frees the lock
+/// ends with `queued_waiters() == 0` and a consistent object, whichever
+/// side wins the state CAS. If the grant won, the lock is held by the
+/// transaction (exactly as if the access returned unobserved) with the
+/// unapplied-write latch lifted; aborting the transaction must then leave
+/// the object completely free.
+#[test]
+fn loom_future_drop_leaks_no_queue_slot() {
+    loom::model(|| {
+        let mgr = mk_mgr(DeadlockPolicy::TimeoutOnly);
+        let holder = TxNode::top_level(1);
+        let waiter_tx = TxNode::top_level(2);
+        let obj = obj_with_write_holder(&mgr, &holder);
+        let mut fut = crate::future::AccessFuture::new(
+            mgr.clone(),
+            waiter_tx.clone(),
+            obj,
+            true,
+            Box::new(|_| ()),
+        );
+        {
+            let waker = noop_waker();
+            let mut cx = std::task::Context::from_waker(&waker);
+            // SAFETY: `fut` lives on this stack frame and is not moved
+            // between this pin and its drop below.
+            let pinned = unsafe { std::pin::Pin::new_unchecked(&mut fut) };
+            assert!(
+                std::future::Future::poll(pinned, &mut cx).is_pending(),
+                "future must queue behind the write holder"
+            );
+        }
+        let (m2, h2) = (mgr.clone(), holder.clone());
+        let releaser = loom::thread::spawn(move || {
+            m2.abort_subtree(&h2);
+        });
+        drop(fut); // races the releaser's grant
+        releaser.join().unwrap();
+
+        {
+            let g = mgr.slot(obj).inner.lock();
+            assert!(g.queue.is_empty(), "dropped future leaked a queue slot");
+            assert!(
+                g.write_pending.is_none(),
+                "dropped future left the write latch wedged"
+            );
+        }
+        // If the grant beat the drop, tx 2 now holds the lock; ending the
+        // transaction must free the object entirely.
+        mgr.abort_subtree(&waiter_tx);
+        let g = mgr.slot(obj).inner.lock();
+        assert!(g.queue.is_empty());
+        assert!(g.chain.is_empty(), "lock state survived the abort");
+        assert!(g.write_pending.is_none());
     });
 }
 

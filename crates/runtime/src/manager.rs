@@ -35,7 +35,9 @@ use crate::deadlock::{pick_victim, WaitForGraph};
 use crate::error::TxError;
 use crate::fault::{FaultAction, FaultContext, FaultPoint};
 use crate::node::TxNode;
-use crate::object::{AnyState, ObjectInner, ObjectSlot, Waiter, W_CANCELLED, W_GRANTED, W_WAITING};
+use crate::object::{
+    AnyState, ObjectInner, ObjectSlot, Waiter, WakeCallback, W_CANCELLED, W_GRANTED, W_WAITING,
+};
 use crate::slab::Slab;
 use crate::stats::{Ctr, Stats, StatsSnapshot};
 use crate::trace::RtEvent;
@@ -413,13 +415,25 @@ impl Drop for Snapshot {
 
 /// The error a doomed requester reports: a deadlock victim's doom is
 /// retryable scheduling ([`TxError::Deadlock`]), anything else is
-/// [`TxError::Doomed`].
-fn doom_error(node: &TxNode) -> TxError {
+/// [`TxError::Doomed`]. `pub(crate)` so the async access future classifies
+/// its cancelled waiters identically to the sync path.
+pub(crate) fn doom_error(node: &TxNode) -> TxError {
     if node.victim_flagged() {
         TxError::Deadlock
     } else {
         TxError::Doomed
     }
+}
+
+/// Outcome of [`ManagerInner::access_attempt`]: either the request
+/// resolved without parking (inline grant or a fail-fast error), or a
+/// waiter node was enqueued and the caller must wait for it to reach a
+/// final state before applying the closure. The closure rides along
+/// unconsumed so the caller — parked thread or polled future — can hand it
+/// to [`ManagerInner::finish_after_wait`] once the grant lands.
+pub(crate) enum Attempt<R, F> {
+    Done(Result<R, TxError>),
+    Queued { w: Arc<Waiter>, f: F },
 }
 
 /// Wait-for edge targets for queued waiter `w`, derived from queue
@@ -778,11 +792,17 @@ impl ManagerInner {
     }
 
     /// The calling thread's locality cohort under the configured cohort
-    /// count (always 0 when cohorts are disabled).
+    /// count (always 0 when cohorts are disabled). An explicit worker-index
+    /// hint ([`crate::set_worker_cohort`], installed by async executor
+    /// workers) takes precedence over the dense per-thread stripe index:
+    /// when thousands of sessions multiplex over N workers, the worker —
+    /// not the long-gone spawning thread — is the locality unit.
     #[inline]
     pub(crate) fn local_cohort(&self) -> usize {
         if self.config.cohorts == 0 {
             0
+        } else if let Some(h) = crate::shard::cohort_hint() {
+            h % self.config.cohorts
         } else {
             crate::shard::thread_index() % self.config.cohorts
         }
@@ -1060,6 +1080,7 @@ impl ManagerInner {
     /// with the calling thread's cohort. Callers hold the slot mutex for
     /// `obj_idx`. Exposed `pub(crate)` so the loom models race the real
     /// enqueue path, not a copy.
+    #[cfg_attr(not(test), allow(dead_code))] // test/loom-model entry point
     pub(crate) fn enqueue_waiter(
         &self,
         inner: &mut ObjectInner,
@@ -1075,6 +1096,7 @@ impl ManagerInner {
     /// [`Self::enqueue_waiter`] with an explicit cohort tag, so the loom
     /// cohort-fairness model can pin queue members to chosen cohorts
     /// independently of which model thread enqueues them.
+    #[cfg_attr(not(test), allow(dead_code))] // loom-model entry point
     pub(crate) fn enqueue_waiter_with_cohort(
         &self,
         inner: &mut ObjectInner,
@@ -1084,7 +1106,33 @@ impl ManagerInner {
         lock_write: bool,
         cohort: usize,
     ) -> Arc<Waiter> {
-        let w = Waiter::new(node.clone(), owner.clone(), lock_write, cohort);
+        self.enqueue_waiter_variant(inner, node, owner, obj_idx, lock_write, cohort, None)
+    }
+
+    /// [`Self::enqueue_waiter_with_cohort`] selecting the waiter variant:
+    /// `async_cb: Some(..)` queues a callback waiter with its wakeup
+    /// callback installed *before* the node enters the queue — under the
+    /// same slot-mutex hold — so no grant can beat the callback into place
+    /// and lose the wakeup.
+    #[allow(clippy::too_many_arguments)] // phase-2 internals: every arg is live state
+    pub(crate) fn enqueue_waiter_variant(
+        &self,
+        inner: &mut ObjectInner,
+        node: &Arc<TxNode>,
+        owner: &Arc<TxNode>,
+        obj_idx: usize,
+        lock_write: bool,
+        cohort: usize,
+        async_cb: Option<WakeCallback>,
+    ) -> Arc<Waiter> {
+        let w = match async_cb {
+            None => Waiter::new(node.clone(), owner.clone(), lock_write, cohort),
+            Some(cb) => {
+                let w = Waiter::new_async(node.clone(), owner.clone(), lock_write, cohort);
+                w.set_callback(cb);
+                w
+            }
+        };
         if self.config.deadlock == DeadlockPolicy::WoundWait {
             let my_top = owner.top_level_id();
             let pos = inner
@@ -1100,14 +1148,17 @@ impl ManagerInner {
         w
     }
 
-    /// Phase 5 of [`Self::access`]: a timed-out wait withdraws its queue
-    /// node under the slot mutex — unless a grant or doom raced the wakeup
-    /// and won the `state` CAS first, in which case nothing is withdrawn
-    /// and the caller classifies the waiter's (now final) state. Returns
-    /// `true` when the waiter was withdrawn (the request fails with
-    /// [`TxError::Timeout`]). Exposed `pub(crate)` so the loom models race
-    /// the real withdrawal against a concurrent releaser's grant.
-    pub(crate) fn timeout_withdraw(
+    /// Withdraw a still-waiting queue node in place, under the slot mutex
+    /// — unless a grant or doom raced in and won the `state` CAS first, in
+    /// which case nothing is withdrawn and the caller classifies the
+    /// waiter's (now final) state. Returns `true` when the waiter was
+    /// withdrawn; its state is then [`crate::object::W_TIMEDOUT`], a
+    /// terminal state distinct from doom so the async path can classify a
+    /// waiter from the state word alone. Shared by the sync timeout path,
+    /// the timer-service expiry path, and drop-of-an-unresolved-future
+    /// cleanup — only the first two count a timeout (see
+    /// [`Self::timeout_withdraw`]).
+    pub(crate) fn withdraw_waiter(
         &self,
         obj_idx: usize,
         w: &Arc<Waiter>,
@@ -1119,8 +1170,8 @@ impl ManagerInner {
         if w.state() != W_WAITING {
             return false;
         }
-        let cancelled = w.cancel();
-        debug_assert!(cancelled, "state is slot-mutex-protected");
+        let timed_out = w.cancel_timeout();
+        debug_assert!(timed_out, "state is slot-mutex-protected");
         guard.remove_waiter(w);
         *node.waiting_on.lock() = None;
         if self.config.deadlock == DeadlockPolicy::DieOnCycle && !w.edges.lock().is_empty() {
@@ -1132,31 +1183,65 @@ impl ManagerInner {
         for x in wake {
             x.wake();
         }
-        self.stats.bump(Ctr::Timeouts);
         true
     }
 
-    /// Acquire a lock on `obj_idx` for `node` and run `f` on the state
-    /// under the object mutex. `write` is the *declared* kind; in
-    /// [`LockMode::Exclusive`] reads lock like writes but still receive
-    /// read-only access.
-    pub(crate) fn access<R>(
+    /// Phase 5 of [`Self::access`]: [`Self::withdraw_waiter`] counted as a
+    /// timeout (the request fails with [`TxError::Timeout`]). Exposed
+    /// `pub(crate)` so the loom models race the real withdrawal against a
+    /// concurrent releaser's grant.
+    pub(crate) fn timeout_withdraw(
+        &self,
+        obj_idx: usize,
+        w: &Arc<Waiter>,
+        node: &Arc<TxNode>,
+        owner: &Arc<TxNode>,
+    ) -> bool {
+        if self.withdraw_waiter(obj_idx, w, node, owner) {
+            self.stats.bump(Ctr::Timeouts);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Run the enqueue half of [`Self::access`] — fault points, the
+    /// inline-grant loop, waiter enqueue, and the one-shot deadlock edge
+    /// publish — without committing the caller to *how* it waits.
+    ///
+    /// Returns [`Attempt::Done`] when the request resolved without ever
+    /// parking (inline grant, doom, wound death, deadlock victim, zero
+    /// wait budget), or [`Attempt::Queued`] with the enqueued waiter and
+    /// the unconsumed closure. The sync path then spins/parks on the
+    /// waiter; the async path returns `Poll::Pending` and lets the
+    /// releaser's `wake()` drive the future. Both paths converge on
+    /// [`Self::finish_after_wait`]. Passing `async_cb` queues the
+    /// callback waiter variant (see [`Self::enqueue_waiter_variant`]);
+    /// grant order, wound-wait age ordering, and the die-on-cycle edge
+    /// publish are identical for both variants — the queue cannot tell
+    /// them apart.
+    #[allow(clippy::too_many_arguments)] // the access pipeline's full context, by design
+    pub(crate) fn access_attempt<R, F>(
         &self,
         node: &Arc<TxNode>,
         obj_idx: usize,
         write: bool,
-        f: impl FnOnce(&mut dyn AnyState) -> R,
-    ) -> Result<R, TxError> {
+        f: F,
+        deadline: Instant,
+        wait_start: Instant,
+        async_cb: Option<WakeCallback>,
+    ) -> Attempt<R, F>
+    where
+        F: FnOnce(&mut dyn AnyState) -> R,
+    {
         let lock_write = write || self.config.mode == LockMode::Exclusive;
         let owner = self.effective_owner(node);
         let slot = self.slot(obj_idx);
-        let deadline = Instant::now() + self.config.wait_timeout;
-        let wait_start = Instant::now();
         let mut waited = false;
         if self.config.fault.is_some() {
             let action = self.fault_decision(FaultPoint::LockRequest, node, Some(obj_idx), write);
             if action != FaultAction::Continue {
-                return Err(self.apply_lock_fault(action, node, obj_idx));
+                return Attempt::Done(Err(self.apply_lock_fault(action, node, obj_idx)));
             }
         }
         let mut guard = slot.inner.lock();
@@ -1164,7 +1249,7 @@ impl ManagerInner {
         // the loop only to enqueue a waiter.
         loop {
             if node.is_doomed() {
-                return Err(doom_error(node));
+                return Attempt::Done(Err(doom_error(node)));
             }
             // No-barge rule: an inline grant with waiters queued is allowed
             // only when a current holder is an ancestor of the requester.
@@ -1180,7 +1265,9 @@ impl ManagerInner {
                     self.stats
                         .add(Ctr::WaitNanos, wait_start.elapsed().as_nanos() as u64);
                 }
-                return Ok(self.grant_inline(&mut guard, &owner, obj_idx, lock_write, f));
+                return Attempt::Done(Ok(
+                    self.grant_inline(&mut guard, &owner, obj_idx, lock_write, f)
+                ));
             }
             if !waited {
                 waited = true;
@@ -1197,7 +1284,7 @@ impl ManagerInner {
                     // apply_lock_fault may abort subtrees, which re-locks
                     // touched slots — release this one first.
                     drop(guard);
-                    return Err(self.apply_lock_fault(action, node, obj_idx));
+                    return Attempt::Done(Err(self.apply_lock_fault(action, node, obj_idx)));
                 }
             }
             if self.config.deadlock == DeadlockPolicy::WoundWait {
@@ -1229,12 +1316,20 @@ impl ManagerInner {
                 // budget (the deterministic fuzz configuration) blocked
                 // requests take exactly this path.
                 self.stats.bump(Ctr::Timeouts);
-                return Err(TxError::Timeout);
+                return Attempt::Done(Err(TxError::Timeout));
             }
             break;
         }
         // Phase 2 — enqueue a waiter node.
-        let w = self.enqueue_waiter(&mut guard, node, &owner, obj_idx, lock_write);
+        let w = self.enqueue_waiter_variant(
+            &mut guard,
+            node,
+            &owner,
+            obj_idx,
+            lock_write,
+            self.local_cohort(),
+            async_cb,
+        );
         // Self-scan under the same mutex hold: delivers a doom that raced
         // the enqueue (the aborter either saw our waiting_on registration
         // or we see its abort mark here — the slot mutex serialises the
@@ -1281,7 +1376,7 @@ impl ManagerInner {
                             for x in wake {
                                 x.wake();
                             }
-                            return Err(TxError::Deadlock);
+                            return Attempt::Done(Err(TxError::Deadlock));
                         }
                         // Youngest-victim: wound the victim if it holds or
                         // waits right here (then re-check); otherwise it is
@@ -1317,7 +1412,7 @@ impl ManagerInner {
                                 for x in wake {
                                     x.wake();
                                 }
-                                return Err(TxError::Deadlock);
+                                return Attempt::Done(Err(TxError::Deadlock));
                             }
                         }
                     }
@@ -1328,6 +1423,30 @@ impl ManagerInner {
         for x in wake.drain(..) {
             x.wake();
         }
+        Attempt::Queued { w, f }
+    }
+
+    /// Acquire a lock on `obj_idx` for `node` and run `f` on the state
+    /// under the object mutex. `write` is the *declared* kind; in
+    /// [`LockMode::Exclusive`] reads lock like writes but still receive
+    /// read-only access.
+    pub(crate) fn access<R>(
+        &self,
+        node: &Arc<TxNode>,
+        obj_idx: usize,
+        write: bool,
+        f: impl FnOnce(&mut dyn AnyState) -> R,
+    ) -> Result<R, TxError> {
+        let deadline = Instant::now() + self.config.wait_timeout;
+        let wait_start = Instant::now();
+        let (w, f) = match self.access_attempt(node, obj_idx, write, f, deadline, wait_start, None)
+        {
+            Attempt::Done(r) => return r,
+            Attempt::Queued { w, f } => (w, f),
+        };
+        let owner = self.effective_owner(node);
+        #[cfg(not(loom))]
+        let slot = self.slot(obj_idx);
         // Phase 4 — adaptive wait: spin briefly on our own node (direct
         // handoff under short holds often lands here), extend the spin
         // when the object's observed hold tenures are short, then park.
@@ -1368,12 +1487,29 @@ impl ManagerInner {
         }
         // Phase 5 — classify. A timed-out wait withdraws its queue node in
         // place unless a grant raced the wakeup, in which case take it.
-        if st == W_WAITING {
-            if self.timeout_withdraw(obj_idx, &w, node, &owner) {
-                return Err(TxError::Timeout);
-            }
-            st = w.state();
+        if st == W_WAITING && self.timeout_withdraw(obj_idx, &w, node, &owner) {
+            return Err(TxError::Timeout);
         }
+        self.finish_after_wait(node, &w, obj_idx, wait_start, f)
+    }
+
+    /// Consume a resolved waiter — phase 5 of the lock protocol, shared by
+    /// the parked sync path and the polled async path. The waiter's state
+    /// must be final ([`W_CANCELLED`] or [`W_GRANTED`]; timed-out waiters
+    /// fail before reaching here). On a grant the releaser already
+    /// installed our lock state and dequeued us: this only applies the
+    /// closure and, for writes, lifts the unapplied-write latch.
+    pub(crate) fn finish_after_wait<R>(
+        &self,
+        node: &Arc<TxNode>,
+        w: &Arc<Waiter>,
+        obj_idx: usize,
+        wait_start: Instant,
+        f: impl FnOnce(&mut dyn AnyState) -> R,
+    ) -> Result<R, TxError> {
+        let owner = self.effective_owner(node);
+        let slot = self.slot(obj_idx);
+        let st = w.state();
         if st == W_CANCELLED {
             // Doom was delivered to the queue node (wound, ancestor abort,
             // or deadlock victim) — the canceller already dequeued us and
@@ -1381,8 +1517,7 @@ impl ManagerInner {
             *node.waiting_on.lock() = None;
             return Err(doom_error(node));
         }
-        // Granted by direct handoff: the releaser installed our lock state
-        // and dequeued us; we only apply the closure.
+        debug_assert_eq!(st, W_GRANTED, "finish_after_wait needs a final state");
         *node.waiting_on.lock() = None;
         self.stats
             .add(Ctr::WaitNanos, wait_start.elapsed().as_nanos() as u64);

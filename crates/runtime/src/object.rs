@@ -60,6 +60,16 @@ pub(crate) const W_GRANTED: u8 = 1;
 /// The wait was cancelled (doomed by an abort/wound); the waiter wakes and
 /// fails without retrying.
 pub(crate) const W_CANCELLED: u8 = 2;
+/// The wait was withdrawn by its own timeout (the sync thread's deadline, or
+/// the timer service acting for an async waiter). Kept distinct from
+/// [`W_CANCELLED`] so the async path can classify `Timeout` vs `Doomed`
+/// straight off the state CAS — no side flag, no window where a spurious
+/// poll misreads who cancelled.
+pub(crate) const W_TIMEDOUT: u8 = 3;
+
+/// A one-shot wakeup callback carried by an async waiter in place of the
+/// park/condvar slot (for futures: a boxed [`std::task::Waker`] invoke).
+pub(crate) type WakeCallback = Box<dyn FnOnce() + Send>;
 
 /// One blocked lock request, queued FIFO on its [`ObjectSlot`].
 ///
@@ -85,6 +95,17 @@ pub(crate) struct Waiter {
     state: AtomicU8,
     park: Mutex<()>,
     cv: Condvar,
+    /// `true` for the callback variant: [`Waiter::wake`] invokes (and
+    /// consumes) the stored callback instead of touching the park
+    /// lock/condvar. A plain immutable field, so the sync variant's wake
+    /// path pays zero new synchronization for the async machinery.
+    is_async: bool,
+    /// Wakeup callback slot for the async variant (always `None` on the
+    /// sync variant). Installed under the slot mutex at enqueue time —
+    /// strictly before the waiter becomes grantable — and refreshed by
+    /// every future poll, so a releaser-side `wake()` can never find the
+    /// slot empty while the future still needs a wakeup.
+    callback: Mutex<Option<WakeCallback>>,
     /// How many times a cohort-preferred grant has jumped this waiter in
     /// the queue. Mutated and read only under the slot mutex; atomic so the
     /// shared `Waiter` stays `Sync` without a second lock.
@@ -98,6 +119,29 @@ pub(crate) struct Waiter {
 
 impl Waiter {
     pub fn new(node: Arc<TxNode>, owner: Arc<TxNode>, write: bool, cohort: usize) -> Arc<Waiter> {
+        Self::build(node, owner, write, cohort, false)
+    }
+
+    /// The callback variant: woken by invoking a stored [`WakeCallback`]
+    /// (installed via [`Waiter::set_callback`]) instead of a condvar
+    /// notify. Queueing, granting, cancellation, and withdrawal are
+    /// identical to the sync variant — only the wakeup delivery differs.
+    pub fn new_async(
+        node: Arc<TxNode>,
+        owner: Arc<TxNode>,
+        write: bool,
+        cohort: usize,
+    ) -> Arc<Waiter> {
+        Self::build(node, owner, write, cohort, true)
+    }
+
+    fn build(
+        node: Arc<TxNode>,
+        owner: Arc<TxNode>,
+        write: bool,
+        cohort: usize,
+        is_async: bool,
+    ) -> Arc<Waiter> {
         Arc::new(Waiter {
             node,
             owner,
@@ -106,9 +150,27 @@ impl Waiter {
             state: AtomicU8::new(W_WAITING),
             park: Mutex::new(()),
             cv: Condvar::new(),
+            is_async,
+            callback: Mutex::new(None),
             bypassed: AtomicU64::new(0),
             edges: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Whether this is the callback (async) variant.
+    #[cfg_attr(not(test), allow(dead_code))] // test/diagnostic accessor
+    #[inline]
+    pub fn is_async(&self) -> bool {
+        self.is_async
+    }
+
+    /// Install (or refresh) the async wakeup callback. Replacing an unfired
+    /// callback is fine — only the latest waker needs waking. No-op on the
+    /// sync variant.
+    pub fn set_callback(&self, cb: WakeCallback) {
+        if self.is_async {
+            *self.callback.lock() = Some(cb);
+        }
     }
 
     /// Times this waiter has been jumped by a cohort-preferred grant.
@@ -137,17 +199,38 @@ impl Waiter {
             .is_ok()
     }
 
-    /// WAITING → CANCELLED (doom delivery, timeout withdrawal).
+    /// WAITING → CANCELLED (doom delivery).
     pub fn cancel(&self) -> bool {
         self.state
             .compare_exchange(W_WAITING, W_CANCELLED, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
     }
 
-    /// Wake the parked thread after a state transition. Taking the park
-    /// lock first closes the window between the waiter's last state check
-    /// and its wait — the notify cannot land in the gap.
+    /// WAITING → TIMEDOUT (in-place withdrawal of an expired wait). The
+    /// distinct terminal state is what lets an async poll classify
+    /// `Timeout` vs `Doomed` from the state alone.
+    pub fn cancel_timeout(&self) -> bool {
+        self.state
+            .compare_exchange(W_WAITING, W_TIMEDOUT, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Wake the waiter after a state transition: invoke the stored callback
+    /// on the async variant, notify the parked thread on the sync one.
+    /// Taking the park lock first closes the window between the waiter's
+    /// last state check and its wait — the notify cannot land in the gap.
+    /// (The async variant's analogue: the callback is installed under the
+    /// slot mutex before the waiter is grantable, and an already-consumed
+    /// callback means the future was woken once and will observe the final
+    /// state on its next poll.)
     pub fn wake(&self) {
+        if self.is_async {
+            let cb = self.callback.lock().take();
+            if let Some(cb) = cb {
+                cb();
+            }
+            return;
+        }
         let _gate = self.park.lock();
         self.cv.notify_one();
     }
@@ -812,6 +895,48 @@ mod tests {
         assert_eq!(w.note_bypass(), 1);
         assert_eq!(w.note_bypass(), 2);
         assert_eq!(w.bypass_count(), 2);
+    }
+
+    #[test]
+    fn async_waiter_wake_consumes_callback_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering as O};
+        let (p, ..) = nodes();
+        let w = Waiter::new_async(p.clone(), p.clone(), true, 0);
+        assert!(w.is_async());
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        w.set_callback(Box::new(move || {
+            f.fetch_add(1, O::SeqCst);
+        }));
+        assert!(w.grant());
+        w.wake();
+        assert_eq!(fired.load(O::SeqCst), 1);
+        w.wake(); // consumed: second wake is a no-op, never a double fire
+        assert_eq!(fired.load(O::SeqCst), 1);
+        // Sync variant ignores callbacks entirely.
+        let ws = Waiter::new(p.clone(), p.clone(), false, 0);
+        assert!(!ws.is_async());
+        let f2 = fired.clone();
+        ws.set_callback(Box::new(move || {
+            f2.fetch_add(100, O::SeqCst);
+        }));
+        assert!(ws.grant());
+        ws.wake();
+        assert_eq!(fired.load(O::SeqCst), 1, "sync wake must not run callbacks");
+    }
+
+    #[test]
+    fn timeout_withdrawal_state_is_distinct_from_doom() {
+        let (p, ..) = nodes();
+        let w = Waiter::new_async(p.clone(), p.clone(), true, 0);
+        assert!(w.cancel_timeout());
+        assert_eq!(w.state(), W_TIMEDOUT);
+        assert!(!w.cancel(), "terminal state cannot be re-cancelled");
+        assert!(!w.grant(), "terminal state cannot be granted");
+        let w2 = Waiter::new(p.clone(), p.clone(), true, 0);
+        assert!(w2.cancel());
+        assert!(!w2.cancel_timeout());
+        assert_eq!(w2.state(), W_CANCELLED);
     }
 
     #[test]

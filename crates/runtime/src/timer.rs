@@ -1,0 +1,249 @@
+//! Process-wide timer service driving async access timeouts.
+//!
+//! A parked sync waiter carries its own timeout: `park_until(deadline)`
+//! returns and the thread withdraws its queue node in place. An async
+//! waiter has no thread to come back on, so *something* must run the
+//! withdrawal when the deadline passes. This module is that something: one
+//! lazily-spawned thread owning a deadline-ordered binary heap, waking at
+//! the earliest due time and firing expiry callbacks (each a boxed
+//! `ManagerInner::timeout_withdraw` + future wake, see `future.rs`).
+//!
+//! Design notes:
+//!
+//! - A binary heap, not a hashed wheel: the classic wheel trades heap
+//!   `O(log n)` pops for `O(1)` bucket inserts at the cost of tick
+//!   granularity and cascade passes. Access timeouts are *coarse* (whole
+//!   `wait_timeout`s, typically seconds) and overwhelmingly *cancelled*
+//!   before they fire (a grant resolves the future first), so the common
+//!   operations are push and lazy-cancel — both cheap on a heap — and the
+//!   rare one is an actual expiry. The interface (`schedule` returning a
+//!   cancel token) is wheel-shaped, so a wheel can replace the heap
+//!   without touching callers if scheduling churn ever dominates.
+//! - Cancellation is lazy: cancelling flips a shared flag and leaves the
+//!   entry in the heap; the timer thread discards flagged entries when
+//!   they surface. A cancelled entry therefore costs heap residency until
+//!   its deadline, which is bounded by `wait_timeout`.
+//! - Callbacks run on the timer thread with no locks held. They must be
+//!   short and non-blocking (the real ones take one slot mutex); a slow
+//!   callback delays later expiries, which is acceptable for timeout
+//!   delivery (timeouts are already best-effort-late, never early).
+//!
+//! Excluded from loom builds: the service is wall-clock driven and spawns
+//! a real thread; the loom models exercise the withdraw-vs-grant race by
+//! calling `withdraw_waiter` directly from a model thread instead.
+
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// The expiry callback type: runs once on the timer thread at or after the
+/// deadline, unless the token was cancelled first.
+pub(crate) type TimerCallback = Box<dyn FnOnce() + Send>;
+
+/// Cancellation handle for a scheduled timer. Dropping the token does
+/// *not* cancel the timer — callers that want cancel-on-drop wrap it.
+pub(crate) struct TimerToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl TimerToken {
+    /// Cancel the timer. Returns `true` when this call cancelled it before
+    /// expiry fired (or claimed it; the callback will be dropped unrun),
+    /// `false` when the callback already ran or another cancel won.
+    pub(crate) fn cancel(&self) -> bool {
+        !self.cancelled.swap(true, Ordering::SeqCst)
+    }
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    /// Tie-breaker so equal deadlines still have a total order (BinaryHeap
+    /// requires none, but deterministic FIFO-at-equal-deadline is nicer).
+    seq: u64,
+    cancelled: Arc<AtomicBool>,
+    callback: Option<TimerCallback>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct TimerInner {
+    heap: BinaryHeap<Reverse<TimerEntry>>,
+    next_seq: u64,
+    /// Set once the service thread is running; guards double-spawn.
+    thread_running: bool,
+}
+
+/// The shared service: a deadline heap and the condvar its thread sleeps
+/// on. `schedule` notifies the condvar whenever the earliest deadline may
+/// have moved forward.
+pub(crate) struct TimerService {
+    inner: Mutex<TimerInner>,
+    cv: Condvar,
+}
+
+impl TimerService {
+    fn new() -> Self {
+        TimerService {
+            inner: Mutex::new(TimerInner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                thread_running: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The process-wide instance, created (and its thread spawned lazily on
+    /// first schedule) on first use.
+    pub(crate) fn global() -> &'static TimerService {
+        static GLOBAL: OnceLock<TimerService> = OnceLock::new();
+        GLOBAL.get_or_init(TimerService::new)
+    }
+
+    /// Schedule `callback` to run on the timer thread at or shortly after
+    /// `deadline`. Returns a token whose `cancel()` prevents the callback
+    /// from running if it has not fired yet.
+    pub(crate) fn schedule(
+        &'static self,
+        deadline: Instant,
+        callback: TimerCallback,
+    ) -> TimerToken {
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            cancelled: cancelled.clone(),
+            callback: Some(callback),
+        }));
+        if !inner.thread_running {
+            inner.thread_running = true;
+            std::thread::Builder::new()
+                .name("ntx-timer".into())
+                .spawn(move || self.run())
+                .expect("spawn timer thread");
+        }
+        drop(inner);
+        // Unconditional notify: the thread re-derives the earliest deadline
+        // from the heap on every wakeup, so a spurious notify is one extra
+        // peek, while a missed one could sleep through a nearer deadline.
+        self.cv.notify_one();
+        TimerToken { cancelled }
+    }
+
+    /// Timer thread main loop: pop due entries, fire their callbacks with
+    /// no locks held, then sleep until the next deadline (or forever until
+    /// a schedule notifies).
+    fn run(&'static self) {
+        let mut inner = self.inner.lock();
+        loop {
+            let now = Instant::now();
+            // Collect everything due, then run outside the lock so a
+            // callback can re-enter `schedule` without deadlocking.
+            let mut due: Vec<TimerCallback> = Vec::new();
+            while let Some(Reverse(head)) = inner.heap.peek() {
+                if head.deadline > now {
+                    break;
+                }
+                let Reverse(mut entry) = inner.heap.pop().expect("peeked entry");
+                // Claim-or-skip: the same flag the token cancels through,
+                // so exactly one of {expiry, cancel} wins.
+                if !entry.cancelled.swap(true, Ordering::SeqCst) {
+                    due.extend(entry.callback.take());
+                }
+            }
+            if !due.is_empty() {
+                drop(inner);
+                for cb in due {
+                    cb();
+                }
+                inner = self.inner.lock();
+                continue;
+            }
+            match inner.heap.peek() {
+                Some(Reverse(head)) => {
+                    let timeout = head.deadline.saturating_duration_since(Instant::now());
+                    self.cv.wait_for(&mut inner, timeout);
+                }
+                None => self.cv.wait(&mut inner),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn fires_at_deadline() {
+        let (tx, rx) = mpsc::channel();
+        let start = Instant::now();
+        TimerService::global().schedule(
+            start + Duration::from_millis(20),
+            Box::new(move || {
+                let _ = tx.send(());
+            }),
+        );
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("timer fired");
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let (tx, rx) = mpsc::channel();
+        let token = TimerService::global().schedule(
+            Instant::now() + Duration::from_millis(30),
+            Box::new(move || {
+                let _ = tx.send(());
+            }),
+        );
+        assert!(token.cancel(), "first cancel wins");
+        assert!(!token.cancel(), "second cancel loses");
+        assert!(
+            rx.recv_timeout(Duration::from_millis(200)).is_err(),
+            "cancelled timer must not fire"
+        );
+    }
+
+    #[test]
+    fn equal_deadlines_fire_in_schedule_order() {
+        let (tx, rx) = mpsc::channel();
+        let when = Instant::now() + Duration::from_millis(25);
+        for i in 0..4 {
+            let tx = tx.clone();
+            TimerService::global().schedule(
+                when,
+                Box::new(move || {
+                    let _ = tx.send(i);
+                }),
+            );
+        }
+        let order: Vec<i32> = (0..4)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).expect("fired"))
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+}

@@ -5,6 +5,7 @@ use crate::sync::Arc;
 
 use crate::error::TxError;
 use crate::fault::{FaultAction, FaultPoint};
+use crate::future::AccessFuture;
 use crate::manager::{ManagerInner, ObjRef};
 use crate::node::{TxNode, TxState};
 use crate::stats::Ctr;
@@ -157,6 +158,61 @@ impl Tx {
             ts,
         });
         Ok(r.1)
+    }
+
+    /// Async counterpart of [`Tx::read`]: acquire the read lock without
+    /// parking a thread. The returned [`AccessFuture`] enqueues exactly
+    /// like the sync path (same FIFO position, same wound-wait /
+    /// die-on-cycle treatment at enqueue time) and is completed
+    /// releaser-side by the same grant wave that would have unparked a
+    /// thread; its timeout withdraws the queue node in place, driven by
+    /// the process timer service instead of a parked thread.
+    ///
+    /// The future owns `Arc` handles, not a borrow of `self`, so it can
+    /// be spawned onto any executor. The closure therefore needs `Send +
+    /// 'static` (it travels to whichever thread applies the grant result).
+    pub fn read_async<T: 'static, R: 'static>(
+        &self,
+        obj: &ObjRef<T>,
+        f: impl FnOnce(&T) -> R + Send + 'static,
+    ) -> AccessFuture<R> {
+        if let Err(e) = self.check_usable() {
+            return AccessFuture::failed(self.mgr.clone(), self.node.clone(), obj.idx, false, e);
+        }
+        AccessFuture::new(
+            self.mgr.clone(),
+            self.node.clone(),
+            obj.idx,
+            false,
+            Box::new(move |st| {
+                f(st.as_any()
+                    .downcast_ref::<T>()
+                    .expect("ObjRef type mismatch"))
+            }),
+        )
+    }
+
+    /// Async counterpart of [`Tx::write`]; see [`Tx::read_async`] for the
+    /// shared semantics (FIFO order, timeouts, executor independence).
+    pub fn write_async<T: 'static, R: 'static>(
+        &self,
+        obj: &ObjRef<T>,
+        f: impl FnOnce(&mut T) -> R + Send + 'static,
+    ) -> AccessFuture<R> {
+        if let Err(e) = self.check_usable() {
+            return AccessFuture::failed(self.mgr.clone(), self.node.clone(), obj.idx, true, e);
+        }
+        AccessFuture::new(
+            self.mgr.clone(),
+            self.node.clone(),
+            obj.idx,
+            true,
+            Box::new(move |st| {
+                f(st.as_any_mut()
+                    .downcast_mut::<T>()
+                    .expect("ObjRef type mismatch"))
+            }),
+        )
     }
 
     /// Update object `obj` under a write lock. Blocks while a non-ancestor

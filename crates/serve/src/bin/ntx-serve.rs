@@ -1,0 +1,78 @@
+//! `ntx-serve` — serve nested transactions over TCP.
+//!
+//! ```text
+//! ntx-serve [--addr HOST:PORT] [--workers N] [--objects M] [--max-sessions K]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7654`; port `0` picks an
+//! ephemeral port), prints `listening on <addr>` once ready, serves until
+//! stdin reaches EOF, then drains gracefully: stop accepting, wait for
+//! live sessions to finish, flush, exit. Run with stdin closed
+//! (`ntx-serve </dev/null`) for an immediate drain after startup — handy
+//! for CI liveness checks.
+
+use ntx_serve::{Server, ServerConfig};
+use std::io::Read;
+
+fn usage() -> ! {
+    eprintln!("usage: ntx-serve [--addr HOST:PORT] [--workers N] [--objects M] [--max-sessions K]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7654".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--workers" => match take("--workers").parse() {
+                Ok(n) => cfg.workers = n,
+                Err(_) => usage(),
+            },
+            "--objects" => match take("--objects").parse() {
+                Ok(n) => cfg.objects = n,
+                Err(_) => usage(),
+            },
+            "--max-sessions" => match take("--max-sessions").parse() {
+                Ok(n) => cfg.max_sessions = n,
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let server = match Server::bind(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ntx-serve: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The test/CI contract: this line (flushed by println) signals
+    // readiness and carries the resolved ephemeral port.
+    println!("listening on {}", server.local_addr());
+
+    // Serve until stdin closes (^D, or the parent process dropping the
+    // pipe), then drain gracefully.
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin();
+    loop {
+        match stdin.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let (accepted, rejected) = (server.accepted(), server.rejected());
+    server.drain();
+    println!("drained ({accepted} sessions served, {rejected} rejected)");
+}

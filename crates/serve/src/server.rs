@@ -1,0 +1,488 @@
+//! The `ntx-serve` server: TCP acceptor, polling reactor, and per-session
+//! drivers.
+//!
+//! Threading model — exactly three kinds of thread, none per-connection:
+//!
+//! * **accept thread** — blocks in `accept()`, applies admission control
+//!   (at `max_sessions` live connections the newcomer gets one
+//!   `ErrBusy` frame and is closed), then hands the socket to the reactor
+//!   and spawns the session's driver future on the executor;
+//! * **reactor thread** — polls every live socket non-blockingly: reads
+//!   bytes, splits frames, pushes them into the session's inbox and wakes
+//!   its driver; drains the session's outbox back to the socket. No epoll
+//!   dependency — a short idle sleep bounds the polling cost, which is
+//!   plenty for the smoke/bench workloads this binary exists for;
+//! * **executor workers** — poll driver futures ([`crate::executor`]).
+//!
+//! A *driver* is one `async fn` per connection that processes frames
+//! strictly in order (responses never interleave out of request order) and
+//! awaits [`ntx_runtime::AccessFuture`]s for lock acquisition — so a
+//! blocked lock request costs a queue node and a future, not a thread.
+//! Dropping a connection mid-transaction drops its `Tx` handles, and RAII
+//! rollback aborts the abandoned subtree.
+
+use crate::executor::Executor;
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex};
+use crate::wire::{self, ErrCode, Request, Response};
+use ntx_runtime::{ObjRef, RtConfig, Tx, TxError, TxManager};
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+/// Server tunables.
+pub struct ServerConfig {
+    /// Worker threads for the session executor.
+    pub workers: usize,
+    /// Number of `i64` counter objects registered at startup.
+    pub objects: usize,
+    /// Admission limit: maximum live connections before newcomers are
+    /// turned away with `ErrBusy`.
+    pub max_sessions: usize,
+    /// Runtime configuration (lock mode, deadlock policy, wait budget).
+    pub rt: RtConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            objects: 64,
+            max_sessions: 1024,
+            rt: RtConfig::default(),
+        }
+    }
+}
+
+/// Reactor-side half of a connection: socket + read buffer, never shared.
+struct ReactorConn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    shared: Arc<ConnShared>,
+}
+
+/// State shared between the reactor and a session's driver future.
+struct ConnShared {
+    /// Complete request frames, in arrival order.
+    inbox: Mutex<VecDeque<Vec<u8>>>,
+    /// Set by the reactor on EOF/error; the driver finishes its inbox then
+    /// exits.
+    closed: AtomicBool,
+    /// The driver's waker, parked here while its inbox is empty.
+    waker: Mutex<Option<Waker>>,
+    /// Encoded response bytes awaiting the reactor's write pass.
+    outbox: Mutex<Vec<u8>>,
+    /// Set by the driver on exit; reactor hangs up once the outbox drains.
+    done: AtomicBool,
+}
+
+impl ConnShared {
+    fn new() -> ConnShared {
+        ConnShared {
+            inbox: Mutex::new(VecDeque::new()),
+            closed: AtomicBool::new(false),
+            waker: Mutex::new(None),
+            outbox: Mutex::new(Vec::new()),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn wake_driver(&self) {
+        if let Some(w) = self.waker.lock().take() {
+            w.wake();
+        }
+    }
+
+    fn send(&self, bytes: &[u8]) {
+        self.outbox.lock().extend_from_slice(bytes);
+    }
+}
+
+/// Resolves to the next request frame, or `None` once the peer hung up and
+/// the inbox is empty.
+struct NextFrame<'a> {
+    shared: &'a ConnShared,
+}
+
+impl Future for NextFrame<'_> {
+    type Output = Option<Vec<u8>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<Vec<u8>>> {
+        // Park the waker *before* checking the inbox: a frame pushed
+        // between the check and the park would otherwise be a lost wakeup.
+        *self.shared.waker.lock() = Some(cx.waker().clone());
+        if let Some(body) = self.shared.inbox.lock().pop_front() {
+            return Poll::Ready(Some(body));
+        }
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Poll::Ready(None);
+        }
+        Poll::Pending
+    }
+}
+
+/// Shared server state (manager, objects, gauges).
+struct ServerCore {
+    mgr: TxManager,
+    objects: Vec<ObjRef<i64>>,
+    /// Live connections (admission-control gauge).
+    live: AtomicUsize,
+    /// Lifetime totals, exposed for tests/ops.
+    accepted: AtomicUsize,
+    rejected: AtomicUsize,
+    /// Stop flag for the accept + reactor threads.
+    stop: AtomicBool,
+    /// Hard stop: reactor exits immediately, dropping live connections
+    /// (set by `Server::drop` when no graceful drain happened).
+    force_stop: AtomicBool,
+    /// Connections handed off by the accept thread, pending reactor pickup.
+    incoming: Mutex<Vec<ReactorConn>>,
+    max_sessions: usize,
+}
+
+/// A running `ntx-serve` instance.
+pub struct Server {
+    core: Arc<ServerCore>,
+    exec: Arc<Executor>,
+    local_addr: SocketAddr,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    reactor_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// the accept, reactor, and executor threads.
+    pub fn bind(addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let mgr = TxManager::new(cfg.rt);
+        let objects = (0..cfg.objects.max(1))
+            .map(|i| mgr.register(format!("o{i}"), 0i64))
+            .collect();
+        let core = Arc::new(ServerCore {
+            mgr,
+            objects,
+            live: AtomicUsize::new(0),
+            accepted: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            force_stop: AtomicBool::new(false),
+            incoming: Mutex::new(Vec::new()),
+            max_sessions: cfg.max_sessions.max(1),
+        });
+        let exec = Arc::new(Executor::new(cfg.workers));
+
+        let accept_core = core.clone();
+        let accept_exec = exec.clone();
+        let accept_handle = std::thread::Builder::new()
+            .name("ntx-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_core, &accept_exec))
+            .expect("spawn accept thread");
+
+        let reactor_core = core.clone();
+        let reactor_handle = std::thread::Builder::new()
+            .name("ntx-serve-reactor".into())
+            .spawn(move || reactor_loop(&reactor_core))
+            .expect("spawn reactor thread");
+
+        Ok(Server {
+            core,
+            exec,
+            local_addr,
+            accept_handle: Some(accept_handle),
+            reactor_handle: Some(reactor_handle),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live connections right now.
+    pub fn live_sessions(&self) -> usize {
+        self.core.live.load(Ordering::SeqCst)
+    }
+
+    /// Connections accepted over the server's lifetime.
+    pub fn accepted(&self) -> usize {
+        self.core.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Connections turned away by admission control.
+    pub fn rejected(&self) -> usize {
+        self.core.rejected.load(Ordering::SeqCst)
+    }
+
+    /// The transaction manager backing this server (for assertions).
+    pub fn manager(&self) -> &TxManager {
+        &self.core.mgr
+    }
+
+    /// Graceful drain: stop accepting, wait for every live session driver
+    /// to finish (clients must close their connections), then stop the
+    /// reactor and executor.
+    pub fn drain(mut self) {
+        self.core.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept thread with a loopback connection; it
+        // re-checks the stop flag per accept.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Wait for in-flight drivers (the reactor keeps running so their
+        // final responses still reach the wire).
+        self.exec.drain();
+        if let Some(h) = self.reactor_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.core.stop.store(true, Ordering::SeqCst);
+        self.core.force_stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reactor_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, core: &Arc<ServerCore>, exec: &Arc<Executor>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => continue,
+        };
+        if core.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Admission control: over the limit, the newcomer gets a single
+        // ErrBusy frame and is hung up on — backpressure the client can
+        // see, instead of an unbounded session backlog.
+        let live = core.live.load(Ordering::SeqCst);
+        if live >= core.max_sessions {
+            core.rejected.fetch_add(1, Ordering::SeqCst);
+            let mut s = stream;
+            let _ = s.write_all(&Response::Err(ErrCode::ErrBusy).encode());
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            continue;
+        }
+        core.live.fetch_add(1, Ordering::SeqCst);
+        core.accepted.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::new(ConnShared::new());
+        core.incoming.lock().push(ReactorConn {
+            stream,
+            inbuf: Vec::new(),
+            shared: shared.clone(),
+        });
+        let driver_core = core.clone();
+        exec.spawn(async move {
+            drive_session(&driver_core, &shared).await;
+            shared.done.store(true, Ordering::SeqCst);
+        });
+    }
+}
+
+/// One session: consume frames in order, answer each, RAII-abort whatever
+/// the client left open.
+async fn drive_session(core: &ServerCore, shared: &ConnShared) {
+    let mut sessions: HashMap<u32, Tx> = HashMap::new();
+    let mut next_handle: u32 = 1;
+    while let Some(body) = (NextFrame { shared }).await {
+        let resp = match Request::decode(&body) {
+            Err(code) => Response::Err(code),
+            Ok(req) => handle_request(core, &mut sessions, &mut next_handle, req).await,
+        };
+        shared.send(&resp.encode());
+    }
+    // Dropping the map drops any unfinished Tx handles; RAII rollback
+    // aborts them and releases their locks/queue slots.
+    drop(sessions);
+}
+
+async fn handle_request(
+    core: &ServerCore,
+    sessions: &mut HashMap<u32, Tx>,
+    next_handle: &mut u32,
+    req: Request,
+) -> Response {
+    match req {
+        Request::Begin => {
+            let tx = core.mgr.begin();
+            let h = *next_handle;
+            *next_handle += 1;
+            sessions.insert(h, tx);
+            Response::Handle(h)
+        }
+        Request::Child { parent } => {
+            let Some(parent_tx) = sessions.get(&parent) else {
+                return Response::Err(ErrCode::ErrHandle);
+            };
+            match parent_tx.child() {
+                Ok(tx) => {
+                    let h = *next_handle;
+                    *next_handle += 1;
+                    sessions.insert(h, tx);
+                    Response::Handle(h)
+                }
+                Err(e) => Response::Err(err_code(&e)),
+            }
+        }
+        Request::Access {
+            handle,
+            obj,
+            write,
+            delta,
+        } => {
+            let Some(tx) = sessions.get(&handle) else {
+                return Response::Err(ErrCode::ErrHandle);
+            };
+            let Some(&objref) = core.objects.get(obj as usize) else {
+                return Response::Err(ErrCode::ErrObject);
+            };
+            let result = if write {
+                tx.write_async(&objref, move |v| {
+                    *v += delta;
+                    *v
+                })
+                .await
+            } else {
+                tx.read_async(&objref, |v| *v).await
+            };
+            match result {
+                Ok(v) => Response::Value(v),
+                Err(e) => Response::Err(err_code(&e)),
+            }
+        }
+        Request::Commit { handle } => {
+            let Some(tx) = sessions.remove(&handle) else {
+                return Response::Err(ErrCode::ErrHandle);
+            };
+            match tx.commit() {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(err_code(&e)),
+            }
+        }
+        Request::Abort { handle } => {
+            let Some(tx) = sessions.remove(&handle) else {
+                return Response::Err(ErrCode::ErrHandle);
+            };
+            tx.abort();
+            Response::Ok
+        }
+    }
+}
+
+fn err_code(e: &TxError) -> ErrCode {
+    match e {
+        TxError::Timeout => ErrCode::ErrTimeout,
+        TxError::Doomed | TxError::Deadlock => ErrCode::ErrDoomed,
+        // LiveChildren / AlreadyFinished / Recovery: the handle cannot be
+        // used as requested.
+        _ => ErrCode::ErrHandle,
+    }
+}
+
+/// Poll every live socket: read → frame → inbox → wake; outbox → write.
+fn reactor_loop(core: &Arc<ServerCore>) {
+    let mut conns: Vec<ReactorConn> = Vec::new();
+    let mut tmp = [0u8; 4096];
+    loop {
+        if core.force_stop.load(Ordering::SeqCst) {
+            // Hard stop: close everything; drivers observe EOF-equivalent
+            // closure next poll and RAII-abort their transactions.
+            for conn in conns.drain(..) {
+                conn.shared.closed.store(true, Ordering::SeqCst);
+                conn.shared.wake_driver();
+                core.live.fetch_sub(1, Ordering::SeqCst);
+            }
+            return;
+        }
+        conns.append(&mut *core.incoming.lock());
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            let closed_now = !conn.shared.closed.load(Ordering::SeqCst)
+                && pump_reads(conn, &mut tmp, &mut progressed);
+            if closed_now {
+                conn.shared.closed.store(true, Ordering::SeqCst);
+                conn.shared.wake_driver();
+            }
+            pump_writes(conn, &mut progressed);
+            // Retire: driver exited and its final bytes are on the wire.
+            if conn.shared.done.load(Ordering::SeqCst) && conn.shared.outbox.lock().is_empty() {
+                let conn = conns.swap_remove(i);
+                drop(conn.stream);
+                core.live.fetch_sub(1, Ordering::SeqCst);
+                progressed = true;
+                continue;
+            }
+            i += 1;
+        }
+        if conns.is_empty() && core.stop.load(Ordering::SeqCst) && core.incoming.lock().is_empty() {
+            return;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Read until `WouldBlock`, pushing complete frames to the driver. Returns
+/// `true` if the connection reached EOF or a fatal error.
+fn pump_reads(conn: &mut ReactorConn, tmp: &mut [u8], progressed: &mut bool) -> bool {
+    loop {
+        match conn.stream.read(tmp) {
+            Ok(0) => return true,
+            Ok(n) => {
+                *progressed = true;
+                conn.inbuf.extend_from_slice(&tmp[..n]);
+                loop {
+                    match wire::take_frame(&mut conn.inbuf) {
+                        Ok(Some(body)) => {
+                            conn.shared.inbox.lock().push_back(body);
+                            conn.shared.wake_driver();
+                        }
+                        Ok(None) => break,
+                        // Oversized length prefix: protocol violation.
+                        Err(()) => return true,
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+}
+
+/// Flush as much of the outbox as the socket will take.
+fn pump_writes(conn: &mut ReactorConn, progressed: &mut bool) {
+    let mut outbox = conn.shared.outbox.lock();
+    if outbox.is_empty() {
+        return;
+    }
+    match conn.stream.write(&outbox[..]) {
+        Ok(0) => {}
+        Ok(n) => {
+            *progressed = true;
+            outbox.drain(..n);
+        }
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::Interrupted => {}
+        // Write error: the read side will surface the hangup shortly.
+        Err(_) => outbox.clear(),
+    }
+}

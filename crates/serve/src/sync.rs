@@ -1,0 +1,18 @@
+//! The single import point for synchronisation primitives.
+//!
+//! Mirrors `ntx-runtime`'s shim discipline: every module in this crate gets
+//! its mutexes, condvars, atomics, and `Arc` from here — never from
+//! `std::sync` or `parking_lot` directly (enforced by the `ntx-lint`
+//! workspace lint, which treats any `src/sync.rs` as the one exempt file).
+//! The serve crate has no loom build — the executor and reactor are
+//! wall-clock/IO driven — but keeping the indirection means a model build
+//! could be added later without touching call sites.
+
+pub(crate) use std::sync::{Arc, Weak};
+
+pub(crate) use parking_lot::{Condvar, Mutex};
+
+/// Atomic types and `Ordering` (std in all builds).
+pub(crate) mod atomic {
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+}

@@ -54,6 +54,12 @@ pub struct FuzzConfig {
     /// the model as synthetic read-only transactions at the publication
     /// point — see `ntx-conform`'s translation).
     pub snapshot_ops: bool,
+    /// Route a seeded half of all reads/adds through the async waiter
+    /// path (`Tx::read_async`/`Tx::write_async` driven inline), so one
+    /// seed exercises *both* waiter representations — parked-thread and
+    /// callback — against the same fault schedule. Guarded by the flag so
+    /// legacy seeds replay unchanged.
+    pub async_ops: bool,
 }
 
 impl Default for FuzzConfig {
@@ -68,6 +74,7 @@ impl Default for FuzzConfig {
             exclusive: false,
             footnote8: false,
             snapshot_ops: false,
+            async_ops: false,
         }
     }
 }
@@ -228,11 +235,18 @@ pub fn fuzz_run(cfg: &FuzzConfig) -> FuzzOutcome {
                 let obj = rng.gen_range(0..cfg.objects.max(1));
                 session.snapshot_read(obj);
             }
-            // Read a random object.
+            // Read a random object (seeded coin: parked-thread or
+            // callback waiter variant; the draw happens only when
+            // async_ops is on, so legacy seeds replay unchanged).
             _ if roll < 52 => {
                 if let Some(&i) = pick(&mut rng, &alive) {
                     let obj = rng.gen_range(0..cfg.objects.max(1));
-                    match session.read(&slots[i].t, obj) {
+                    let res = if cfg.async_ops && rng.gen_bool(0.5) {
+                        session.read_async(&slots[i].t, obj)
+                    } else {
+                        session.read(&slots[i].t, obj)
+                    };
+                    match res {
                         Ok(_) | Err(TxError::Timeout) => {}
                         Err(TxError::Deadlock) => {
                             // Chosen as victim: give up the whole subtree.
@@ -243,12 +257,17 @@ pub fn fuzz_run(cfg: &FuzzConfig) -> FuzzOutcome {
                     }
                 }
             }
-            // Add to a random object.
+            // Add to a random object (same seeded variant coin as reads).
             _ if roll < 82 => {
                 if let Some(&i) = pick(&mut rng, &alive) {
                     let obj = rng.gen_range(0..cfg.objects.max(1));
                     let delta = rng.gen_range(1i64..10);
-                    match session.add(&slots[i].t, obj, delta) {
+                    let res = if cfg.async_ops && rng.gen_bool(0.5) {
+                        session.add_async(&slots[i].t, obj, delta)
+                    } else {
+                        session.add(&slots[i].t, obj, delta)
+                    };
+                    match res {
                         Ok(_) | Err(TxError::Timeout) => {}
                         Err(TxError::Deadlock) => {
                             session.abort(&slots[i].t);
@@ -789,6 +808,54 @@ mod tests {
             let out = fuzz_run(&cfg);
             assert!(out.ok(), "seed {seed}: {:?}", out.report);
         }
+    }
+
+    #[test]
+    fn async_ops_conform_and_replay_deterministically() {
+        let cfg = FuzzConfig {
+            seed: 3,
+            async_ops: true,
+            ..Default::default()
+        };
+        let a = fuzz_run(&cfg);
+        let b = fuzz_run(&cfg);
+        assert!(a.ok(), "{:?}", a.report);
+        assert_eq!(a.log, b.log, "same seed must replay byte-identically");
+        assert_eq!(a.fault_calls, b.fault_calls);
+    }
+
+    #[test]
+    fn async_ops_with_heavy_faults_conform() {
+        // Both waiter representations face the same counter-keyed fault
+        // schedule; whatever the injector kills, the surviving trace must
+        // still conform.
+        for seed in 0..8 {
+            let cfg = FuzzConfig {
+                seed,
+                async_ops: true,
+                snapshot_ops: true,
+                plan: FaultPlan::heavy(),
+                ..Default::default()
+            };
+            let out = fuzz_run(&cfg);
+            assert!(out.ok(), "seed {seed}: {:?}", out.report);
+        }
+    }
+
+    #[test]
+    fn async_ops_flag_off_preserves_legacy_seeds() {
+        // The variant coin is drawn only when the flag is on: a flag-off
+        // run must be byte-identical to the historical default.
+        let legacy = fuzz_run(&FuzzConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let explicit_off = fuzz_run(&FuzzConfig {
+            seed: 1,
+            async_ops: false,
+            ..Default::default()
+        });
+        assert_eq!(legacy.log, explicit_off.log);
     }
 
     #[test]

@@ -12,11 +12,13 @@
 //!              locking on a generated workload
 //! ntx fuzz     [--seed N | --seeds K] [--faults none|light|heavy]
 //!              [--steps S] [--exclusive true] [--footnote8 true]
-//!              [--snapshots false]
+//!              [--snapshots false] [--async-ops false]
 //!              deterministic fault-injection fuzzing of the runtime
-//!              (lock-free snapshot reads included unless disabled),
-//!              differentially checked against the Theorem 34 model;
-//!              failing seeds are dumped to fuzz-failures/seed-N.log
+//!              (lock-free snapshot reads included unless disabled, and a
+//!              seeded half of reads/adds routed through the async waiter
+//!              path unless --async-ops false), differentially checked
+//!              against the Theorem 34 model; failing seeds are dumped to
+//!              fuzz-failures/seed-N.log
 //! ntx fuzz     --crash-points <all|pre-append,mid-commit,post-append,checkpoint>
 //!              [--crash-pm P] [--wal-dir DIR] [--seed N | --seeds K]
 //!              [--faults none|light|heavy] [--steps S]
@@ -273,6 +275,9 @@ fn cmd_fuzz(flags: &HashMap<String, String>) {
         // Snapshot reads are on by default: the sweep exercises the
         // lock-free read path against the checker unless --snapshots false.
         snapshot_ops: flag(flags, "snapshots", true),
+        // Async alternation likewise: a seeded half of reads/adds run
+        // through the callback waiter variant unless --async-ops false.
+        async_ops: flag(flags, "async-ops", true),
         ..Default::default()
     };
     // --seed N replays one seed verbosely; --seeds K sweeps 0..K.
