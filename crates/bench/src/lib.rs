@@ -18,4 +18,6 @@ pub mod runtime_exps;
 pub mod scaling;
 pub mod table;
 
+pub(crate) mod sync;
+
 pub use table::Table;

@@ -33,8 +33,8 @@
 //! deadlock, and the timeouts are far above the drain time), so `restarts`
 //! is a hard zero in the CI gate.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ntx_runtime::{DeadlockPolicy, LockMode, ObjRef, RtConfig, TxManager};
@@ -145,10 +145,12 @@ fn b8_peak(sessions: usize) -> B8Peak {
             match tx.write_async(&objects[i % OBJECTS], |v| *v += 1).await {
                 Ok(()) => {
                     if tx.commit().is_err() {
+                        // relaxed(bench-restarts): abort tally read after workers join
                         restarts.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 Err(_) => {
+                    // relaxed(bench-restarts): abort tally read after workers join
                     restarts.fetch_add(1, Ordering::Relaxed);
                     tx.abort();
                 }
@@ -176,6 +178,7 @@ fn b8_peak(sessions: usize) -> B8Peak {
     exec.drain();
     let drain = drain_t0.elapsed();
 
+    // relaxed(bench-restarts): workers joined above; plain sum
     let failed = restarts.load(Ordering::Relaxed);
     // Every committed session added exactly 1 to some hot counter.
     let check = mgr.begin();
@@ -240,10 +243,12 @@ fn b8_rate_row(offered_tps: f64, sessions: usize) -> B8Row {
                         let e2e = scheduled.elapsed().as_nanos() as u64;
                         lats.lock().unwrap().push((acq, e2e));
                     } else {
+                        // relaxed(bench-restarts): abort tally read after workers join
                         restarts.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 Err(_) => {
+                    // relaxed(bench-restarts): abort tally read after workers join
                     restarts.fetch_add(1, Ordering::Relaxed);
                     tx.abort();
                 }
@@ -271,6 +276,7 @@ fn b8_rate_row(offered_tps: f64, sessions: usize) -> B8Row {
         acq_p99_us: percentile(&acq, 0.99),
         e2e_p50_us: percentile(&e2e, 0.50),
         e2e_p99_us: percentile(&e2e, 0.99),
+        // relaxed(bench-restarts): workers joined above; plain sum
         restarts: restarts.load(Ordering::Relaxed),
     }
 }

@@ -8,8 +8,8 @@
 //! subtransactions fail (E5), and deadlock frequency grows with concurrency
 //! (E7).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use ntx_runtime::{LockMode, ObjRef, RtConfig, TxError, TxManager};
@@ -151,6 +151,7 @@ pub fn run_rt_workload_with(cfg: &RtWorkload, seed: u64, rt: RtConfig) -> RtOutc
                                 Ok(()) => think(cfg.work_per_op),
                                 Err(TxError::Deadlock | TxError::Timeout | TxError::Doomed) => {
                                     tx.abort();
+                                    // relaxed(bench-restarts): abort tally read after workers join
                                     restarts.fetch_add(1, Ordering::Relaxed);
                                     continue 'retry;
                                 }
@@ -160,6 +161,7 @@ pub fn run_rt_workload_with(cfg: &RtWorkload, seed: u64, rt: RtConfig) -> RtOutc
                         match tx.commit() {
                             Ok(()) => break 'retry,
                             Err(_) => {
+                                // relaxed(bench-restarts): abort tally read after workers join
                                 restarts.fetch_add(1, Ordering::Relaxed);
                                 continue 'retry;
                             }
@@ -179,6 +181,7 @@ pub fn run_rt_workload_with(cfg: &RtWorkload, seed: u64, rt: RtConfig) -> RtOutc
         elapsed,
         committed,
         throughput: committed as f64 / elapsed.as_secs_f64(),
+        // relaxed(bench-restarts): workers joined above; plain sum
         restarts: restarts.load(Ordering::Relaxed),
         deadlocks: stats.deadlocks,
         waits: stats.waits,

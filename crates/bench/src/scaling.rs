@@ -28,8 +28,8 @@
 //! machine-readable `BENCH_runtime.json` at the repo root (regenerate with
 //! `cargo run -p ntx-bench --release --bin harness -- bseries [--full]`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use ntx_runtime::{FsyncPolicy, LockMode, ObjRef, RtConfig, TxError, TxManager};
@@ -203,6 +203,7 @@ pub fn run_b_workload_rt(cfg: &BWorkload, seed: u64, rt: RtConfig) -> BOutcome {
                                 Ok(()) => lats.push(t0.elapsed().as_nanos() as u64),
                                 Err(TxError::Deadlock | TxError::Timeout | TxError::Doomed) => {
                                     tx.abort();
+                                    // relaxed(bench-restarts): abort tally read after workers join
                                     restarts.fetch_add(1, Ordering::Relaxed);
                                     continue 'retry;
                                 }
@@ -221,6 +222,7 @@ pub fn run_b_workload_rt(cfg: &BWorkload, seed: u64, rt: RtConfig) -> BOutcome {
                         match tx.commit() {
                             Ok(()) => break 'retry,
                             Err(_) => {
+                                // relaxed(bench-restarts): abort tally read after workers join
                                 restarts.fetch_add(1, Ordering::Relaxed);
                                 continue 'retry;
                             }
@@ -252,6 +254,7 @@ pub fn run_b_workload_rt(cfg: &BWorkload, seed: u64, rt: RtConfig) -> BOutcome {
         spin_grants: stats.spin_grants,
         cohort_hits: stats.cohort_hits,
         max_bypass: mgr.max_waiter_bypass(),
+        // relaxed(bench-restarts): workers joined above; plain sum
         restarts: restarts.load(Ordering::Relaxed),
         p50_us: percentile(&lats, 0.50),
         p99_us: percentile(&lats, 0.99),
@@ -637,6 +640,7 @@ pub fn run_b5_workload(cfg: &BWorkload, seed: u64) -> (BOutcome, u64, u64) {
                                     Ok(()) => {}
                                     Err(TxError::Deadlock | TxError::Timeout | TxError::Doomed) => {
                                         tx.abort();
+                                        // relaxed(bench-restarts): abort tally read after workers join
                                         restarts.fetch_add(1, Ordering::Relaxed);
                                         continue 'retry;
                                     }
@@ -649,6 +653,7 @@ pub fn run_b5_workload(cfg: &BWorkload, seed: u64) -> (BOutcome, u64, u64) {
                             match tx.commit() {
                                 Ok(()) => break 'retry,
                                 Err(_) => {
+                                    // relaxed(bench-restarts): abort tally read after workers join
                                     restarts.fetch_add(1, Ordering::Relaxed);
                                     continue 'retry;
                                 }
@@ -681,6 +686,7 @@ pub fn run_b5_workload(cfg: &BWorkload, seed: u64) -> (BOutcome, u64, u64) {
         spin_grants: stats.spin_grants,
         cohort_hits: stats.cohort_hits,
         max_bypass: mgr.max_waiter_bypass(),
+        // relaxed(bench-restarts): workers joined above; plain sum
         restarts: restarts.load(Ordering::Relaxed),
         p50_us: percentile(&lats, 0.50),
         p99_us: percentile(&lats, 0.99),

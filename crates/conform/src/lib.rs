@@ -36,6 +36,7 @@
 //! ```
 
 mod session;
+mod sync;
 mod translate;
 
 pub use session::{ConformanceSession, Trace, TraceEvent, TracedTx};

@@ -1,9 +1,7 @@
 //! Traced execution sessions over the runtime.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 
 use ntx_runtime::{ObjRef, Tx, TxError, TxManager};
 
@@ -179,6 +177,7 @@ impl ConformanceSession {
 
     /// Begin a traced top-level transaction.
     pub fn begin(&self) -> TracedTx {
+        // relaxed(session-id): unique ids only; the trace mutex orders events
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut log = self.log.lock();
         let tx = self.mgr.begin();
@@ -191,6 +190,7 @@ impl ConformanceSession {
 
     /// Begin a traced child of `parent`.
     pub fn child(&self, parent: &TracedTx) -> Result<TracedTx, TxError> {
+        // relaxed(session-id): unique ids only; the trace mutex orders events
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut log = self.log.lock();
         let tx = parent.tx.child()?;

@@ -1,0 +1,15 @@
+//! The single import point for synchronisation primitives.
+//!
+//! Mirrors the runtime's shim discipline (R1 in `ntx-lint`): the traced
+//! session layer gets its `Arc`, mutex, and atomics from here rather than
+//! `std::sync`/`parking_lot` directly, so the workspace-wide lint holds
+//! uniformly and an instrumented build has one place to swap.
+
+pub(crate) use std::sync::Arc;
+
+pub(crate) use parking_lot::Mutex;
+
+/// Atomic types and `Ordering`.
+pub(crate) mod atomic {
+    pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+}

@@ -1,0 +1,746 @@
+//! Happens-before certification of runtime traces.
+//!
+//! The Theorem 34 machinery proves every surviving fuzz trace is
+//! *transactionally* correct; nothing there certifies the
+//! *implementation-level* synchronization that produced the trace — grant
+//! waves, async wakes, timer withdrawals, the commit turnstile. This crate
+//! closes that gap: [`certify`] replays a [`TraceRecorder`] event stream
+//! (with the thread provenance [`Stamped`] carries) through a vector-clock
+//! happens-before relation and checks, on **every** recorded execution —
+//! not just loom's bounded schedules:
+//!
+//! * **grant rule** — every grant is HB-after the conflicting holders'
+//!   releases: at each grant event, the replayed per-object lock state may
+//!   contain only ancestors of the grantee (Moss' rule), so a grant that
+//!   jumped a release is caught as an incompatible holder;
+//! * **wake edge** — every [`RtEvent::Resume`] (the woken side's first
+//!   touch of the object) is HB-after a grant to the same transaction on
+//!   the same object;
+//! * **exactly one winner** — each [`RtEvent::Wait`] is resolved by
+//!   exactly one of grant, [`RtEvent::Withdraw`] (timeout / async drop) or
+//!   [`RtEvent::CancelWaiter`] (doom), and no withdraw or cancel ever
+//!   resolves an already-resolved wait (a skipped claim CAS shows up here
+//!   as a second winner);
+//! * **turnstile** — [`RtEvent::TsAdvance`] values are dense and strictly
+//!   increasing, every [`RtEvent::Publish`] and [`RtEvent::WalAppend`] at
+//!   timestamp `t` is HB-before `TsAdvance(t)`, and every
+//!   [`RtEvent::SnapRead`] at snapshot `t` is HB-after it;
+//! * **wave integrity** — a [`RtEvent::HandoffWave`] batch occupies a
+//!   gap-free stamp range containing exactly its advertised grants.
+//!
+//! The happens-before relation is built from four edge families: per-thread
+//! program order; the per-object total order (events touching an object
+//! are stamped under that object's mutex); the turnstile chain
+//! (`TsAdvance(t-1) → TsAdvance(t)`); and the snapshot edge
+//! (`TsAdvance(t) → SnapRead(ts = t)`). Lock-free events ([`RtEvent::SnapRead`],
+//! [`RtEvent::Fault`]) deliberately get no object edge — their stamps are
+//! drawn outside the slot mutex, so ordering them by stamp would assert
+//! synchronization that does not exist.
+//!
+//! Violations carry a minimal counterexample slice: the implicated events
+//! plus a bounded window of same-object neighbours, rendered in the trace's
+//! stable one-line form.
+//!
+//! [`TraceRecorder`]: ntx_runtime::TraceRecorder
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use ntx_runtime::{FaultAction, RtEvent, Stamped};
+
+/// Which certifier check a violation came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HbCheck {
+    /// Moss' grant rule replay: a grant while an incompatible
+    /// (non-ancestor) holder is still live, or a version install without a
+    /// write lock — the grant was not HB-after the conflicting release.
+    GrantRule,
+    /// A resume without a prior grant, or not HB-after its grant.
+    WakeEdge,
+    /// A wait resolved twice, resolved by a withdraw/cancel that had no
+    /// open wait, opened twice, or never resolved at all.
+    OneWinner,
+    /// Turnstile order: non-dense `TsAdvance`, a publish or WAL append not
+    /// HB-before its advance, or a snapshot read not HB-after it.
+    Turnstile,
+    /// A handoff wave whose batched grants are missing, foreign or
+    /// non-contiguous.
+    Wave,
+}
+
+impl fmt::Display for HbCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HbCheck::GrantRule => "grant-rule",
+            HbCheck::WakeEdge => "wake-edge",
+            HbCheck::OneWinner => "one-winner",
+            HbCheck::Turnstile => "turnstile",
+            HbCheck::Wave => "wave-integrity",
+        })
+    }
+}
+
+/// One certification failure, with an actionable counterexample.
+#[derive(Clone, Debug)]
+pub struct HbViolation {
+    /// The check that failed.
+    pub check: HbCheck,
+    /// Stamp of the event the check failed at (the later event of the
+    /// violated ordering), or of the unresolved wait for end-of-trace
+    /// failures.
+    pub at: u64,
+    /// Human-readable statement of the violated invariant.
+    pub msg: String,
+    /// Minimal counterexample slice: the implicated events plus a bounded
+    /// window of same-object neighbours, one stable rendered line each
+    /// (`[stamp] tid=T EVENT …`).
+    pub slice: Vec<String>,
+}
+
+impl fmt::Display for HbViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] at stamp {}: {}", self.check, self.at, self.msg)?;
+        for line in &self.slice {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The verdict of one [`certify`] pass.
+#[derive(Clone, Debug, Default)]
+pub struct HbReport {
+    /// Events replayed.
+    pub events: usize,
+    /// Waits opened ([`RtEvent::Wait`] seen).
+    pub waits: usize,
+    /// Waits resolved by exactly one winner.
+    pub waits_resolved: usize,
+    /// Grant events checked against the replayed lock state.
+    pub grants_checked: usize,
+    /// Turnstile advances observed.
+    pub ts_advances: u64,
+    /// Snapshot reads checked against the turnstile.
+    pub snap_reads: usize,
+    /// Every violated invariant (empty on success).
+    pub violations: Vec<HbViolation>,
+}
+
+impl HbReport {
+    /// `true` when every synchronization invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render the violations for a failure dump (empty string on success).
+    pub fn render_violations(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = write!(out, "{v}");
+        }
+        out
+    }
+}
+
+/// How many preceding same-object neighbours a counterexample slice keeps.
+const SLICE_CONTEXT: usize = 5;
+
+/// The object an event was stamped under the mutex of, if any. Lock-free
+/// events (snapshot reads, pre-lock fault decisions) return `None`: their
+/// stamps carry no mutex ordering and must not induce HB edges.
+fn sync_obj(ev: &RtEvent) -> Option<usize> {
+    match *ev {
+        RtEvent::ReadGrant { obj, .. }
+        | RtEvent::WriteGrant { obj, .. }
+        | RtEvent::VersionInstall { obj, .. }
+        | RtEvent::Wait { obj, .. }
+        | RtEvent::HandoffWave { obj, .. }
+        | RtEvent::Inherit { obj, .. }
+        | RtEvent::Rollback { obj, .. }
+        | RtEvent::Publish { obj, .. }
+        | RtEvent::Resume { obj, .. }
+        | RtEvent::Withdraw { obj, .. }
+        | RtEvent::CancelWaiter { obj, .. } => Some(obj),
+        _ => None,
+    }
+}
+
+/// A reference to an already-processed event: enough to test `hb(a, b)`
+/// against a later event's vector clock, and to index the slice.
+#[derive(Clone, Copy, Debug)]
+struct EvRef {
+    /// Index into the sorted event array.
+    idx: usize,
+    /// Dense thread index.
+    tix: usize,
+    /// The event's per-thread sequence number (1-based).
+    seq: u64,
+}
+
+/// Per-object replayed Moss lock state.
+#[derive(Default)]
+struct ObjHold {
+    readers: BTreeSet<u64>,
+    writers: BTreeSet<u64>,
+}
+
+/// Bookkeeping for one open wait.
+struct OpenWait {
+    ev: EvRef,
+    /// Set once the owning transaction aborts: an unresolved doomed wait
+    /// at end of trace is fine (the abort consumed it), and a late
+    /// doom-cancel is its legitimate resolution.
+    doomed: bool,
+}
+
+struct Certifier<'a> {
+    evs: &'a [Stamped],
+    report: HbReport,
+    /// Dense thread indexing over the tids seen in the trace.
+    tix_of: HashMap<u64, usize>,
+    /// Current vector clock of each thread (its last event's clock).
+    clocks: Vec<Vec<u64>>,
+    /// tx → parent (from `Begin`; top-level maps to `None`).
+    parent: HashMap<u64, Option<u64>>,
+    /// Last mutex-stamped event per object (the object-chain edge source).
+    last_on_obj: HashMap<usize, (EvRef, Vec<u64>)>,
+    /// Last grant per `(tx, obj)` (the wake-edge source).
+    last_grant: HashMap<(u64, usize), (EvRef, Vec<u64>)>,
+    /// Open waits per `(tx, obj)`.
+    open_waits: HashMap<(u64, usize), OpenWait>,
+    /// Replayed lock state per object.
+    holds: HashMap<usize, ObjHold>,
+    /// Highest `TsAdvance` seen (tracks `Recovered` clock rebuilds).
+    last_ts: u64,
+    /// The advance event per timestamp (snapshot-read edge source).
+    tsadv: HashMap<u64, (EvRef, Vec<u64>)>,
+    /// Pending publishes/WAL appends per timestamp, awaiting the advance.
+    pending_pub: HashMap<u64, Vec<EvRef>>,
+}
+
+impl<'a> Certifier<'a> {
+    fn new(evs: &'a [Stamped]) -> Certifier<'a> {
+        Certifier {
+            evs,
+            report: HbReport {
+                events: evs.len(),
+                ..HbReport::default()
+            },
+            tix_of: HashMap::new(),
+            clocks: Vec::new(),
+            parent: HashMap::new(),
+            last_on_obj: HashMap::new(),
+            last_grant: HashMap::new(),
+            open_waits: HashMap::new(),
+            holds: HashMap::new(),
+            last_ts: 0,
+            tsadv: HashMap::new(),
+            pending_pub: HashMap::new(),
+        }
+    }
+
+    /// `hb(a, b)` where `b`'s clock is `vc`: did `a` happen before the
+    /// event whose (already joined) vector clock is `vc`?
+    fn hb(a: &EvRef, vc: &[u64]) -> bool {
+        vc.get(a.tix).copied().unwrap_or(0) >= a.seq
+    }
+
+    fn render_slice_line(&self, idx: usize) -> String {
+        let s = &self.evs[idx];
+        format!("[{}] tid={} {}", s.stamp, s.tid, s.ev.render_line())
+    }
+
+    /// Build a counterexample slice: the implicated events plus up to
+    /// [`SLICE_CONTEXT`] preceding same-object neighbours of the focus.
+    fn slice(&self, focus: usize, implicated: &[usize]) -> Vec<String> {
+        let mut idxs: BTreeSet<usize> = implicated.iter().copied().collect();
+        idxs.insert(focus);
+        if let Some(obj) = sync_obj(&self.evs[focus].ev) {
+            let mut kept = 0;
+            for j in (0..focus).rev() {
+                if sync_obj(&self.evs[j].ev) == Some(obj) {
+                    idxs.insert(j);
+                    kept += 1;
+                    if kept >= SLICE_CONTEXT {
+                        break;
+                    }
+                }
+            }
+        }
+        idxs.into_iter()
+            .map(|i| self.render_slice_line(i))
+            .collect()
+    }
+
+    fn violate(&mut self, check: HbCheck, focus: usize, implicated: &[usize], msg: String) {
+        let slice = self.slice(focus, implicated);
+        self.report.violations.push(HbViolation {
+            check,
+            at: self.evs[focus].stamp,
+            msg,
+            slice,
+        });
+    }
+
+    /// Replay one grant event against the per-object lock state.
+    fn check_grant(&mut self, idx: usize, tx: u64, obj: usize, write: bool) {
+        self.report.grants_checked += 1;
+        let bad: Vec<u64> = {
+            let hold = self.holds.entry(obj).or_default();
+            let strangers = |set: &BTreeSet<u64>, parent: &HashMap<u64, Option<u64>>| {
+                set.iter()
+                    .copied()
+                    .filter(|&h| h != tx && !is_self_or_ancestor_in(parent, h, tx))
+                    .collect::<Vec<u64>>()
+            };
+            let mut bad = strangers(&hold.writers, &self.parent);
+            if write {
+                bad.extend(strangers(&hold.readers, &self.parent));
+            }
+            bad
+        };
+        if !bad.is_empty() {
+            let kind = if write { "write" } else { "read" };
+            self.violate(
+                HbCheck::GrantRule,
+                idx,
+                &[],
+                format!(
+                    "{kind} grant to tx {tx} on obj {obj} while non-ancestor holder(s) \
+                     {bad:?} are still live — the grant is not HB-after their release"
+                ),
+            );
+        }
+        let hold = self.holds.entry(obj).or_default();
+        if write {
+            hold.writers.insert(tx);
+        } else {
+            hold.readers.insert(tx);
+        }
+    }
+
+    /// Close the open wait for `(tx, obj)`, if any, naming its winner.
+    /// Returns `true` when there was one.
+    fn resolve_wait(&mut self, tx: u64, obj: usize) -> bool {
+        if self.open_waits.remove(&(tx, obj)).is_some() {
+            self.report.waits_resolved += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn run(mut self) -> HbReport {
+        for idx in 0..self.evs.len() {
+            let Stamped { tid, ev, .. } = self.evs[idx];
+            // Dense thread index; grow every clock to the thread count.
+            let ntids = self.tix_of.len();
+            let tix = *self.tix_of.entry(tid).or_insert(ntids);
+            if tix == ntids {
+                self.clocks.push(vec![0; ntids + 1]);
+            }
+            // Vector clock: join program order with this event's sync
+            // edges, then tick our component.
+            let mut vc = std::mem::take(&mut self.clocks[tix]);
+            if vc.len() < self.tix_of.len() {
+                vc.resize(self.tix_of.len(), 0);
+            }
+            let join = |vc: &mut Vec<u64>, src: &[u64]| {
+                if vc.len() < src.len() {
+                    vc.resize(src.len(), 0);
+                }
+                for (a, b) in vc.iter_mut().zip(src) {
+                    *a = (*a).max(*b);
+                }
+            };
+            if let Some(obj) = sync_obj(&ev) {
+                if let Some((_, src)) = self.last_on_obj.get(&obj) {
+                    join(&mut vc, src);
+                }
+            }
+            match ev {
+                RtEvent::TsAdvance { ts } => {
+                    if let Some((_, src)) = self.tsadv.get(&ts.wrapping_sub(1)) {
+                        join(&mut vc, src);
+                    }
+                }
+                RtEvent::SnapRead { ts, .. } => {
+                    if let Some((_, src)) = self.tsadv.get(&ts) {
+                        join(&mut vc, src);
+                    }
+                }
+                _ => {}
+            }
+            let seq = vc[tix] + 1;
+            vc[tix] = seq;
+            let me = EvRef { idx, tix, seq };
+
+            match ev {
+                RtEvent::Begin { tx, parent } => {
+                    self.parent.insert(tx, parent);
+                }
+                RtEvent::Wait { tx, obj, .. } => {
+                    self.report.waits += 1;
+                    match self.open_waits.entry((tx, obj)) {
+                        Entry::Occupied(_) => {
+                            self.violate(
+                                HbCheck::OneWinner,
+                                idx,
+                                &[],
+                                format!(
+                                    "tx {tx} opened a second wait on obj {obj} while the \
+                                     first is still unresolved"
+                                ),
+                            );
+                        }
+                        Entry::Vacant(slot) => {
+                            slot.insert(OpenWait {
+                                ev: me,
+                                doomed: false,
+                            });
+                        }
+                    }
+                }
+                RtEvent::ReadGrant { tx, obj } => {
+                    self.check_grant(idx, tx, obj, false);
+                    self.resolve_wait(tx, obj);
+                    self.last_grant.insert((tx, obj), (me, vc.clone()));
+                }
+                RtEvent::WriteGrant { tx, obj } => {
+                    self.check_grant(idx, tx, obj, true);
+                    self.resolve_wait(tx, obj);
+                    self.last_grant.insert((tx, obj), (me, vc.clone()));
+                }
+                RtEvent::VersionInstall { tx, obj } => {
+                    let has_write = self
+                        .holds
+                        .get(&obj)
+                        .is_some_and(|h| h.writers.contains(&tx));
+                    if !has_write {
+                        self.violate(
+                            HbCheck::GrantRule,
+                            idx,
+                            &[],
+                            format!(
+                                "tx {tx} installed a version on obj {obj} without a live \
+                                 write grant — the object was written before its grant edge"
+                            ),
+                        );
+                    }
+                }
+                RtEvent::Resume { tx, obj, .. } => {
+                    match self.last_grant.get(&(tx, obj)).map(|(g, _)| *g) {
+                        None => {
+                            self.violate(
+                                HbCheck::WakeEdge,
+                                idx,
+                                &[],
+                                format!(
+                                    "tx {tx} resumed on obj {obj} with no prior grant — \
+                                     the wake has no HB edge to a grant install"
+                                ),
+                            );
+                        }
+                        Some(g) => {
+                            if !Certifier::hb(&g, &vc) {
+                                self.violate(
+                                    HbCheck::WakeEdge,
+                                    idx,
+                                    &[g.idx],
+                                    format!(
+                                        "tx {tx} resumed on obj {obj} but its grant is \
+                                         not in the resume's causal past"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                RtEvent::Withdraw { tx, obj } => {
+                    if !self.resolve_wait(tx, obj) {
+                        self.violate(
+                            HbCheck::OneWinner,
+                            idx,
+                            &[],
+                            format!(
+                                "withdraw of tx {tx} on obj {obj} resolves no open wait — \
+                                 a second winner (the claim CAS was skipped or lost)"
+                            ),
+                        );
+                    }
+                }
+                RtEvent::CancelWaiter { tx, obj } => {
+                    if !self.resolve_wait(tx, obj) {
+                        self.violate(
+                            HbCheck::OneWinner,
+                            idx,
+                            &[],
+                            format!(
+                                "cancel of tx {tx} on obj {obj} resolves no open wait — \
+                                 a second winner raced the doom resolution"
+                            ),
+                        );
+                    }
+                }
+                RtEvent::HandoffWave {
+                    obj,
+                    readers,
+                    writers,
+                } => {
+                    self.check_wave(idx, obj, readers, writers);
+                }
+                RtEvent::Commit { tx, top } => {
+                    // Locks move before the per-object Inherit events are
+                    // even emitted (Commit is recorded first); fold the
+                    // movement here so replayed state never lags.
+                    let heir = if top {
+                        None
+                    } else {
+                        self.parent.get(&tx).copied().flatten()
+                    };
+                    self.move_holdings(tx, heir);
+                }
+                RtEvent::Inherit { tx, heir, .. } => {
+                    // Usually a no-op after the Commit fold; kept for
+                    // traces that carry Inherit without Commit context.
+                    self.move_holdings(tx, heir);
+                }
+                RtEvent::Abort { tx } => {
+                    for ((wtx, _), w) in self.open_waits.iter_mut() {
+                        if *wtx == tx {
+                            w.doomed = true;
+                        }
+                    }
+                    for hold in self.holds.values_mut() {
+                        hold.readers.remove(&tx);
+                        hold.writers.remove(&tx);
+                    }
+                }
+                RtEvent::Rollback { tx, obj, .. } => {
+                    if let Some(hold) = self.holds.get_mut(&obj) {
+                        let parent = &self.parent;
+                        hold.readers
+                            .retain(|&h| !is_self_or_ancestor_in(parent, tx, h));
+                        hold.writers
+                            .retain(|&h| !is_self_or_ancestor_in(parent, tx, h));
+                    }
+                }
+                RtEvent::Publish { ts, .. } | RtEvent::WalAppend { ts, .. } => {
+                    if ts <= self.last_ts {
+                        self.violate(
+                            HbCheck::Turnstile,
+                            idx,
+                            &[],
+                            format!(
+                                "publish/append at ts {ts} after the turnstile already \
+                                 advanced to {} — not HB-before its own advance",
+                                self.last_ts
+                            ),
+                        );
+                    } else {
+                        self.pending_pub.entry(ts).or_default().push(me);
+                    }
+                }
+                RtEvent::TsAdvance { ts } => {
+                    self.report.ts_advances += 1;
+                    if ts != self.last_ts + 1 {
+                        self.violate(
+                            HbCheck::Turnstile,
+                            idx,
+                            &[],
+                            format!(
+                                "turnstile advanced to {ts} after {} — commit timestamps \
+                                 must be dense and strictly increasing",
+                                self.last_ts
+                            ),
+                        );
+                    }
+                    self.last_ts = self.last_ts.max(ts);
+                    let pending = self.pending_pub.remove(&ts).unwrap_or_default();
+                    if pending.is_empty() {
+                        self.violate(
+                            HbCheck::Turnstile,
+                            idx,
+                            &[],
+                            format!(
+                                "turnstile advanced to {ts} with no publish or WAL append \
+                                 at that timestamp HB-before it"
+                            ),
+                        );
+                    }
+                    for p in &pending {
+                        if !Certifier::hb(p, &vc) {
+                            self.violate(
+                                HbCheck::Turnstile,
+                                idx,
+                                &[p.idx],
+                                format!(
+                                    "a publish at ts {ts} is not in the causal past of \
+                                     TsAdvance({ts})"
+                                ),
+                            );
+                        }
+                    }
+                    self.tsadv.insert(ts, (me, vc.clone()));
+                }
+                RtEvent::SnapRead { tx, obj, ts } => {
+                    self.report.snap_reads += 1;
+                    if ts > 0 {
+                        match self.tsadv.get(&ts).map(|(a, _)| *a) {
+                            None => {
+                                self.violate(
+                                    HbCheck::Turnstile,
+                                    idx,
+                                    &[],
+                                    format!(
+                                        "snapshot read by tx {tx} on obj {obj} at ts {ts} \
+                                         before the turnstile ever advanced to {ts}"
+                                    ),
+                                );
+                            }
+                            Some(a) => {
+                                if !Certifier::hb(&a, &vc) {
+                                    self.violate(
+                                        HbCheck::Turnstile,
+                                        idx,
+                                        &[a.idx],
+                                        format!(
+                                            "snapshot read at ts {ts} is not HB-after \
+                                             TsAdvance({ts})"
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                RtEvent::Recovered { ts, .. } => {
+                    // A recovery pass rebuilt the clock; the turnstile
+                    // restarts from there.
+                    self.last_ts = ts;
+                }
+                RtEvent::Fault { tx, obj, action } => {
+                    // An injected Timeout / DeadlockVictim at a lock yield
+                    // point resolves the blocked request in place of a
+                    // withdraw (the injector *is* the timer there); abort
+                    // flavours resolve through the Abort events they emit.
+                    if let (Some(o), FaultAction::Timeout | FaultAction::DeadlockVictim) =
+                        (obj, action)
+                    {
+                        self.resolve_wait(tx, o);
+                    }
+                }
+                RtEvent::Deadlock { .. } | RtEvent::Checkpoint { .. } => {}
+            }
+
+            if let Some(obj) = sync_obj(&ev) {
+                self.last_on_obj.insert(obj, (me, vc.clone()));
+            }
+            self.clocks[tix] = vc;
+        }
+
+        // End of trace: every wait must have found its one winner, unless
+        // its transaction died (the abort consumed the wait).
+        let unresolved: Vec<(u64, usize, EvRef)> = self
+            .open_waits
+            .iter()
+            .filter(|(_, w)| !w.doomed)
+            .map(|(&(tx, obj), w)| (tx, obj, w.ev))
+            .collect();
+        for (tx, obj, ev) in unresolved {
+            self.violate(
+                HbCheck::OneWinner,
+                ev.idx,
+                &[],
+                format!(
+                    "tx {tx}'s wait on obj {obj} was never resolved by a grant, withdraw \
+                     or cancel — a lost wakeup"
+                ),
+            );
+        }
+        self.report
+            .violations
+            .sort_by_key(|v| (v.at, v.msg.clone()));
+        self.report
+    }
+
+    /// Move every lock `tx` holds to `heir` (or release it when `None`).
+    fn move_holdings(&mut self, tx: u64, heir: Option<u64>) {
+        for hold in self.holds.values_mut() {
+            if hold.readers.remove(&tx) {
+                if let Some(h) = heir {
+                    hold.readers.insert(h);
+                }
+            }
+            if hold.writers.remove(&tx) {
+                if let Some(h) = heir {
+                    hold.writers.insert(h);
+                }
+            }
+        }
+    }
+
+    /// Wave integrity: the batch after a `HandoffWave` must be exactly its
+    /// advertised grants (plus their version installs), on the wave's
+    /// object, in a gap-free stamp range.
+    fn check_wave(&mut self, idx: usize, obj: usize, readers: usize, writers: usize) {
+        let base = self.evs[idx].stamp;
+        let (mut r, mut w) = (0usize, 0usize);
+        let mut j = idx + 1;
+        let mut off = 1u64;
+        while j < self.evs.len() && self.evs[j].stamp == base + off {
+            match self.evs[j].ev {
+                RtEvent::ReadGrant { obj: o, .. } if o == obj => r += 1,
+                RtEvent::WriteGrant { obj: o, .. } if o == obj => w += 1,
+                RtEvent::VersionInstall { obj: o, .. } if o == obj => {}
+                _ => break,
+            }
+            if r + w == readers + writers {
+                // Full complement found; a version install may still trail
+                // the final write grant inside the batch, but the grant
+                // count is satisfied.
+                return;
+            }
+            j += 1;
+            off += 1;
+        }
+        self.violate(
+            HbCheck::Wave,
+            idx,
+            &[],
+            format!(
+                "handoff wave on obj {obj} advertised {readers} read / {writers} write \
+                 grants but its contiguous batch carries {r} read / {w} write — the wave \
+                 was torn or a grant edge dropped"
+            ),
+        );
+    }
+}
+
+/// Free-function form of the ancestor test so it can run while `holds` is
+/// mutably borrowed.
+fn is_self_or_ancestor_in(parent: &HashMap<u64, Option<u64>>, anc: u64, tx: u64) -> bool {
+    let mut cur = tx;
+    loop {
+        if cur == anc {
+            return true;
+        }
+        match parent.get(&cur) {
+            Some(&Some(p)) => cur = p,
+            _ => return false,
+        }
+    }
+}
+
+/// Certify one recorded execution: replay `events` (any order — they are
+/// sorted by stamp first, so stamp-preserving shard interleavings cannot
+/// change the verdict) through the happens-before relation and check every
+/// synchronization invariant. See the module docs for the edge families
+/// and checks.
+pub fn certify(events: &[Stamped]) -> HbReport {
+    let mut evs = events.to_vec();
+    evs.sort_by_key(|s| s.stamp);
+    Certifier::new(&evs).run()
+}

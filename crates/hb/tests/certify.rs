@@ -1,0 +1,331 @@
+//! End-to-end certification tests against *real* recorded executions.
+//!
+//! The strategy mirrors mutation testing: record one genuinely contended
+//! multi-threaded run (waits, a reader wave, a woken writer, turnstile
+//! publishes), assert it certifies clean, then seed the synchronization
+//! bugs the certifier exists to catch — a dropped grant edge, a skipped
+//! withdraw CAS (second winner), a publish reordered past its turnstile
+//! advance, a resume hoisted above its grant, a torn handoff wave — and
+//! assert each one is detected with an actionable counterexample slice.
+
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use ntx_hb::{certify, HbCheck, HbReport};
+use ntx_runtime::{RtConfig, RtEvent, Stamped, TraceRecorder, TxManager};
+
+/// Record a contended execution with deterministic queue order: a write
+/// holder on one object with R0, R1, W2, R3 queued behind it (each waiter
+/// confirmed parked before the next spawns), then a release that grants
+/// the R0+R1 wave, the writer, and the trailing reader. The trace contains
+/// waits, grants, a multi-grant `HandoffWave`, `Resume` edges and two
+/// turnstile publishes — every event family the certifier checks.
+fn record_contended_trace() -> Vec<Stamped> {
+    let rec = Arc::new(TraceRecorder::new());
+    let mgr = TxManager::new(RtConfig {
+        wait_timeout: Duration::from_secs(10),
+        trace: Some(rec.clone()),
+        ..Default::default()
+    });
+    let hot = mgr.register("hot", 0i64);
+    let holder = mgr.begin();
+    holder.write(&hot, |v| *v = 1).unwrap();
+    let mut handles = Vec::new();
+    for i in 0..4usize {
+        let tmgr = mgr.clone();
+        let h = std::thread::spawn(move || {
+            let tx = tmgr.begin();
+            if i == 2 {
+                tx.write(&hot, |v| *v = 2).unwrap();
+            } else {
+                tx.read(&hot, |v| *v).unwrap();
+            }
+            tx.commit().unwrap();
+        });
+        let start = Instant::now();
+        while mgr.queued_waiters() < i + 1 {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "waiter {i} never enqueued"
+            );
+            std::thread::yield_now();
+        }
+        handles.push(h);
+    }
+    holder.commit().unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    rec.stamped_events()
+}
+
+/// The recorded trace, shared across tests (recording spawns threads; once
+/// is enough — mutations work on clones).
+fn trace() -> &'static [Stamped] {
+    static TRACE: OnceLock<Vec<Stamped>> = OnceLock::new();
+    TRACE.get_or_init(record_contended_trace)
+}
+
+/// Index of the first event matching `pred`, starting at `from`.
+fn find(evs: &[Stamped], from: usize, pred: impl Fn(&RtEvent) -> bool) -> usize {
+    (from..evs.len())
+        .find(|&i| pred(&evs[i].ev))
+        .expect("expected event not present in the recorded trace")
+}
+
+/// The queued writer's (wait index, tx, obj): the only write-mode `Wait`.
+fn writer_wait(evs: &[Stamped]) -> (usize, u64, usize) {
+    let wi = find(evs, 0, |e| matches!(e, RtEvent::Wait { write: true, .. }));
+    match evs[wi].ev {
+        RtEvent::Wait { tx, obj, .. } => (wi, tx, obj),
+        _ => unreachable!(),
+    }
+}
+
+fn checks(report: &HbReport) -> Vec<HbCheck> {
+    report.violations.iter().map(|v| v.check).collect()
+}
+
+#[test]
+fn real_contended_trace_certifies_clean() {
+    let report = certify(trace());
+    assert!(
+        report.ok(),
+        "a real execution must certify:\n{}",
+        report.render_violations()
+    );
+    assert_eq!(report.waits, 4, "R0, R1, W2, R3 all queued");
+    assert_eq!(report.waits_resolved, 4, "each wait has exactly one winner");
+    assert!(report.grants_checked >= 5, "holder + four queued grants");
+    assert!(report.ts_advances >= 2, "holder and writer both publish");
+    let evs = trace();
+    assert!(
+        evs.iter()
+            .any(|s| matches!(s.ev, RtEvent::HandoffWave { readers: 2, .. })),
+        "R0+R1 must coalesce into one wave"
+    );
+    assert!(
+        evs.iter().any(|s| matches!(s.ev, RtEvent::Resume { .. })),
+        "woken waiters must record their resume edge"
+    );
+    assert!(
+        evs.iter().any(|s| s.tid != evs[0].tid),
+        "the trace must span multiple threads for HB to mean anything"
+    );
+}
+
+/// Mutation 1 (dropped grant edge): delete the woken writer's `WriteGrant`.
+/// Its `Resume` then has no grant in its causal past — the wake-edge check
+/// fires (and the wait it resolved is now a lost wakeup).
+#[test]
+fn dropped_grant_edge_is_caught() {
+    let mut evs = trace().to_vec();
+    let (wi, tx, obj) = writer_wait(&evs);
+    let gi = find(
+        &evs,
+        wi,
+        |e| matches!(e, RtEvent::WriteGrant { tx: t, obj: o } if *t == tx && *o == obj),
+    );
+    evs.remove(gi);
+    let report = certify(&evs);
+    assert!(!report.ok(), "dropping a grant edge must not certify");
+    let cs = checks(&report);
+    assert!(
+        cs.contains(&HbCheck::WakeEdge),
+        "the resume without its grant must trip the wake-edge check, got {cs:?}"
+    );
+    assert!(
+        cs.contains(&HbCheck::OneWinner),
+        "the grant's wait is now unresolved — a lost wakeup, got {cs:?}"
+    );
+    let v = &report.violations[0];
+    assert!(
+        !v.slice.is_empty(),
+        "violations carry a counterexample slice"
+    );
+    assert!(
+        v.msg.contains(&format!("tx {tx}")) && v.msg.contains(&format!("obj {obj}")),
+        "the report must name the transaction and object: {}",
+        v.msg
+    );
+}
+
+/// Mutation 2 (skipped withdraw CAS): append a `Withdraw` for a wait that a
+/// grant already resolved. Timeout-withdraw and grant race on one claim
+/// CAS; both winning is exactly what the one-winner check forbids.
+#[test]
+fn skipped_withdraw_cas_is_caught() {
+    let mut evs = trace().to_vec();
+    let (_, tx, obj) = writer_wait(&evs);
+    let top = evs.last().unwrap().stamp + 1;
+    let tid = evs[0].tid;
+    evs.push(Stamped {
+        stamp: top,
+        tid,
+        ev: RtEvent::Withdraw { tx, obj },
+    });
+    let report = certify(&evs);
+    assert!(!report.ok(), "a second winner must not certify");
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.check == HbCheck::OneWinner)
+        .expect("the doubled resolution must trip the one-winner check");
+    assert_eq!(v.at, top, "the violation points at the stray withdraw");
+    assert!(v.msg.contains("second winner"), "{}", v.msg);
+    assert!(!v.slice.is_empty());
+}
+
+/// Mutation 3 (reordered publish): swap the stamps of a `Publish` and the
+/// `TsAdvance` that makes it visible. The advance then precedes its own
+/// publish — readers could observe the timestamp before the data.
+#[test]
+fn publish_reordered_past_its_advance_is_caught() {
+    let mut evs = trace().to_vec();
+    let pi = find(&evs, 0, |e| matches!(e, RtEvent::Publish { .. }));
+    let ts = match evs[pi].ev {
+        RtEvent::Publish { ts, .. } => ts,
+        _ => unreachable!(),
+    };
+    let ai = find(
+        &evs,
+        pi,
+        |e| matches!(e, RtEvent::TsAdvance { ts: t } if *t == ts),
+    );
+    let (a, b) = (evs[pi].stamp, evs[ai].stamp);
+    evs[pi].stamp = b;
+    evs[ai].stamp = a;
+    let report = certify(&evs);
+    assert!(!report.ok(), "a publish after its advance must not certify");
+    assert!(
+        checks(&report).contains(&HbCheck::Turnstile),
+        "got {:?}",
+        checks(&report)
+    );
+    assert!(report.violations.iter().all(|v| !v.slice.is_empty()));
+}
+
+/// Mutation 4 (hoisted wake): swap the stamps of the woken writer's grant
+/// and its `Resume`, so the waiter's first touch of the object sorts before
+/// the grant install — the wake edge points the wrong way.
+#[test]
+fn resume_hoisted_above_its_grant_is_caught() {
+    let mut evs = trace().to_vec();
+    let (wi, tx, obj) = writer_wait(&evs);
+    let gi = find(
+        &evs,
+        wi,
+        |e| matches!(e, RtEvent::WriteGrant { tx: t, obj: o } if *t == tx && *o == obj),
+    );
+    let ri = find(
+        &evs,
+        gi,
+        |e| matches!(e, RtEvent::Resume { tx: t, obj: o, .. } if *t == tx && *o == obj),
+    );
+    let (a, b) = (evs[gi].stamp, evs[ri].stamp);
+    evs[gi].stamp = b;
+    evs[ri].stamp = a;
+    let report = certify(&evs);
+    assert!(!report.ok(), "a resume before its grant must not certify");
+    assert!(
+        checks(&report).contains(&HbCheck::WakeEdge),
+        "got {:?}",
+        checks(&report)
+    );
+}
+
+/// Mutation 5 (torn wave): delete the second grant of the two-reader
+/// handoff wave. The wave's contiguous batch no longer carries its
+/// advertised complement.
+#[test]
+fn torn_handoff_wave_is_caught() {
+    let mut evs = trace().to_vec();
+    let hi = find(&evs, 0, |e| {
+        matches!(e, RtEvent::HandoffWave { readers: 2, .. })
+    });
+    let gi = find(&evs, hi + 2, |e| matches!(e, RtEvent::ReadGrant { .. }));
+    evs.remove(gi);
+    let report = certify(&evs);
+    assert!(!report.ok(), "a torn wave must not certify");
+    let cs = checks(&report);
+    assert!(cs.contains(&HbCheck::Wave), "got {cs:?}");
+}
+
+/// Violation output is actionable as-is: stable check names, the stamp it
+/// failed at, and rendered trace lines in the slice.
+#[test]
+fn violation_rendering_is_actionable() {
+    let mut evs = trace().to_vec();
+    let (wi, tx, obj) = writer_wait(&evs);
+    let gi = find(
+        &evs,
+        wi,
+        |e| matches!(e, RtEvent::WriteGrant { tx: t, obj: o } if *t == tx && *o == obj),
+    );
+    evs.remove(gi);
+    let report = certify(&evs);
+    let out = report.render_violations();
+    assert!(out.contains("[wake-edge]"), "{out}");
+    assert!(out.contains("at stamp "), "{out}");
+    assert!(
+        out.contains(&format!("WAIT tx={tx} obj={obj}")),
+        "the slice must show the orphaned wait:\n{out}"
+    );
+}
+
+mod interleaving_props {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Stamp-preserving Fisher–Yates shuffle: the physical order the shard
+    /// merge might have produced varies, the logical stamps do not.
+    fn shuffled(evs: &[Stamped], seed: u64) -> Vec<Stamped> {
+        let mut out = evs.to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..out.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            out.swap(i, j);
+        }
+        out
+    }
+
+    fn verdict(r: &HbReport) -> (bool, usize, usize, usize, u64) {
+        (
+            r.ok(),
+            r.violations.len(),
+            r.waits_resolved,
+            r.grants_checked,
+            r.ts_advances,
+        )
+    }
+
+    proptest! {
+        /// A certified trace stays certified — with an identical verdict —
+        /// under any stamp-preserving shard interleaving.
+        #[test]
+        fn certification_is_interleaving_invariant(seed in any::<u64>()) {
+            let base = certify(trace());
+            let shuf = certify(&shuffled(trace(), seed));
+            prop_assert_eq!(verdict(&base), verdict(&shuf));
+            prop_assert!(shuf.ok());
+        }
+
+        /// And a *corrupted* trace stays caught: detection does not depend
+        /// on which shard order the corruption was observed in.
+        #[test]
+        fn detection_is_interleaving_invariant(seed in any::<u64>()) {
+            let mut evs = trace().to_vec();
+            let (wi, tx, obj) = writer_wait(&evs);
+            let gi = find(&evs, wi, |e| {
+                matches!(e, RtEvent::WriteGrant { tx: t, obj: o } if *t == tx && *o == obj)
+            });
+            evs.remove(gi);
+            let base = certify(&evs);
+            let shuf = certify(&shuffled(&evs, seed));
+            prop_assert!(!shuf.ok());
+            prop_assert_eq!(verdict(&base), verdict(&shuf));
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! `ntx-lint`: the workspace's lock-discipline lint.
 //!
-//! Four rules keep the sharded runtime honest about its concurrency
+//! Eight rules keep the sharded runtime — and, since the async era, the
+//! executor and server riding on it — honest about their concurrency
 //! contract (each is documented on [`Rule`]):
 //!
 //! - **R1 sync-import** — synchronisation primitives come only from the
@@ -9,12 +10,22 @@
 //! - **R2 safety-comment** — every `unsafe` carries a `// SAFETY:`.
 //! - **R3 relaxed-ordering** — `Ordering::Relaxed` only at sites with a
 //!   `// relaxed(tag): justification` marker whose tag is recorded in
-//!   `crates/runtime/relaxed-allowlist.txt`; stale allowlist entries fail
-//!   too, so the audit can never rot in either direction.
+//!   the crate's `relaxed-allowlist.txt`.
 //! - **R4 lock-order** — the documented order (object-slot mutex ≺
-//!   wait-graph stripes, stripes in index order) is structurally enforced:
-//!   wait-graph code never touches slots, stripe access goes through
-//!   `stripe_of(`/`.iter()`, and no public function leaks a `MutexGuard`.
+//!   wait-graph stripes, stripes in index order; timer heap and serve
+//!   connection locks as leaves) is structurally enforced: wait-graph
+//!   code never touches slots, stripe access goes through
+//!   `stripe_of(`/`.iter()`, timer/serve code stays leaf-only, and no
+//!   public function leaks a `MutexGuard`.
+//! - **R5 guard-across-suspend** — no lock guard live across `.await`, a
+//!   waiter park, or a `Poll::Pending` return.
+//! - **R6 blocking-in-worker** — no blocking calls inside executor worker
+//!   task context (`// R6-OK(reason):` to waive).
+//! - **R7 drop-state-machine** — a `Drop` impl on a CAS-state-machine
+//!   type must touch its state field or carry `// DROP-SAFETY:`.
+//! - **R8 allowlist-staleness** — every crate's relaxed allowlist loads
+//!   through one loader and dead entries are errors, workspace-wide
+//!   ([`lint_workspace`]).
 //!
 //! There is no `syn` in this offline workspace, so the lint runs on a
 //! small masking lexer ([`lexer`]) rather than a full parse: comments and
@@ -97,11 +108,26 @@ pub fn lint_crate(crate_root: &Path) -> std::io::Result<TreeReport> {
         report.violations.push(Violation {
             file: allow_path.display().to_string(),
             line: 0,
-            rule: Rule::RelaxedOrdering,
+            rule: Rule::AllowlistStale,
             msg: format!("allowlisted tag `{stale}` is no longer used by any source file"),
         });
     }
     Ok(report)
+}
+
+/// Lint several crates of one workspace in a single pass (R8): every
+/// crate's `relaxed-allowlist.txt` goes through the same loader
+/// ([`parse_allowlist`] via [`lint_crate`]), so the staleness guarantee —
+/// dead entries are errors — holds uniformly across runtime, serve, and
+/// every other member. Returns the concatenated report.
+pub fn lint_workspace(root: &Path, crates: &[&str]) -> std::io::Result<TreeReport> {
+    let mut total = TreeReport::default();
+    for name in crates {
+        let r = lint_crate(&root.join(name))?;
+        total.violations.extend(r.violations);
+        total.files += r.files;
+    }
+    Ok(total)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
@@ -312,6 +338,306 @@ fn good(&self, w: u64) {
         let src = "pub fn guard(&self) -> MutexGuard<'_, State> { self.m.lock() }\n";
         let r = lint_source("src/object.rs", src, &cfg_with(&[]));
         assert_eq!(rules_hit(&r), vec![Rule::LockOrder]);
+    }
+
+    // ---- R4 (timer leaf, serve locks) --------------------------------
+
+    #[test]
+    fn r4_timer_must_not_reach_into_runtime_locks() {
+        for needle in ["self.mgr.wait_graph.add(w)", "mgr.objects.get(&o)"] {
+            let src = format!("fn fire(&self) {{ {needle}; }}\n");
+            let r = lint_source("src/timer.rs", &src, &cfg_with(&[]));
+            assert_eq!(rules_hit(&r), vec![Rule::LockOrder], "{needle}");
+        }
+    }
+
+    #[test]
+    fn r4_timer_heap_operations_are_fine() {
+        let src = "\
+fn schedule(&self) {
+    let mut inner = self.inner.lock();
+    inner.heap.push(entry);
+    self.cv.notify_one();
+}
+";
+        let r = lint_source("src/timer.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn r4_timer_rule_is_scoped_to_timer_files() {
+        let src = "fn f(&self) { self.wait_graph.add(w); }\n";
+        let r = lint_source("src/manager.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn r4_serve_flags_coupled_lock_acquisition() {
+        let src = "fn bad(&self) { f(self.incoming.lock(), conn.inbox.lock()); }\n";
+        let r = lint_source("src/server.rs", src, &cfg_with(&[]));
+        assert_eq!(rules_hit(&r), vec![Rule::LockOrder]);
+        assert!(r.violations[0].msg.contains("one at a time"));
+    }
+
+    #[test]
+    fn r4_serve_accepts_one_lock_per_statement() {
+        let src = "\
+fn good(&self) {
+    let n = self.incoming.lock().len();
+    let msg = conn.inbox.lock().pop();
+    conn.outbox.lock().push(msg);
+}
+";
+        let r = lint_source("src/server.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    // ---- R5: guards across suspend points ----------------------------
+
+    #[test]
+    fn r5_flags_guard_live_across_await() {
+        let src = "\
+async fn f(&self) {
+    let q = self.queue.lock();
+    self.notify().await;
+}
+";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert_eq!(rules_hit(&r), vec![Rule::GuardAcrossSuspend]);
+        assert!(r.violations[0].msg.contains("`q`"));
+        assert_eq!(r.violations[0].line, 3);
+    }
+
+    #[test]
+    fn r5_flags_guard_live_across_pending_return_and_park() {
+        let src = "\
+fn poll(&self) -> Poll<()> {
+    let st = self.state.lock();
+    if st.blocked { return Poll::Pending; }
+    drop(st);
+    let g = self.other.lock();
+    std::thread::park();
+    Poll::Ready(())
+}
+";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        let hits = rules_hit(&r);
+        assert_eq!(
+            hits,
+            vec![Rule::GuardAcrossSuspend, Rule::GuardAcrossSuspend],
+            "{:?}",
+            r.violations
+        );
+        assert_eq!(r.violations[0].line, 3); // `st` across the Pending return
+        assert_eq!(r.violations[1].line, 6); // `g` across the park
+    }
+
+    #[test]
+    fn r5_accepts_guard_dropped_before_suspending() {
+        let src = "\
+async fn f(&self) {
+    let q = self.queue.lock();
+    let next = q.front();
+    drop(q);
+    self.notify().await;
+}
+";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn r5_accepts_guard_released_by_scope_exit() {
+        let src = "\
+async fn f(&self) {
+    {
+        let q = self.queue.lock();
+        q.push(1);
+    }
+    self.notify().await;
+}
+";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn r5_pending_match_arm_pattern_is_not_a_suspend() {
+        // Inspecting a poll result (`Poll::Pending =>` as an arm pattern)
+        // does not suspend the caller — the executor's poll_task does
+        // exactly this with the future-slot guard live.
+        let src = "\
+fn poll_once(&self) {
+    let slot = self.future.lock();
+    match poll(&slot) {
+        Poll::Pending => {}
+        Poll::Ready(v) => finish(v),
+    }
+}
+";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn r5_skips_test_modules() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    async fn f(&self) {
+        let q = self.queue.lock();
+        g().await;
+    }
+}
+";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    // ---- R6: blocking calls in worker context ------------------------
+
+    #[test]
+    fn r6_flags_blocking_call_in_poll_task() {
+        let src = "\
+fn poll_task(&self, t: &Task) {
+    let v = self.chan.recv();
+    run(v);
+}
+";
+        let r = lint_source("src/executor.rs", src, &cfg_with(&[]));
+        assert_eq!(rules_hit(&r), vec![Rule::BlockingInWorker]);
+        assert!(r.violations[0].msg.contains(".recv()"));
+    }
+
+    #[test]
+    fn r6_waiver_comment_excuses_a_bounded_block() {
+        let src = "\
+fn poll_task(&self, t: &Task) {
+    // R6-OK(shutdown): joining a finished thread, provably bounded.
+    h.join();
+}
+";
+        // `.join()` with no `()`-call match — use the exact needle form.
+        let src = src.replace("h.join();", "let _ = h.join();");
+        let r = lint_source("src/executor.rs", &src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn r6_blocking_is_fine_outside_worker_fns() {
+        let src = "\
+fn worker_loop(&self) {
+    let mut q = self.queue.lock();
+    self.cv.wait(&mut q);
+}
+fn poll_task(&self, t: &Task) { run(t); }
+fn after(&self) { h.join().unwrap(); }
+";
+        let r = lint_source("src/executor.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    // ---- R7: Drop on CAS state machines ------------------------------
+
+    #[test]
+    fn r7_flags_drop_that_ignores_the_state_cas() {
+        let src = "\
+impl Drop for AccessFuture {
+    fn drop(&mut self) {
+        self.mgr.log(\"dropped\");
+    }
+}
+";
+        let r = lint_source("src/future.rs", src, &cfg_with(&[]));
+        assert_eq!(rules_hit(&r), vec![Rule::DropStateMachine]);
+        assert!(r.violations[0].msg.contains("AccessFuture"));
+        assert_eq!(r.violations[0].line, 1);
+    }
+
+    #[test]
+    fn r7_accepts_drop_that_touches_state() {
+        let src = "\
+impl Drop for AccessFuture {
+    fn drop(&mut self) {
+        match self.stage.swap(DONE) {
+            GRANTED => self.release(),
+            _ => {}
+        }
+    }
+}
+";
+        let r = lint_source("src/future.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn r7_accepts_an_explicit_waiver() {
+        let src = "\
+// DROP-SAFETY: the manager's shutdown already withdrew this ticket.
+impl Drop for TurnstileTicket {
+    fn drop(&mut self) {
+        self.mgr.log(\"dropped\");
+    }
+}
+";
+        let r = lint_source("src/turnstile.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn r7_ignores_drop_on_unlisted_types() {
+        let src = "impl Drop for PlainBuffer {\n    fn drop(&mut self) {}\n}\n";
+        let r = lint_source("src/foo.rs", src, &cfg_with(&[]));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    // ---- R8: allowlist staleness -------------------------------------
+
+    #[test]
+    fn r8_stale_allowlist_entry_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("ntx-lint-r8-{}", std::process::id()));
+        let src_dir = dir.join("src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            dir.join("relaxed-allowlist.txt"),
+            "live: used below\nstale: nothing references this tag\n",
+        )
+        .unwrap();
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "fn f(c: &AtomicU64) {\n    // relaxed(live): counter.\n    c.load(Ordering::Relaxed);\n}\n",
+        )
+        .unwrap();
+
+        let r = lint_crate(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let hits: Vec<Rule> = r.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(hits, vec![Rule::AllowlistStale], "{:?}", r.violations);
+        assert!(r.violations[0].msg.contains("stale"));
+        assert!(r.violations[0].file.ends_with("relaxed-allowlist.txt"));
+    }
+
+    #[test]
+    fn r8_lint_workspace_concatenates_member_reports() {
+        let root = std::env::temp_dir().join(format!("ntx-lint-ws-{}", std::process::id()));
+        for (member, tag) in [("a", "a-tag"), ("b", "b-tag")] {
+            let src_dir = root.join(member).join("src");
+            std::fs::create_dir_all(&src_dir).unwrap();
+            std::fs::write(
+                root.join(member).join("relaxed-allowlist.txt"),
+                format!("{tag}: dead in both members\n"),
+            )
+            .unwrap();
+            std::fs::write(src_dir.join("lib.rs"), "fn f() {}\n").unwrap();
+        }
+
+        let r = lint_workspace(&root, &["a", "b"]).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+        assert_eq!(r.files, 2);
+        assert_eq!(
+            r.violations.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            vec![Rule::AllowlistStale, Rule::AllowlistStale]
+        );
     }
 
     // ---- allowlist parsing -------------------------------------------

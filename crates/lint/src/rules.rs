@@ -29,8 +29,32 @@ pub enum Rule {
     /// stripes, stripes in index order — is never inverted: wait-graph
     /// code (which holds stripe locks) must not reach into object slots,
     /// single-stripe access goes through `stripe_of(`, and whole-graph
-    /// acquisition walks the stripes in index order via `.iter()`.
+    /// acquisition walks the stripes in index order via `.iter()`. The
+    /// table extends to the PR 8 locks: the timer binary-heap mutex is a
+    /// *leaf* (timer code touches no slots, stripes, or wait graph), and
+    /// the serve reactor's connection-list lock is taken alone — never in
+    /// the same expression as a per-connection inbox/outbox/waker lock.
     LockOrder,
+    /// R5: no lock guard may be live across a suspend point — an `.await`,
+    /// a waiter park (`park_until`/`thread::park`), or a `Poll::Pending`
+    /// return out of a `poll`. A guard captured across suspension is held
+    /// for an unbounded schedule gap and deadlocks the waker that needs
+    /// the same lock to deliver the wake.
+    GuardAcrossSuspend,
+    /// R6: no blocking calls (`thread::sleep`, parks, channel receives,
+    /// condvar waits, `join`) inside executor worker task context — the
+    /// body of `poll_task`. A blocked worker freezes every session
+    /// multiplexed onto it. Legitimate exceptions carry `// R6-OK(reason):`.
+    BlockingInWorker,
+    /// R7: a `Drop` impl on a CAS-state-machine type must consume or test
+    /// its state field (the drop/grant/timeout race is arbitrated by that
+    /// CAS, and a drop that ignores it leaks queue nodes or double-frees a
+    /// grant) — or carry an explicit `// DROP-SAFETY:` comment.
+    DropStateMachine,
+    /// R8: relaxed-allowlist staleness, workspace-wide: every crate's
+    /// allowlist goes through the one loader, and an allowlisted tag no
+    /// source file uses any more is an error — the audit cannot rot.
+    AllowlistStale,
 }
 
 impl fmt::Display for Rule {
@@ -40,6 +64,10 @@ impl fmt::Display for Rule {
             Rule::SafetyComment => "R2/safety-comment",
             Rule::RelaxedOrdering => "R3/relaxed-ordering",
             Rule::LockOrder => "R4/lock-order",
+            Rule::GuardAcrossSuspend => "R5/guard-across-suspend",
+            Rule::BlockingInWorker => "R6/blocking-in-worker",
+            Rule::DropStateMachine => "R7/drop-state-machine",
+            Rule::AllowlistStale => "R8/allowlist-staleness",
         };
         f.write_str(s)
     }
@@ -76,6 +104,12 @@ pub struct Config {
     pub sync_exempt: Vec<String>,
     /// Tags allowed in `// relaxed(tag):` markers.
     pub relaxed_tags: BTreeSet<String>,
+    /// Function names whose bodies are executor worker *task* context:
+    /// blocking calls inside them break every multiplexed session (R6).
+    pub worker_fns: Vec<String>,
+    /// R7's state map: CAS-state-machine type name → the state-field
+    /// tokens its `Drop` impl must touch (any one suffices).
+    pub drop_state: Vec<(String, Vec<String>)>,
 }
 
 impl Config {
@@ -84,6 +118,13 @@ impl Config {
         Config {
             sync_exempt: vec!["src/sync.rs".into(), "src/loom_models.rs".into()],
             relaxed_tags,
+            worker_fns: vec!["poll_task".into()],
+            drop_state: vec![
+                ("AccessFuture".into(), vec!["stage".into()]),
+                ("TurnstileTicket".into(), vec!["commit_ts".into()]),
+                ("TimerToken".into(), vec!["cancelled".into()]),
+                ("TimerEntry".into(), vec!["cancelled".into()]),
+            ],
         }
     }
 }
@@ -155,9 +196,75 @@ fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
     regions.iter().any(|&(a, b)| a <= line && line <= b)
 }
 
+/// A `let`-bound lock guard tracked by R5.
+struct LiveGuard {
+    name: String,
+    /// Brace depth the binding lives at; the guard dies when the scope
+    /// closes (or at an explicit `drop(name)`).
+    depth: usize,
+    line: usize,
+}
+
+/// Extract the binding name of a `let <name> = ….lock()` on this masked
+/// line, if any (single-line bindings only — the realistic shape).
+fn guard_binding(code: &str) -> Option<String> {
+    if !code.contains(".lock()") {
+        return None;
+    }
+    let at = code.find("let ")?;
+    let rest = code[at + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    // Unwrap the common fallible-binding patterns of `if let`/`while let`.
+    let rest = rest
+        .strip_prefix("Some(")
+        .or_else(|| rest.strip_prefix("Ok("))
+        .unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty() && name != "_").then_some(name)
+}
+
+/// The suspend token on this masked line, if any: an `.await`, a waiter
+/// park, or a `Poll::Pending` *produced* (returned or yielded by a match
+/// arm — `Poll::Pending =>` as an arm *pattern* merely inspects one).
+fn suspend_token(code: &str) -> Option<&'static str> {
+    if code.contains(".await") {
+        return Some(".await");
+    }
+    if code.contains("return Poll::Pending") || code.contains("=> Poll::Pending") {
+        return Some("Poll::Pending");
+    }
+    for park in ["park_until(", "park_timeout(", "thread::park", ".park("] {
+        if code.contains(park) {
+            return Some("park");
+        }
+    }
+    None
+}
+
+/// Calls that block the calling thread (R6's ban list for worker task
+/// context). Lock acquisitions are deliberately absent: short leaf-ordered
+/// mutexes are the workspace's bread and butter; what a worker must never
+/// do is sleep, park, join, or wait on I/O or a channel.
+const BLOCKING_CALLS: &[&str] = &[
+    "thread::sleep",
+    "thread::park",
+    "park_timeout(",
+    ".join()",
+    ".recv()",
+    ".recv_timeout(",
+    ".wait(",
+    ".wait_for(",
+    "File::open",
+    "File::create",
+    "read_to_string(",
+];
+
 /// Lint one file's source text. `file` is the label used in findings and
 /// for per-file rules (R1 exemptions match on suffix; R4 applies to
-/// `deadlock.rs`).
+/// `deadlock.rs`, `timer.rs`, and `server.rs`).
 pub fn lint_source(file: &str, src: &str, config: &Config) -> FileReport {
     let masked = mask(src);
     let tests = test_regions(&masked);
@@ -170,9 +277,86 @@ pub fn lint_source(file: &str, src: &str, config: &Config) -> FileReport {
         .iter()
         .any(|s| file.ends_with(s.as_str()));
     let is_wait_graph = file.ends_with("deadlock.rs");
+    let is_timer = file.ends_with("timer.rs");
+    let is_serve_server = file.ends_with("server.rs");
+
+    // Scope state for R5/R6: brace depth, live guards, and worker-fn
+    // region entry depths.
+    let mut depth = 0usize;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut worker_entry: Vec<usize> = Vec::new();
 
     for (i, code) in masked_lines.iter().enumerate() {
         let in_test = in_regions(&tests, i);
+        let depth_before = depth;
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+        depth = (depth + opens).saturating_sub(closes);
+
+        // R5: a live guard across a suspend point. Checked before the
+        // line's scope exits are applied to the guard set, so a suspend
+        // and a close brace on one line still see the guard.
+        if !in_test {
+            if let Some(tok) = suspend_token(code) {
+                for g in &guards {
+                    report.violations.push(Violation {
+                        file: file.into(),
+                        line: i + 1,
+                        rule: Rule::GuardAcrossSuspend,
+                        msg: format!(
+                            "lock guard `{}` (bound on line {}) is live across a \
+                             suspend point (`{tok}`); drop it before suspending — \
+                             the waker that resolves this suspension may need the \
+                             same lock",
+                            g.name,
+                            g.line + 1
+                        ),
+                    });
+                }
+            }
+            guards.retain(|g| !code.contains(&format!("drop({})", g.name)));
+            if let Some(name) = guard_binding(code) {
+                guards.push(LiveGuard {
+                    name,
+                    depth,
+                    line: i,
+                });
+            }
+        }
+        guards.retain(|g| depth >= g.depth);
+
+        // R6: worker task context tracking and blocking-call ban.
+        if config
+            .worker_fns
+            .iter()
+            .any(|f| code.contains("fn ") && has_token(code, f))
+        {
+            worker_entry.push(depth_before);
+        }
+        if !worker_entry.is_empty() && !in_test {
+            if let Some(call) = BLOCKING_CALLS.iter().find(|c| code.contains(*c)) {
+                let excused = find_upward(&raw_lines, &masked_lines, i, |raw| {
+                    raw.contains("R6-OK(").then_some(())
+                })
+                .is_some();
+                if !excused {
+                    report.violations.push(Violation {
+                        file: file.into(),
+                        line: i + 1,
+                        rule: Rule::BlockingInWorker,
+                        msg: format!(
+                            "blocking call `{call}` inside executor worker task \
+                             context; a blocked worker freezes every session \
+                             multiplexed onto it (annotate `// R6-OK(reason):` \
+                             if provably bounded)"
+                        ),
+                    });
+                }
+            }
+        }
+        while worker_entry.last().is_some_and(|&e| depth <= e) {
+            worker_entry.pop();
+        }
 
         // R1: imports and qualified paths outside the shim.
         if !sync_exempt && !in_test {
@@ -274,6 +458,56 @@ pub fn lint_source(file: &str, src: &str, config: &Config) -> FileReport {
             }
         }
 
+        // R4 (timer): the binary-heap mutex is a leaf. Timer code must
+        // never reach into object slots, the wait graph, or its stripes —
+        // callbacks fire only after the heap lock is released.
+        if is_timer && !in_test {
+            for needle in [".slot(", "objects.get(", "wait_graph", "stripes"] {
+                if code.contains(needle) {
+                    report.violations.push(Violation {
+                        file: file.into(),
+                        line: i + 1,
+                        rule: Rule::LockOrder,
+                        msg: format!(
+                            "timer code must not touch `{needle}`: the heap mutex is \
+                             a leaf in the lock order — expiry callbacks take their \
+                             locks only after it is released"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // R4 (serve): the reactor's connection-list lock and the
+        // per-connection inbox/outbox/waker locks are taken one at a time;
+        // two in one expression couples their (deliberately unordered)
+        // positions.
+        if is_serve_server && !in_test {
+            let serve_locks = [
+                "incoming.lock()",
+                "inbox.lock()",
+                "outbox.lock()",
+                "waker.lock()",
+            ];
+            let taken: Vec<&str> = serve_locks
+                .iter()
+                .copied()
+                .filter(|l| code.contains(l))
+                .collect();
+            if taken.len() >= 2 {
+                report.violations.push(Violation {
+                    file: file.into(),
+                    line: i + 1,
+                    rule: Rule::LockOrder,
+                    msg: format!(
+                        "serve locks {taken:?} acquired in one expression; the \
+                         connection list and per-connection locks are leaf-ordered \
+                         and must be taken one at a time"
+                    ),
+                });
+            }
+        }
+
         // R4 (all files): lock guards must not escape through public
         // signatures — a caller holding a guard is outside the discipline.
         if !in_test && code.contains("pub fn") && code.contains("->") && code.contains("MutexGuard")
@@ -288,5 +522,57 @@ pub fn lint_source(file: &str, src: &str, config: &Config) -> FileReport {
             });
         }
     }
+
+    check_drop_impls(file, &raw_lines, &masked_lines, config, &mut report);
     report
+}
+
+/// R7: every `Drop` impl on a configured CAS-state-machine type must touch
+/// one of its state-field tokens or carry a `// DROP-SAFETY:` comment in
+/// (or directly above) the impl.
+fn check_drop_impls(
+    file: &str,
+    raw_lines: &[&str],
+    masked_lines: &[&str],
+    config: &Config,
+    report: &mut FileReport,
+) {
+    for (i, code) in masked_lines.iter().enumerate() {
+        if !(code.contains("impl") && has_token(code, "Drop") && code.contains(" for ")) {
+            continue;
+        }
+        let Some((ty, tokens)) = config.drop_state.iter().find(|(ty, _)| has_token(code, ty))
+        else {
+            continue;
+        };
+        // Walk the impl body to its closing brace.
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut end = i;
+        for (j, body) in masked_lines.iter().enumerate().skip(i) {
+            depth += body.matches('{').count();
+            if depth > 0 {
+                opened = true;
+            }
+            depth = depth.saturating_sub(body.matches('}').count());
+            end = j;
+            if opened && depth == 0 {
+                break;
+            }
+        }
+        let touches_state = (i..=end).any(|j| tokens.iter().any(|t| has_token(masked_lines[j], t)));
+        let has_waiver = (i.saturating_sub(2)..=end).any(|j| raw_lines[j].contains("DROP-SAFETY:"));
+        if !touches_state && !has_waiver {
+            report.violations.push(Violation {
+                file: file.into(),
+                line: i + 1,
+                rule: Rule::DropStateMachine,
+                msg: format!(
+                    "`Drop` for CAS-state-machine type `{ty}` never touches its state \
+                     field ({tokens:?}); the drop/grant race is arbitrated by that \
+                     CAS — resolve it here or explain with `// DROP-SAFETY:`"
+                ),
+            });
+        }
+    }
 }

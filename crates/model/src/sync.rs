@@ -1,0 +1,9 @@
+//! The single import point for synchronisation primitives.
+//!
+//! The model crate is single-threaded math — `Arc` is used purely for
+//! cheap structural sharing of immutable trees — but it follows the same
+//! shim discipline as the runtime crates (R1 in `ntx-lint`): one exempt
+//! file imports from `std::sync`, every other module imports from here,
+//! so a future model-checking build has exactly one place to swap.
+
+pub(crate) use std::sync::Arc;

@@ -14,9 +14,9 @@
 //! `bool` checked inside `wake()`).
 //!
 //! Timeouts cannot ride on a parked thread the future does not have, so a
-//! queued future arms a deadline in the process-wide timer service
-//! (`timer.rs`); expiry runs the very same `timeout_withdraw` the sync
-//! path runs in place. The `state` CAS arbitrates grant vs. timeout vs.
+//! queued future arms a deadline in the manager's timer service
+//! (`timer.rs`, one thread per manager, joined on manager drop); expiry
+//! runs the very same `timeout_withdraw` the sync path runs in place. The `state` CAS arbitrates grant vs. timeout vs.
 //! doom exactly as before — the releaser cannot tell the two waiter
 //! representations apart.
 //!
@@ -38,7 +38,7 @@ use crate::node::TxNode;
 use crate::object::{AnyState, Waiter, WakeCallback, W_GRANTED, W_TIMEDOUT, W_WAITING};
 use crate::sync::Arc;
 #[cfg(not(loom))]
-use crate::timer::{TimerService, TimerToken};
+use crate::timer::TimerToken;
 
 /// The boxed access closure: same shape as the closure `access` takes,
 /// boxed so the future can store it across polls.
@@ -129,7 +129,7 @@ impl<R> AccessFuture<R> {
         let node = self.node.clone();
         let w = w.clone();
         let obj_idx = self.obj_idx;
-        Some(TimerService::global().schedule(
+        Some(self.mgr.timer.schedule(
             deadline,
             Box::new(move || {
                 let owner = mgr.effective_owner(&node);

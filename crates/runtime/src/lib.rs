@@ -85,6 +85,6 @@ pub use recovery::RecoveryReport;
 pub use savepoint::SavepointScope;
 pub use shard::set_worker_cohort;
 pub use stats::StatsSnapshot;
-pub use trace::{RtEvent, TraceRecorder, TxTraceStats};
+pub use trace::{RtEvent, Stamped, TraceRecorder, TxTraceStats};
 pub use tx::Tx;
 pub use wal::{FsyncPolicy, WalState};

@@ -108,6 +108,18 @@ pub(crate) struct ManagerInner {
     /// default — in which case the commit path pays a single `Option`
     /// branch and no io).
     pub wal: Option<Wal>,
+    /// Async access-timeout timer: one lazily-spawned thread owned by this
+    /// manager, shut down and joined when the manager drops (loom builds
+    /// drive the withdraw race from model threads instead).
+    #[cfg(not(loom))]
+    pub(crate) timer: Arc<crate::timer::TimerService>,
+}
+
+impl Drop for ManagerInner {
+    fn drop(&mut self) {
+        #[cfg(not(loom))]
+        self.timer.shutdown();
+    }
 }
 
 impl ManagerInner {
@@ -127,6 +139,8 @@ impl ManagerInner {
             commit_ts: AtomicU64::new(0),
             live_snapshots: Mutex::new(BTreeMap::new()),
             max_bypass: AtomicU64::new(0),
+            #[cfg(not(loom))]
+            timer: crate::timer::TimerService::new(),
         }
     }
 }
@@ -531,6 +545,10 @@ impl Drop for TurnstileTicket<'_> {
         if !std::thread::panicking() {
             self.mgr.wal_commit(self.ts, self.top, &self.wal_writes);
         }
+        // Stamp the advance while still exclusive in the turnstile window
+        // (before the store lets the next ticket through), so TSADV events
+        // appear in the trace in dense, strictly increasing ticket order.
+        self.mgr.trace(RtEvent::TsAdvance { ts: self.ts });
         self.mgr.commit_ts.store(self.ts, Ordering::SeqCst);
     }
 }
@@ -946,6 +964,13 @@ impl ManagerInner {
             if w.node.is_doomed() && w.cancel() {
                 self.stats.bump(Ctr::CancelledWaiters);
                 inner.queue.remove(i);
+                // Stamped under the slot mutex: this cancel is the wait's
+                // resolution, so it must order against any grant wave on
+                // the same object (exactly-one-winner in the HB certifier).
+                self.trace(RtEvent::CancelWaiter {
+                    tx: w.owner.id,
+                    obj: obj_idx,
+                });
                 wake.push(w);
                 continue;
             }
@@ -1172,6 +1197,13 @@ impl ManagerInner {
         }
         let timed_out = w.cancel_timeout();
         debug_assert!(timed_out, "state is slot-mutex-protected");
+        // The CAS above just resolved the wait on the withdrawing side;
+        // stamped under the slot mutex so it totally orders against any
+        // competing grant wave (the HB certifier's withdraw ⊕ grant check).
+        self.trace(RtEvent::Withdraw {
+            tx: w.owner.id,
+            obj: obj_idx,
+        });
         guard.remove_waiter(w);
         *node.waiting_on.lock() = None;
         if self.config.deadlock == DeadlockPolicy::DieOnCycle && !w.edges.lock().is_empty() {
@@ -1316,6 +1348,13 @@ impl ManagerInner {
                 // budget (the deterministic fuzz configuration) blocked
                 // requests take exactly this path.
                 self.stats.bump(Ctr::Timeouts);
+                // Resolve the WAIT recorded above: a fail-fast timeout is a
+                // withdrawal too, so every recorded wait has exactly one
+                // resolution for the HB certifier to find.
+                self.trace(RtEvent::Withdraw {
+                    tx: owner.id,
+                    obj: obj_idx,
+                });
                 return Attempt::Done(Err(TxError::Timeout));
             }
             break;
@@ -1368,7 +1407,15 @@ impl ManagerInner {
                             cycle_len: cycle.len(),
                         });
                         if victim == my_top {
-                            w.cancel();
+                            if w.cancel() {
+                                // Deadlock-victim self-cancel resolves the
+                                // wait (skipped if a grant won the CAS —
+                                // the grant event is the resolution then).
+                                self.trace(RtEvent::CancelWaiter {
+                                    tx: owner.id,
+                                    obj: obj_idx,
+                                });
+                            }
                             guard.remove_waiter(&w);
                             *node.waiting_on.lock() = None;
                             wake.extend(self.release_scan(obj_idx, &mut guard));
@@ -1404,7 +1451,12 @@ impl ManagerInner {
                                 continue;
                             }
                             None => {
-                                w.cancel();
+                                if w.cancel() {
+                                    self.trace(RtEvent::CancelWaiter {
+                                        tx: owner.id,
+                                        obj: obj_idx,
+                                    });
+                                }
                                 guard.remove_waiter(&w);
                                 *node.waiting_on.lock() = None;
                                 wake.extend(self.release_scan(obj_idx, &mut guard));
@@ -1536,6 +1588,14 @@ impl ManagerInner {
             }
             return Err(doom_error(node));
         }
+        // The woken side's first touch of the object after its grant:
+        // stamped under the slot mutex, so it is totally ordered after the
+        // releaser's grant install — the HB certifier's wake edge.
+        self.trace(RtEvent::Resume {
+            tx: owner.id,
+            obj: obj_idx,
+            write: w.write,
+        });
         if w.write {
             let st_box = guard.write_target(&owner);
             let r = f(st_box.as_mut());

@@ -15,13 +15,6 @@
 
 pub(crate) use std::sync::{Arc, Weak};
 
-/// Lazy one-time initialisation for process-wide singletons (the timer
-/// service). Not re-exported under loom: the timer thread is wall-clock
-/// driven and excluded from model builds, and loom has no `OnceLock`
-/// stand-in.
-#[cfg(not(loom))]
-pub(crate) use std::sync::OnceLock;
-
 #[cfg(not(loom))]
 pub(crate) use parking_lot::{Condvar, Mutex, MutexGuard};
 

@@ -1,12 +1,13 @@
-//! Process-wide timer service driving async access timeouts.
+//! Per-manager timer service driving async access timeouts.
 //!
 //! A parked sync waiter carries its own timeout: `park_until(deadline)`
 //! returns and the thread withdraws its queue node in place. An async
 //! waiter has no thread to come back on, so *something* must run the
 //! withdrawal when the deadline passes. This module is that something: one
-//! lazily-spawned thread owning a deadline-ordered binary heap, waking at
-//! the earliest due time and firing expiry callbacks (each a boxed
-//! `ManagerInner::timeout_withdraw` + future wake, see `future.rs`).
+//! lazily-spawned thread per [`crate::TxManager`] owning a deadline-ordered
+//! binary heap, waking at the earliest due time and firing expiry callbacks
+//! (each a boxed `ManagerInner::timeout_withdraw` + future wake, see
+//! `future.rs`).
 //!
 //! Design notes:
 //!
@@ -15,25 +16,37 @@
 //!   granularity and cascade passes. Access timeouts are *coarse* (whole
 //!   `wait_timeout`s, typically seconds) and overwhelmingly *cancelled*
 //!   before they fire (a grant resolves the future first), so the common
-//!   operations are push and lazy-cancel — both cheap on a heap — and the
-//!   rare one is an actual expiry. The interface (`schedule` returning a
-//!   cancel token) is wheel-shaped, so a wheel can replace the heap
-//!   without touching callers if scheduling churn ever dominates.
-//! - Cancellation is lazy: cancelling flips a shared flag and leaves the
-//!   entry in the heap; the timer thread discards flagged entries when
-//!   they surface. A cancelled entry therefore costs heap residency until
-//!   its deadline, which is bounded by `wait_timeout`.
+//!   operations are push and cancel — both cheap here — and the rare one
+//!   is an actual expiry. The interface (`schedule` returning a cancel
+//!   token) is wheel-shaped, so a wheel can replace the heap without
+//!   touching callers if scheduling churn ever dominates.
+//! - Cancellation takes the *callback* out eagerly (freeing whatever the
+//!   closure captured — in practice an `Arc` chain back into the manager)
+//!   and leaves only a husk entry in the heap; the timer thread discards
+//!   husks when they surface. A cancelled entry therefore costs a few
+//!   plain words of heap residency until its deadline, never live
+//!   references.
+//! - The service is owned by the manager and dies with it: dropping the
+//!   last manager handle shuts the thread down and joins it, so a manager
+//!   is fully reclaimed on drop — no process-wide thread or heap outlives
+//!   it. While alive, the thread parks on the condvar whenever the heap is
+//!   empty and is woken only by `schedule` or shutdown.
 //! - Callbacks run on the timer thread with no locks held. They must be
 //!   short and non-blocking (the real ones take one slot mutex); a slow
 //!   callback delays later expiries, which is acceptable for timeout
 //!   delivery (timeouts are already best-effort-late, never early).
+//! - The heap mutex is a *leaf* in the workspace lock order: nothing is
+//!   ever acquired while it is held (callbacks fire after it is released),
+//!   so it can never participate in a deadlock cycle. The R4 lint pins
+//!   this structurally: timer code must not reach into object slots or
+//!   wait-graph stripes.
 //!
 //! Excluded from loom builds: the service is wall-clock driven and spawns
 //! a real thread; the loom models exercise the withdraw-vs-grant race by
 //! calling `withdraw_waiter` directly from a model thread instead.
 
 use crate::sync::atomic::{AtomicBool, Ordering};
-use crate::sync::{Arc, Condvar, Mutex, OnceLock};
+use crate::sync::{Arc, Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -42,18 +55,30 @@ use std::time::Instant;
 /// deadline, unless the token was cancelled first.
 pub(crate) type TimerCallback = Box<dyn FnOnce() + Send>;
 
+/// The callback slot shared between a heap entry and its cancel token:
+/// whichever side claims the entry takes the callback out, so a cancelled
+/// timer frees its captures immediately instead of at its deadline.
+type CallbackSlot = Arc<Mutex<Option<TimerCallback>>>;
+
 /// Cancellation handle for a scheduled timer. Dropping the token does
 /// *not* cancel the timer — callers that want cancel-on-drop wrap it.
 pub(crate) struct TimerToken {
     cancelled: Arc<AtomicBool>,
+    callback: CallbackSlot,
 }
 
 impl TimerToken {
     /// Cancel the timer. Returns `true` when this call cancelled it before
-    /// expiry fired (or claimed it; the callback will be dropped unrun),
-    /// `false` when the callback already ran or another cancel won.
+    /// expiry fired (or claimed it; the callback is dropped unrun, and
+    /// everything it captured is released now), `false` when the callback
+    /// already ran or another cancel won.
     pub(crate) fn cancel(&self) -> bool {
-        !self.cancelled.swap(true, Ordering::SeqCst)
+        if !self.cancelled.swap(true, Ordering::SeqCst) {
+            drop(self.callback.lock().take());
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -63,7 +88,7 @@ struct TimerEntry {
     /// requires none, but deterministic FIFO-at-equal-deadline is nicer).
     seq: u64,
     cancelled: Arc<AtomicBool>,
-    callback: Option<TimerCallback>,
+    callback: CallbackSlot,
 }
 
 impl PartialEq for TimerEntry {
@@ -86,76 +111,127 @@ impl Ord for TimerEntry {
 struct TimerInner {
     heap: BinaryHeap<Reverse<TimerEntry>>,
     next_seq: u64,
-    /// Set once the service thread is running; guards double-spawn.
-    thread_running: bool,
+    /// The service thread, once lazily spawned; taken by [`TimerService::
+    /// shutdown`] for the join.
+    thread: Option<std::thread::JoinHandle<()>>,
+    /// Set by shutdown; the thread exits at its next wakeup.
+    shutdown: bool,
 }
 
-/// The shared service: a deadline heap and the condvar its thread sleeps
-/// on. `schedule` notifies the condvar whenever the earliest deadline may
-/// have moved forward.
+/// One manager's timer service: a deadline heap and the condvar its thread
+/// sleeps on. `schedule` notifies the condvar whenever the earliest
+/// deadline may have moved forward; `shutdown` stops and joins the thread.
 pub(crate) struct TimerService {
     inner: Mutex<TimerInner>,
     cv: Condvar,
 }
 
 impl TimerService {
-    fn new() -> Self {
-        TimerService {
+    /// A fresh service with no thread; the thread spawns lazily on the
+    /// first `schedule` and is joined by `shutdown`.
+    pub(crate) fn new() -> Arc<TimerService> {
+        Arc::new(TimerService {
             inner: Mutex::new(TimerInner {
                 heap: BinaryHeap::new(),
                 next_seq: 0,
-                thread_running: false,
+                thread: None,
+                shutdown: false,
             }),
             cv: Condvar::new(),
-        }
-    }
-
-    /// The process-wide instance, created (and its thread spawned lazily on
-    /// first schedule) on first use.
-    pub(crate) fn global() -> &'static TimerService {
-        static GLOBAL: OnceLock<TimerService> = OnceLock::new();
-        GLOBAL.get_or_init(TimerService::new)
+        })
     }
 
     /// Schedule `callback` to run on the timer thread at or shortly after
     /// `deadline`. Returns a token whose `cancel()` prevents the callback
-    /// from running if it has not fired yet.
+    /// from running if it has not fired yet. After `shutdown` the callback
+    /// is dropped immediately and the returned token is already spent.
     pub(crate) fn schedule(
-        &'static self,
+        self: &Arc<Self>,
         deadline: Instant,
         callback: TimerCallback,
     ) -> TimerToken {
         let cancelled = Arc::new(AtomicBool::new(false));
+        let slot: CallbackSlot = Arc::new(Mutex::new(Some(callback)));
         let mut inner = self.inner.lock();
+        if inner.shutdown {
+            // The manager is going away; there is nothing left to time
+            // out. Burn the token so a late cancel() reports "lost".
+            drop(inner);
+            cancelled.store(true, Ordering::SeqCst);
+            slot.lock().take();
+            return TimerToken {
+                cancelled,
+                callback: slot,
+            };
+        }
         let seq = inner.next_seq;
         inner.next_seq += 1;
         inner.heap.push(Reverse(TimerEntry {
             deadline,
             seq,
             cancelled: cancelled.clone(),
-            callback: Some(callback),
+            callback: slot.clone(),
         }));
-        if !inner.thread_running {
-            inner.thread_running = true;
-            std::thread::Builder::new()
-                .name("ntx-timer".into())
-                .spawn(move || self.run())
-                .expect("spawn timer thread");
+        if inner.thread.is_none() {
+            let me = self.clone();
+            inner.thread = Some(
+                std::thread::Builder::new()
+                    .name("ntx-timer".into())
+                    .spawn(move || me.run())
+                    .expect("spawn timer thread"),
+            );
         }
         drop(inner);
         // Unconditional notify: the thread re-derives the earliest deadline
         // from the heap on every wakeup, so a spurious notify is one extra
         // peek, while a missed one could sleep through a nearer deadline.
         self.cv.notify_one();
-        TimerToken { cancelled }
+        TimerToken {
+            cancelled,
+            callback: slot,
+        }
+    }
+
+    /// Stop the service: mark it down, drop every pending entry (their
+    /// callbacks with them — a timeout that never fires is indistinguishable
+    /// from one that lost its withdraw race), and join the thread. Safe to
+    /// call more than once, and from the timer thread itself (a callback
+    /// that drops the last manager handle); in that case the thread exits
+    /// on its own instead of joining itself.
+    pub(crate) fn shutdown(&self) {
+        let mut inner = self.inner.lock();
+        inner.shutdown = true;
+        // Take each callback out of its (token-shared) slot so the
+        // captures die now even while cancel tokens are still around.
+        for Reverse(entry) in inner.heap.drain() {
+            entry.cancelled.store(true, Ordering::SeqCst);
+            drop(entry.callback.lock().take());
+        }
+        let thread = inner.thread.take();
+        drop(inner);
+        self.cv.notify_one();
+        if let Some(handle) = thread {
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Whether the service thread is currently alive (for lifecycle tests).
+    #[cfg(test)]
+    pub(crate) fn thread_running(&self) -> bool {
+        self.inner.lock().thread.is_some()
     }
 
     /// Timer thread main loop: pop due entries, fire their callbacks with
-    /// no locks held, then sleep until the next deadline (or forever until
-    /// a schedule notifies).
-    fn run(&'static self) {
+    /// no locks held, park on the condvar while the heap is empty, and
+    /// exit when `shutdown` flips.
+    fn run(self: Arc<Self>) {
         let mut inner = self.inner.lock();
         loop {
+            if inner.shutdown {
+                return;
+            }
             let now = Instant::now();
             // Collect everything due, then run outside the lock so a
             // callback can re-enter `schedule` without deadlocking.
@@ -164,11 +240,11 @@ impl TimerService {
                 if head.deadline > now {
                     break;
                 }
-                let Reverse(mut entry) = inner.heap.pop().expect("peeked entry");
+                let Reverse(entry) = inner.heap.pop().expect("peeked entry");
                 // Claim-or-skip: the same flag the token cancels through,
-                // so exactly one of {expiry, cancel} wins.
+                // so exactly one of {expiry, cancel} wins the callback.
                 if !entry.cancelled.swap(true, Ordering::SeqCst) {
-                    due.extend(entry.callback.take());
+                    due.extend(entry.callback.lock().take());
                 }
             }
             if !due.is_empty() {
@@ -184,6 +260,7 @@ impl TimerService {
                     let timeout = head.deadline.saturating_duration_since(Instant::now());
                     self.cv.wait_for(&mut inner, timeout);
                 }
+                // Empty heap: park until a schedule or shutdown notifies.
                 None => self.cv.wait(&mut inner),
             }
         }
@@ -198,9 +275,10 @@ mod tests {
 
     #[test]
     fn fires_at_deadline() {
+        let svc = TimerService::new();
         let (tx, rx) = mpsc::channel();
         let start = Instant::now();
-        TimerService::global().schedule(
+        svc.schedule(
             start + Duration::from_millis(20),
             Box::new(move || {
                 let _ = tx.send(());
@@ -209,32 +287,43 @@ mod tests {
         rx.recv_timeout(Duration::from_secs(5))
             .expect("timer fired");
         assert!(start.elapsed() >= Duration::from_millis(20));
+        svc.shutdown();
     }
 
     #[test]
-    fn cancel_prevents_firing() {
+    fn cancel_prevents_firing_and_frees_the_callback() {
+        let svc = TimerService::new();
         let (tx, rx) = mpsc::channel();
-        let token = TimerService::global().schedule(
-            Instant::now() + Duration::from_millis(30),
+        let captured = Arc::new(());
+        let probe = Arc::downgrade(&captured);
+        let token = svc.schedule(
+            Instant::now() + Duration::from_secs(30),
             Box::new(move || {
+                let _ = &captured;
                 let _ = tx.send(());
             }),
         );
         assert!(token.cancel(), "first cancel wins");
         assert!(!token.cancel(), "second cancel loses");
         assert!(
-            rx.recv_timeout(Duration::from_millis(200)).is_err(),
+            probe.upgrade().is_none(),
+            "cancel must drop the callback's captures eagerly, not at the deadline"
+        );
+        assert!(
+            rx.recv_timeout(Duration::from_millis(100)).is_err(),
             "cancelled timer must not fire"
         );
+        svc.shutdown();
     }
 
     #[test]
     fn equal_deadlines_fire_in_schedule_order() {
+        let svc = TimerService::new();
         let (tx, rx) = mpsc::channel();
         let when = Instant::now() + Duration::from_millis(25);
         for i in 0..4 {
             let tx = tx.clone();
-            TimerService::global().schedule(
+            svc.schedule(
                 when,
                 Box::new(move || {
                     let _ = tx.send(i);
@@ -245,5 +334,34 @@ mod tests {
             .map(|_| rx.recv_timeout(Duration::from_secs(5)).expect("fired"))
             .collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_the_thread_and_drops_pending_entries() {
+        let svc = TimerService::new();
+        let captured = Arc::new(());
+        let probe = Arc::downgrade(&captured);
+        let _token = svc.schedule(
+            Instant::now() + Duration::from_secs(600),
+            Box::new(move || {
+                let _ = &captured;
+            }),
+        );
+        assert!(svc.thread_running(), "schedule spawns the thread");
+        svc.shutdown();
+        assert!(
+            !svc.thread_running(),
+            "shutdown joins and clears the thread"
+        );
+        assert!(
+            probe.upgrade().is_none(),
+            "pending entries are dropped at shutdown, not leaked"
+        );
+        // Idempotent, and a post-shutdown schedule is a spent no-op.
+        svc.shutdown();
+        let token = svc.schedule(Instant::now(), Box::new(|| {}));
+        assert!(!token.cancel(), "post-shutdown tokens are already spent");
+        assert!(!svc.thread_running());
     }
 }

@@ -200,9 +200,60 @@ pub enum RtEvent {
         /// The clock value restored (highest recovered commit timestamp).
         ts: u64,
     },
+    /// A parked waiter observed its grant and resumed: recorded under the
+    /// object mutex when the woken requester re-enters the slot and applies
+    /// (write) or confirms (read) the lock state a releaser installed for
+    /// it. Pairs a preceding [`RtEvent::Wait`] with the grant that resolved
+    /// it — the HB certifier's wake edge.
+    Resume {
+        /// The formerly blocked requester.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+        /// Whether the resolved request was a write.
+        write: bool,
+    },
+    /// A queued waiter was withdrawn by its own side (async drop or timer
+    /// expiry winning the claim CAS) instead of being granted. Exactly one
+    /// of {grant, withdraw, cancel} may resolve any single wait.
+    Withdraw {
+        /// The withdrawn requester.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+    },
+    /// A queued waiter was cancelled by the *releasing* side because its
+    /// transaction was already doomed (fault injection or deadlock victim):
+    /// the doom-resolution counterpart of [`RtEvent::Withdraw`].
+    CancelWaiter {
+        /// The cancelled requester.
+        tx: u64,
+        /// Object index.
+        obj: usize,
+    },
+    /// The commit turnstile advanced: the ticket holder for commit
+    /// timestamp `ts` finished publishing and stored the new clock.
+    /// Recorded by the ticket's drop, after every `Publish` of that commit
+    /// and before any ticket with a later timestamp can pass — the total
+    /// order the HB certifier checks for density and publish containment.
+    TsAdvance {
+        /// The commit timestamp the turnstile advanced to.
+        ts: u64,
+    },
 }
 
 impl RtEvent {
+    /// The event's one-line stable textual form, without the trailing
+    /// newline — the same text [`TraceRecorder::render`] emits. Public so
+    /// diagnostic consumers (the `ntx-hb` certifier's counterexample
+    /// slices) can speak the trace language instead of `Debug` output.
+    pub fn render_line(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s);
+        s.pop();
+        s
+    }
+
     fn render_into(&self, out: &mut String) {
         match *self {
             RtEvent::Begin { tx, parent } => match parent {
@@ -270,6 +321,12 @@ impl RtEvent {
             RtEvent::Recovered { commits, ts } => {
                 _ = writeln!(out, "RECOVERED commits={commits} ts={ts}");
             }
+            RtEvent::Resume { tx, obj, write } => {
+                _ = writeln!(out, "RESUME tx={tx} obj={obj} write={write}");
+            }
+            RtEvent::Withdraw { tx, obj } => _ = writeln!(out, "WITHDRAW tx={tx} obj={obj}"),
+            RtEvent::CancelWaiter { tx, obj } => _ = writeln!(out, "CANCEL tx={tx} obj={obj}"),
+            RtEvent::TsAdvance { ts } => _ = writeln!(out, "TSADV ts={ts}"),
         }
     }
 }
@@ -296,8 +353,25 @@ pub struct TxTraceStats {
     pub snapshot_reads: u64,
 }
 
-/// One shard's buffer: events paired with their global sequence stamps.
-type StampedBuf = Mutex<Vec<(u64, RtEvent)>>;
+/// One recorded event together with its provenance: the global sequence
+/// stamp (linearisation order) and the recording thread's stable index
+/// (program order within a thread). This is the record the happens-before
+/// certifier consumes; [`TraceRecorder::events`] strips it back down to the
+/// plain event stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Stamped {
+    /// Global sequence stamp: the event's position in the total order.
+    pub stamp: u64,
+    /// Stable index of the thread that recorded the event (from the same
+    /// per-thread counter that picks the stripe), i.e. task provenance.
+    pub tid: u64,
+    /// The event itself.
+    pub ev: RtEvent,
+}
+
+/// One shard's buffer: events paired with their global sequence stamps
+/// and the recording thread's index.
+type StampedBuf = Mutex<Vec<Stamped>>;
 
 /// Thread-safe, sharded accumulator for [`RtEvent`]s (see module docs).
 #[derive(Default)]
@@ -321,10 +395,12 @@ impl TraceRecorder {
         // unique and totally ordered even relaxed; the merge in `events()`
         // sorts by stamp and runs at quiescence.
         let stamp = self.seq.0.fetch_add(1, Ordering::Relaxed);
-        self.shards[thread_index() % TRACE_SHARDS]
-            .0
-            .lock()
-            .push((stamp, ev));
+        let tid = thread_index();
+        self.shards[tid % TRACE_SHARDS].0.lock().push(Stamped {
+            stamp,
+            tid: tid as u64,
+            ev,
+        });
     }
 
     /// Append a contiguous batch of events with **one** sequence-stamp
@@ -342,10 +418,15 @@ impl TraceRecorder {
         // the reserved range unique and totally ordered; `events()` sorts
         // by stamp at quiescence.
         let base = self.seq.0.fetch_add(evs.len() as u64, Ordering::Relaxed);
-        let mut buf = self.shards[thread_index() % TRACE_SHARDS].0.lock();
+        let tid = thread_index();
+        let mut buf = self.shards[tid % TRACE_SHARDS].0.lock();
         buf.reserve(evs.len());
         for (i, ev) in evs.iter().enumerate() {
-            buf.push((base + i as u64, *ev));
+            buf.push(Stamped {
+                stamp: base + i as u64,
+                tid: tid as u64,
+                ev: *ev,
+            });
         }
     }
 
@@ -363,12 +444,20 @@ impl TraceRecorder {
     /// order. Call at quiescence for a complete log; concurrent recorders
     /// may have drawn stamps they have not yet published.
     pub fn events(&self) -> Vec<RtEvent> {
-        let mut stamped: Vec<(u64, RtEvent)> = Vec::with_capacity(self.len());
+        self.stamped_events().into_iter().map(|s| s.ev).collect()
+    }
+
+    /// Snapshot of the event log with full provenance — sequence stamp and
+    /// recording-thread index — merged into stamp order. Same quiescence
+    /// caveat as [`TraceRecorder::events`]. This is the input the
+    /// `ntx-hb` happens-before certifier replays.
+    pub fn stamped_events(&self) -> Vec<Stamped> {
+        let mut stamped: Vec<Stamped> = Vec::with_capacity(self.len());
         for shard in &self.shards {
             stamped.extend(shard.0.lock().iter().copied());
         }
-        stamped.sort_unstable_by_key(|&(stamp, _)| stamp);
-        stamped.into_iter().map(|(_, ev)| ev).collect()
+        stamped.sort_unstable_by_key(|s| s.stamp);
+        stamped
     }
 
     /// Render the log one line per event, in a form stable across runs —
@@ -405,7 +494,11 @@ impl TraceRecorder {
                 | RtEvent::Publish { .. }
                 | RtEvent::WalAppend { .. }
                 | RtEvent::Checkpoint { .. }
-                | RtEvent::Recovered { .. } => {}
+                | RtEvent::Recovered { .. }
+                | RtEvent::Resume { .. }
+                | RtEvent::Withdraw { .. }
+                | RtEvent::CancelWaiter { .. }
+                | RtEvent::TsAdvance { .. } => {}
             }
         }
         map
@@ -478,6 +571,55 @@ mod tests {
             (s2.reads, s2.waits, s2.faults, s2.aborted, s2.committed),
             (1, 1, 1, true, false)
         );
+    }
+
+    #[test]
+    fn new_async_era_events_render_stably() {
+        let t = TraceRecorder::new();
+        t.record(RtEvent::Wait {
+            tx: 7,
+            obj: 2,
+            write: true,
+        });
+        t.record(RtEvent::Resume {
+            tx: 7,
+            obj: 2,
+            write: true,
+        });
+        t.record(RtEvent::Withdraw { tx: 8, obj: 2 });
+        t.record(RtEvent::CancelWaiter { tx: 9, obj: 2 });
+        t.record(RtEvent::TsAdvance { ts: 4 });
+        assert_eq!(
+            t.render(),
+            "WAIT tx=7 obj=2 write=true\nRESUME tx=7 obj=2 write=true\n\
+             WITHDRAW tx=8 obj=2\nCANCEL tx=9 obj=2\nTSADV ts=4\n"
+        );
+    }
+
+    #[test]
+    fn stamped_events_carry_thread_provenance() {
+        let t = std::sync::Arc::new(TraceRecorder::new());
+        t.record(RtEvent::Begin {
+            tx: 1,
+            parent: None,
+        });
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            t2.record(RtEvent::Begin {
+                tx: 2,
+                parent: None,
+            });
+        })
+        .join()
+        .unwrap();
+        let st = t.stamped_events();
+        assert_eq!(st.len(), 2);
+        // Stamps are the merge key and stay unique.
+        assert!(st[0].stamp < st[1].stamp);
+        // The two events came from different threads.
+        assert_ne!(st[0].tid, st[1].tid);
+        // events() is the projection of stamped_events().
+        assert_eq!(t.events(), st.iter().map(|s| s.ev).collect::<Vec<_>>());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! harness the sequence of consultations is itself deterministic, so one
 //! `u64` seed reproduces an entire faulty execution byte for byte.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use ntx_runtime::{FaultAction, FaultContext, FaultInjector, FaultPoint};
 
@@ -212,12 +212,14 @@ impl SeededFaults {
 
     /// How many times the runtime consulted this injector.
     pub fn calls(&self) -> u64 {
+        // relaxed(fault-calls): single-threaded fuzz driver
         self.calls.load(Ordering::Relaxed)
     }
 }
 
 impl FaultInjector for SeededFaults {
     fn decide(&self, ctx: &FaultContext) -> FaultAction {
+        // relaxed(fault-calls): single-threaded fuzz driver
         let i = self.calls.fetch_add(1, Ordering::Relaxed);
         let r = splitmix64(self.seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F)) % 1000;
         let r = r as u32;

@@ -16,13 +16,14 @@
 //! instead of parking) make the whole run — including the runtime's own
 //! [`TraceRecorder`] log — a pure function of [`FuzzConfig::seed`].
 
+use crate::sync::Arc;
 use std::path::PathBuf;
-use std::sync::Arc;
 use std::time::Duration;
 
 use ntx_conform::{
     check_trace, ConformanceReport, ConformanceSession, Trace, TracedTx, TranslateOptions,
 };
+use ntx_hb::HbReport;
 use ntx_runtime::{
     FsyncPolicy, LockMode, RtConfig, RtEvent, StatsSnapshot, TraceRecorder, TxError, TxManager,
 };
@@ -87,6 +88,10 @@ pub struct FuzzOutcome {
     pub trace: Trace,
     /// The differential verdict.
     pub report: ConformanceReport,
+    /// The happens-before certification of the runtime's own event stream
+    /// (`ntx-hb`): synchronization invariants checked on this execution in
+    /// the same pass as the Theorem 34 checker.
+    pub hb: HbReport,
     /// The runtime's own action log, rendered (byte-stable per seed).
     pub log: String,
     /// Injector consultations during the run.
@@ -98,9 +103,10 @@ pub struct FuzzOutcome {
 }
 
 impl FuzzOutcome {
-    /// `true` when the trace conformed to the model.
+    /// `true` when the trace conformed to the model *and* its
+    /// synchronization was happens-before certified.
     pub fn ok(&self) -> bool {
-        self.report.ok()
+        self.report.ok() && self.hb.ok()
     }
 }
 
@@ -331,6 +337,7 @@ pub fn fuzz_run(cfg: &FuzzConfig) -> FuzzOutcome {
         .filter(|e| matches!(e, RtEvent::Fault { .. }))
         .count();
     let log = recorder.render();
+    let hb = ntx_hb::certify(&recorder.stamped_events());
     let trace = session.finish();
     let report = check_trace(
         &trace,
@@ -343,6 +350,7 @@ pub fn fuzz_run(cfg: &FuzzConfig) -> FuzzOutcome {
         seed: cfg.seed,
         trace,
         report,
+        hb,
         log,
         fault_calls,
         faults_applied,
@@ -424,6 +432,9 @@ pub struct CrashFuzzOutcome {
     /// Differential verdict of the surviving pre-crash trace against the
     /// paper's automaton.
     pub report: ConformanceReport,
+    /// Happens-before certification of the pre-crash event stream: crash
+    /// seeds get the same synchronization audit as ordinary fuzz seeds.
+    pub hb: HbReport,
     /// The pre-crash runtime's rendered action log (byte-stable per seed).
     pub log: String,
     /// Every violated durability invariant (empty on success).
@@ -431,10 +442,10 @@ pub struct CrashFuzzOutcome {
 }
 
 impl CrashFuzzOutcome {
-    /// `true` when every durability invariant held *and* the pre-crash
-    /// trace conformed to the model.
+    /// `true` when every durability invariant held, the pre-crash trace
+    /// conformed to the model, *and* its synchronization was HB-certified.
     pub fn ok(&self) -> bool {
-        self.failures.is_empty() && self.report.ok()
+        self.failures.is_empty() && self.report.ok() && self.hb.ok()
     }
 }
 
@@ -645,6 +656,7 @@ pub fn fuzz_crash_run(cfg: &CrashFuzzConfig) -> CrashFuzzOutcome {
     }
 
     let log = recorder.render();
+    let hb = ntx_hb::certify(&recorder.stamped_events());
     let trace = session.finish();
     let report = check_trace(
         &trace,
@@ -729,6 +741,7 @@ pub fn fuzz_crash_run(cfg: &CrashFuzzConfig) -> CrashFuzzOutcome {
         recovered_ts,
         redone,
         report,
+        hb,
         log,
         failures,
     }

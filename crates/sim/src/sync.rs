@@ -1,0 +1,12 @@
+//! The single import point for synchronisation primitives.
+//!
+//! Mirrors the runtime's shim discipline (R1 in `ntx-lint`): the fuzz
+//! harness gets its `Arc` and atomics from here rather than `std::sync`
+//! directly, so the workspace-wide lint holds uniformly.
+
+pub(crate) use std::sync::Arc;
+
+/// Atomic types and `Ordering`.
+pub(crate) mod atomic {
+    pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+}

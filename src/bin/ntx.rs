@@ -233,6 +233,10 @@ fn cmd_fuzz_crash(flags: &HashMap<String, String>, plan: ntx_sim::FaultPlan, pla
                     out.report.wellformed_error,
                     out.report.correctness_violations
                 ));
+                if !out.hb.ok() {
+                    dump.push_str("--- happens-before violations ---\n");
+                    dump.push_str(&out.hb.render_violations());
+                }
                 dump.push_str(&out.log);
                 let _ = std::fs::write(dir.join(format!("crash-seed-{seed}.log")), dump);
             }
@@ -303,6 +307,17 @@ fn cmd_fuzz(flags: &HashMap<String, String>) {
                 out.report.wellformed_error,
                 out.report.correctness_violations
             );
+            println!(
+                "hb: {} events, {}/{} waits resolved, {} grants checked, {} advances, \
+                 {} violations",
+                out.hb.events,
+                out.hb.waits_resolved,
+                out.hb.waits,
+                out.hb.grants_checked,
+                out.hb.ts_advances,
+                out.hb.violations.len()
+            );
+            print!("{}", out.hb.render_violations());
         }
         if !out.ok() {
             failures += 1;
@@ -312,11 +327,16 @@ fn cmd_fuzz(flags: &HashMap<String, String>) {
                 let mut dump = String::new();
                 dump.push_str(&format!(
                     "seed: {seed}\nplan: {plan_name}\nschedule_error: {:?}\n\
-                     wellformed_error: {:?}\nviolations: {:?}\n\n--- runtime log ---\n",
+                     wellformed_error: {:?}\nviolations: {:?}\n",
                     out.report.schedule_error,
                     out.report.wellformed_error,
                     out.report.correctness_violations
                 ));
+                if !out.hb.ok() {
+                    dump.push_str("\n--- happens-before violations ---\n");
+                    dump.push_str(&out.hb.render_violations());
+                }
+                dump.push_str("\n--- runtime log ---\n");
                 dump.push_str(&out.log);
                 let _ = std::fs::write(dir.join(format!("seed-{seed}.log")), dump);
             }
