@@ -1,0 +1,55 @@
+use std::future::Future;
+use std::pin::pin;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use ntx_runtime::{RtConfig, TxManager};
+
+struct ChannelWaker(mpsc::Sender<()>);
+
+impl Wake for ChannelWaker {
+    fn wake(self: Arc<Self>) {
+        let _ = self.0.send(());
+    }
+}
+
+fn comms() -> Vec<String> {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return vec!["<no procfs>".into()];
+    };
+    tasks
+        .filter_map(|e| e.ok())
+        .filter_map(|e| std::fs::read_to_string(e.path().join("comm")).ok())
+        .map(|c| c.trim().to_string())
+        .collect()
+}
+
+#[test]
+fn probe() {
+    let mgr = TxManager::new(RtConfig {
+        wait_timeout: Duration::from_secs(600),
+        ..Default::default()
+    });
+    let hot = mgr.register("hot", 0i64);
+    let holder = mgr.begin();
+    holder.write(&hot, |v| *v = 1).unwrap();
+    let tx = mgr.begin();
+    {
+        let mut fut = pin!(tx.write_async(&hot, |v| *v = 2));
+        let (send, recv) = mpsc::channel();
+        let waker = Waker::from(Arc::new(ChannelWaker(send)));
+        let mut cx = Context::from_waker(&waker);
+        let p = fut.as_mut().poll(&mut cx);
+        eprintln!("poll1 pending={}", matches!(p, Poll::Pending));
+        eprintln!("comms after poll: {:?}", comms());
+        std::thread::sleep(Duration::from_millis(100));
+        eprintln!("comms after sleep: {:?}", comms());
+        holder.commit().unwrap();
+        recv.recv_timeout(Duration::from_secs(5)).expect("wake");
+        let _ = fut.as_mut().poll(&mut cx);
+    }
+    let _ = tx.commit();
+    panic!("show output");
+}
